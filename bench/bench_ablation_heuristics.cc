@@ -1,0 +1,75 @@
+// Ablation — certified RIS algorithm vs classic guarantee-free
+// heuristics.
+//
+// The paper's related work (§7) positions RIS algorithms against the
+// heuristic line (degree / degree-discount / PageRank); this bench
+// quantifies the gap on all four dataset stand-ins: spread achieved (with
+// 95% CIs) and selection time. The usual finding — heuristics come close
+// on scale-free graphs but carry no certificate and occasionally crater —
+// is the motivation for instance-specific guarantees.
+//
+//   ./build/bench/bench_ablation_heuristics [--scale=12] [--k=50]
+
+#include <cstdio>
+#include <functional>
+
+#include "baselines/heuristics.h"
+#include "core/opim_c.h"
+#include "diffusion/cascade.h"
+#include "harness/datasets.h"
+#include "harness/flags.h"
+#include "support/stopwatch.h"
+#include "support/table_printer.h"
+
+int main(int argc, char** argv) {
+  opim::Flags flags(argc, argv);
+  const uint32_t scale =
+      static_cast<uint32_t>(flags.GetUint("scale", 12));
+  const uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 50));
+  const uint64_t mc = flags.GetUint("mc", 5000);
+  const auto model = opim::DiffusionModel::kIndependentCascade;
+
+  std::printf("Ablation: certified OPIM-C+ vs guarantee-free heuristics "
+              "(IC, k=%u, %llu MC evaluations, 95%% CI)\n\n", k,
+              static_cast<unsigned long long>(mc));
+
+  opim::TablePrinter table(
+      {"dataset", "algorithm", "spread", "ci95", "select_seconds"});
+  for (const std::string& name : opim::StandardDatasetNames()) {
+    auto graph_or = opim::MakeDataset(name, scale, 1);
+    if (!graph_or.ok()) {
+      std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+      return 1;
+    }
+    const opim::Graph& g = graph_or.ValueOrDie();
+    opim::SpreadEstimator est(g, model);
+
+    using Select = std::function<std::vector<opim::NodeId>()>;
+    const std::vector<std::pair<std::string, Select>> algos = {
+        {"OPIM-C+",
+         [&] {
+           return RunOpimC(g, model, k, 0.1, 1.0 / g.num_nodes()).seeds;
+         }},
+        {"Degree", [&] { return opim::SelectByDegree(g, k); }},
+        {"DegreeDiscount",
+         [&] { return opim::SelectByDegreeDiscount(g, k); }},
+        {"PageRank", [&] { return opim::SelectByPageRank(g, k); }},
+        {"TwoHop", [&] { return opim::SelectByTwoHop(g, k); }},
+    };
+    for (const auto& [algo, select] : algos) {
+      opim::Stopwatch sw;
+      std::vector<opim::NodeId> seeds = select();
+      const double select_seconds = sw.ElapsedSeconds();
+      auto spread = est.EstimateWithError(seeds, mc, 7);
+      table.AddRow({name, algo, opim::TablePrinter::Cell(spread.mean, 6),
+                    "+-" + opim::TablePrinter::Cell(
+                               1.96 * spread.stderr_, 3),
+                    opim::TablePrinter::Cell(select_seconds, 3)});
+    }
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("expected: heuristics within ~10-30%% of OPIM-C+ on these "
+              "graphs (and faster), but\nwithout any quality certificate — "
+              "the gap OPIM's alpha reporting closes.\n");
+  return 0;
+}

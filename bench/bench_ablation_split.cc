@@ -1,0 +1,83 @@
+// Ablation — nominator/judge pool split ratio.
+//
+// The paper splits R evenly into R1 (greedy + upper bound) and R2 (lower
+// bound) "evenly" (§4.1) and proves the δ-split near-optimal (Lemma 4.4),
+// but does not ablate the *sample* split. This bench fixes a total RR-set
+// budget and sweeps the fraction routed to R1, reporting the resulting α
+// for each bound variant — showing the 50/50 choice is a sensible default
+// (extreme splits starve either the nominators or the judges).
+//
+//   ./build/bench/bench_ablation_split [--scale=12] [--k=50]
+//                                      [--budget=131072]
+
+#include <cstdio>
+#include <vector>
+
+#include "bounds/bounds.h"
+#include "harness/datasets.h"
+#include "harness/flags.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "select/greedy.h"
+#include "support/random.h"
+#include "support/table_printer.h"
+
+int main(int argc, char** argv) {
+  opim::Flags flags(argc, argv);
+  const uint32_t scale =
+      static_cast<uint32_t>(flags.GetUint("scale", 12));
+  const uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 50));
+  const uint64_t budget = flags.GetUint("budget", 131072);
+  const uint32_t reps = static_cast<uint32_t>(flags.GetUint("reps", 3));
+
+  auto graph_or = opim::MakeDataset("pokec-sim", scale, 1);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  const opim::Graph& g = graph_or.ValueOrDie();
+  const uint32_t n = g.num_nodes();
+  const double delta = 1.0 / n;
+
+  std::printf("Ablation: R1:R2 split ratio at a fixed budget of %llu RR "
+              "sets (pokec-sim IC, n=%u, k=%u, mean of %u reps)\n\n",
+              static_cast<unsigned long long>(budget), n, k, reps);
+
+  opim::TablePrinter table(
+      {"r1_fraction", "alpha_OPIM0", "alpha_OPIM+", "alpha_OPIM'"});
+  for (double frac : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double sum0 = 0, sump = 0, suml = 0;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      auto sampler = opim::MakeRRSampler(
+          g, opim::DiffusionModel::kIndependentCascade);
+      opim::Rng rng(rep + 1, 0xab1a);
+      opim::RRCollection r1(n), r2(n);
+      const uint64_t theta1 =
+          std::max<uint64_t>(1, static_cast<uint64_t>(budget * frac));
+      sampler->Generate(&r1, theta1, rng);
+      sampler->Generate(&r2, budget - theta1, rng);
+
+      opim::GreedyResult greedy = opim::SelectGreedy(r1, k, true);
+      uint64_t lambda2 = r2.CoverageOf(greedy.seeds);
+      double lower = opim::SigmaLower(lambda2, r2.num_sets(), n, delta / 2);
+      sum0 += opim::ApproxRatio(
+          lower, opim::SigmaUpper(opim::BoundKind::kBasic, greedy,
+                                  r1.num_sets(), n, delta / 2));
+      sump += opim::ApproxRatio(
+          lower, opim::SigmaUpper(opim::BoundKind::kImproved, greedy,
+                                  r1.num_sets(), n, delta / 2));
+      suml += opim::ApproxRatio(
+          lower, opim::SigmaUpper(opim::BoundKind::kLeskovec, greedy,
+                                  r1.num_sets(), n, delta / 2));
+    }
+    table.AddRow({opim::TablePrinter::Cell(frac, 2),
+                  opim::TablePrinter::Cell(sum0 / reps, 4),
+                  opim::TablePrinter::Cell(sump / reps, 4),
+                  opim::TablePrinter::Cell(suml / reps, 4)});
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf("expected: alpha peaks near the middle; starving R1 hurts "
+              "the seed set and the upper\nbound, starving R2 hurts the "
+              "lower bound. The paper's even split is a robust default.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 2 — OPIM approximation guarantee vs number of RR sets on the
+// four datasets under the LT model (k = 50). Seven algorithms: Borgs,
+// OPIM0/OPIM+/OPIM', and the OPIM-adoptions of IMM / SSA-Fix / D-SSA-Fix.
+//
+//   ./build/bench/bench_fig2_opim_lt [--full] [--scale=13] [--reps=2]
+//                                    [--checkpoints=9] [--k=50]
+
+#include "opim_figure_main.h"
+
+int main(int argc, char** argv) {
+  return opim::benchmain::RunDatasetPanels(
+      argc, argv, opim::DiffusionModel::kLinearThreshold, "Figure 2");
+}

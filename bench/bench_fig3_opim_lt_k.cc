@@ -1,0 +1,11 @@
+// Figure 3 — OPIM approximation guarantee vs number of RR sets on the
+// twitter-sim dataset under the LT model, for k in {1, 10, 100, 1000}.
+//
+//   ./build/bench/bench_fig3_opim_lt_k [--full] [--scale=13] [--reps=2]
+
+#include "opim_figure_main.h"
+
+int main(int argc, char** argv) {
+  return opim::benchmain::RunKSweepPanels(
+      argc, argv, opim::DiffusionModel::kLinearThreshold, "Figure 3");
+}

@@ -1,0 +1,11 @@
+// Figure 4 — OPIM approximation guarantee vs number of RR sets on the
+// four datasets under the IC model (k = 50); the IC twin of Figure 2.
+//
+//   ./build/bench/bench_fig4_opim_ic [--full] [--scale=13] [--reps=2]
+
+#include "opim_figure_main.h"
+
+int main(int argc, char** argv) {
+  return opim::benchmain::RunDatasetPanels(
+      argc, argv, opim::DiffusionModel::kIndependentCascade, "Figure 4");
+}

@@ -1,0 +1,12 @@
+// Figure 5 — OPIM approximation guarantee vs number of RR sets on the
+// twitter-sim dataset under the IC model, for k in {1, 10, 100, 1000};
+// the IC twin of Figure 3.
+//
+//   ./build/bench/bench_fig5_opim_ic_k [--full] [--scale=13] [--reps=2]
+
+#include "opim_figure_main.h"
+
+int main(int argc, char** argv) {
+  return opim::benchmain::RunKSweepPanels(
+      argc, argv, opim::DiffusionModel::kIndependentCascade, "Figure 5");
+}

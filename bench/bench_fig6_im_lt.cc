@@ -1,0 +1,13 @@
+// Figure 6 — conventional influence maximization with (1-1/e-ε)-
+// approximation on twitter-sim under the LT model: (a) expected spread and
+// (b) running time, for ε from 0.1 down to 0.01.
+//
+//   ./build/bench/bench_fig6_im_lt [--full] [--scale=13] [--reps=2]
+//                                  [--eps=0.1] [--cap=2000000]
+
+#include "im_figure_main.h"
+
+int main(int argc, char** argv) {
+  return opim::benchmain::RunImPanels(
+      argc, argv, opim::DiffusionModel::kLinearThreshold, "Figure 6");
+}

@@ -1,0 +1,12 @@
+// Figure 7 — conventional influence maximization with (1-1/e-ε)-
+// approximation on twitter-sim under the IC model; the IC twin of
+// Figure 6.
+//
+//   ./build/bench/bench_fig7_im_ic [--full] [--scale=13] [--reps=2]
+
+#include "im_figure_main.h"
+
+int main(int argc, char** argv) {
+  return opim::benchmain::RunImPanels(
+      argc, argv, opim::DiffusionModel::kIndependentCascade, "Figure 7");
+}

@@ -1,0 +1,72 @@
+// Shared main() body for the Figure 6/7 benches: conventional influence
+// maximization on twitter-sim, spread and running time vs ε, for the three
+// OPIM-C variants against IMM, SSA-Fix and D-SSA-Fix.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "diffusion/cascade.h"
+#include "harness/datasets.h"
+#include "harness/flags.h"
+#include "harness/im_figure.h"
+
+namespace opim::benchmain {
+
+inline int RunImPanels(int argc, char** argv, DiffusionModel model,
+                       const char* figure_name) {
+  Flags flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  // IC reverse sampling is ~8x LT's cost on these graphs; the quick
+  // default drops one scale step and halves the cap.
+  const bool ic = model == DiffusionModel::kIndependentCascade;
+  const uint32_t scale = static_cast<uint32_t>(
+      flags.GetUint("scale", full ? 15 : (ic ? 12 : 13)));
+  auto graph_or = MakeDataset("twitter-sim", scale, flags.GetUint("seed", 1));
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& g = graph_or.ValueOrDie();
+
+  ImFigureOptions opt;
+  opt.k = static_cast<uint32_t>(flags.GetUint("k", 50));
+  opt.reps = static_cast<uint32_t>(flags.GetUint("reps", full ? 5 : 2));
+  opt.mc_samples = flags.GetUint("mc", full ? 10000 : 2000);
+  opt.cap_rr_sets =
+      flags.GetUint("cap", full ? 20000000 : (ic ? 1000000 : 2000000));
+  opt.seed = flags.GetUint("seed", 1);
+  opt.include_tim = flags.GetBool("with-tim", false);
+  if (flags.Has("eps")) {
+    opt.eps_list = {flags.GetDouble("eps", 0.1)};
+  } else {
+    opt.eps_list = {0.1, 0.05, 0.02, 0.01};
+  }
+
+  std::printf("%s: conventional IM on twitter-sim under %s "
+              "(n=%u, m=%llu, k=%u, delta=1/n, %u reps)\n"
+              "(a) expected spread and (b) running time vs eps. Rows with "
+              "extrapolated=yes hit the\n%llu-RR-set cap and scale "
+              "measured per-set cost to the demanded sample size.\n\n",
+              figure_name, DiffusionModelName(model), g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()), opt.k,
+              opt.reps,
+              static_cast<unsigned long long>(opt.cap_rr_sets));
+
+  auto rows = RunImFigure(g, model, opt);
+  TablePrinter table = ImFigureToTable(rows);
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  const std::string csv = flags.GetString("csv", "");
+  if (!csv.empty()) {
+    Status st = table.WriteCsv(csv + ".csv");
+    if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  }
+  std::printf("paper shape check: (a) all six algorithms reach similar "
+              "spreads; (b) OPIM-C+ is fastest,\nwith the gap to IMM "
+              "widening as eps shrinks (orders of magnitude at eps=0.01); "
+              "OPIM-C0 is\ncomparable to the best prior method.\n");
+  return 0;
+}
+
+}  // namespace opim::benchmain

@@ -1,0 +1,106 @@
+// Extending the library with a custom diffusion model.
+//
+// The triggering-model abstraction (rrset/triggering.h) is the extension
+// point: implement TriggeringDistribution and you get forward simulation
+// AND reverse-reachable sampling — hence the whole OPIM bound machinery —
+// for free. This example defines a "majority-of-two" model (each node is
+// triggered by a random pair of its in-neighbors: IC-like but capped at
+// fan-in 2), runs the RR machinery on it, and certifies a seed set with
+// the paper's instance-specific bounds.
+//
+//   ./build/examples/custom_model [--n=8192] [--k=20]
+
+#include <cstdio>
+#include <memory>
+
+#include "bounds/bounds.h"
+#include "gen/generators.h"
+#include "harness/flags.h"
+#include "rrset/triggering.h"
+#include "select/greedy.h"
+
+namespace {
+
+/// Triggering set = up to two distinct in-neighbors drawn uniformly.
+/// (Any distribution over in-neighbor subsets defines a valid triggering
+/// model; Kempe et al.'s theory — and therefore OPIM's bounds — apply.)
+class PairTriggering final : public opim::TriggeringDistribution {
+ public:
+  explicit PairTriggering(const opim::Graph& g) : graph_(g) {}
+
+  uint64_t SampleTriggeringSet(opim::NodeId v, opim::Rng& rng,
+                               std::vector<opim::NodeId>* out) const override {
+    auto in = graph_.InNeighbors(v);
+    if (!in.empty()) {
+      uint32_t first = rng.UniformBelow(static_cast<uint32_t>(in.size()));
+      out->push_back(in[first]);
+      if (in.size() > 1) {
+        uint32_t second =
+            rng.UniformBelow(static_cast<uint32_t>(in.size()) - 1);
+        if (second >= first) ++second;
+        out->push_back(in[second]);
+      }
+    }
+    return in.size();
+  }
+
+  const opim::Graph& graph() const override { return graph_; }
+
+ private:
+  const opim::Graph& graph_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  opim::Flags flags(argc, argv);
+  const uint32_t n = static_cast<uint32_t>(flags.GetUint("n", 8192));
+  const uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 20));
+  const double delta = 1.0 / n;
+
+  opim::Graph g = opim::GenerateBarabasiAlbert(n, 6);
+  auto dist = std::make_shared<PairTriggering>(g);
+
+  // Stream RR sets under the custom model into nominator/judge pools and
+  // certify a seed set — the two-pool recipe of the paper's §4, done by
+  // hand to show the pieces.
+  opim::TriggeringRRSampler sampler(dist);
+  opim::Rng rng(1);
+  opim::RRCollection r1(n), r2(n);
+  std::vector<opim::NodeId> scratch;
+  const uint64_t per_pool = flags.GetUint("rr", 30000);
+  for (uint64_t i = 0; i < per_pool; ++i) {
+    uint64_t cost = sampler.SampleInto(rng, &scratch);
+    r1.AddSet(scratch, cost);
+  }
+  for (uint64_t i = 0; i < per_pool; ++i) {
+    uint64_t cost = sampler.SampleInto(rng, &scratch);
+    r2.AddSet(scratch, cost);
+  }
+
+  opim::GreedyResult greedy = opim::SelectGreedy(r1, k, /*with_trace=*/true);
+  const double lower =
+      opim::SigmaLower(r2.CoverageOf(greedy.seeds), r2.num_sets(), n,
+                       delta / 2);
+  const double upper = opim::SigmaUpper(
+      opim::BoundKind::kImproved, greedy, r1.num_sets(), n, delta / 2);
+  const double alpha = opim::ApproxRatio(lower, upper);
+
+  std::printf("custom 'majority-of-two' triggering model on n=%u, k=%u\n",
+              n, k);
+  std::printf("sigma lower bound  %.1f\n", lower);
+  std::printf("sigma(OPT) upper   %.1f\n", upper);
+  std::printf("certified alpha    %.4f  (w.p. >= 1 - 1/n)\n", alpha);
+
+  // Cross-check with forward simulation under the same model.
+  uint64_t total = 0;
+  const int runs = 20000;
+  opim::Rng sim_rng(2);
+  for (int i = 0; i < runs; ++i) {
+    total += opim::SimulateTriggeringCascade(*dist, greedy.seeds, sim_rng);
+  }
+  std::printf("forward-simulated spread of the chosen seeds: %.1f\n",
+              static_cast<double>(total) / runs);
+  std::printf("(must be >= the certified lower bound %.1f)\n", lower);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Diffusion-model sensitivity: how much do the chosen seeds depend on the
+// model (IC vs LT)? Runs OPIM-C under both models on the same network,
+// reports seed overlap, and cross-evaluates each seed set under the other
+// model — a practical robustness check before committing to a campaign.
+//
+//   ./build/examples/model_comparison [--n=16384] [--k=25] [--eps=0.1]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/opim_c.h"
+#include "diffusion/cascade.h"
+#include "gen/generators.h"
+#include "harness/flags.h"
+
+namespace {
+
+size_t OverlapCount(std::vector<opim::NodeId> a,
+                    std::vector<opim::NodeId> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<opim::NodeId> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  return common.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  opim::Flags flags(argc, argv);
+  const uint32_t n = static_cast<uint32_t>(flags.GetUint("n", 16384));
+  const uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 25));
+  const double eps = flags.GetDouble("eps", 0.1);
+
+  opim::Graph g = opim::GenerateBarabasiAlbert(n, 10);
+  const double delta = 1.0 / n;
+
+  using opim::DiffusionModel;
+  opim::OpimCResult ic =
+      RunOpimC(g, DiffusionModel::kIndependentCascade, k, eps, delta);
+  opim::OpimCResult lt =
+      RunOpimC(g, DiffusionModel::kLinearThreshold, k, eps, delta);
+
+  opim::SpreadEstimator est_ic(g, DiffusionModel::kIndependentCascade);
+  opim::SpreadEstimator est_lt(g, DiffusionModel::kLinearThreshold);
+  const uint64_t mc = 5000;
+
+  std::printf("graph: %u nodes, %llu edges, k=%u, eps=%.2f\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()), k, eps);
+  std::printf("seed overlap between IC and LT choices: %zu / %u\n",
+              OverlapCount(ic.seeds, lt.seeds), k);
+  std::printf("%-22s  %10s  %10s\n", "seed set \\ evaluated under", "IC",
+              "LT");
+  std::printf("%-22s  %10.1f  %10.1f\n", "IC-optimized seeds",
+              est_ic.Estimate(ic.seeds, mc), est_lt.Estimate(ic.seeds, mc));
+  std::printf("%-22s  %10.1f  %10.1f\n", "LT-optimized seeds",
+              est_ic.Estimate(lt.seeds, mc), est_lt.Estimate(lt.seeds, mc));
+  std::printf("\nIf the off-diagonal spreads are close to the diagonal, the\n"
+              "campaign is robust to diffusion-model misspecification.\n");
+  return 0;
+}

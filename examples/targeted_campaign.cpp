@@ -1,0 +1,67 @@
+// Targeted campaign: node-weighted influence maximization.
+//
+// Real campaigns do not value every user equally — only conversions in
+// the target demographic pay. Weighting each node and maximizing the
+// weighted spread σ_w(S) = Σ_v w_v·Pr[S activates v] is the standard
+// generalization, supported end-to-end by this library via
+// importance-weighted RR-set roots. This example builds a network where
+// 10% of users form the (clustered) target segment, then compares the
+// seeds chosen by unweighted and weighted OPIM-C under both objectives.
+//
+//   ./build/examples/targeted_campaign [--n=8192] [--k=20]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/opim_c.h"
+#include "diffusion/cascade.h"
+#include "gen/generators.h"
+#include "harness/flags.h"
+#include "support/random.h"
+
+int main(int argc, char** argv) {
+  opim::Flags flags(argc, argv);
+  const uint32_t n = static_cast<uint32_t>(flags.GetUint("n", 8192));
+  const uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 20));
+  const double eps = flags.GetDouble("eps", 0.15);
+  const auto model = opim::DiffusionModel::kIndependentCascade;
+
+  opim::Graph g = opim::GenerateBarabasiAlbert(n, 8);
+
+  // Target segment: a contiguous id range (BA ids correlate with arrival
+  // time, so this clusters around a mix of early hubs and late leaves),
+  // worth 10x a regular user.
+  std::vector<double> weights(n, 1.0);
+  const uint32_t segment_begin = n / 2, segment_end = n / 2 + n / 10;
+  for (uint32_t v = segment_begin; v < segment_end; ++v) weights[v] = 10.0;
+
+  opim::OpimCOptions plain_opts, targeted_opts;
+  targeted_opts.node_weights = weights;
+  opim::OpimCResult plain =
+      RunOpimC(g, model, k, eps, 1.0 / n, plain_opts);
+  opim::OpimCResult targeted =
+      RunOpimC(g, model, k, eps, 1.0 / n, targeted_opts);
+
+  opim::SpreadEstimator est(g, model);
+  const uint64_t mc = 20000;
+  double plain_total = est.Estimate(plain.seeds, mc);
+  double plain_value = est.EstimateWeighted(plain.seeds, weights, mc);
+  double targeted_total = est.Estimate(targeted.seeds, mc);
+  double targeted_value = est.EstimateWeighted(targeted.seeds, weights, mc);
+
+  std::printf("network: n=%u, m=%llu; target segment [%u, %u) at weight "
+              "10x\n\n",
+              n, static_cast<unsigned long long>(g.num_edges()),
+              segment_begin, segment_end);
+  std::printf("%-22s  %14s  %16s\n", "optimizer", "users reached",
+              "campaign value");
+  std::printf("%-22s  %14.1f  %16.1f\n", "unweighted OPIM-C", plain_total,
+              plain_value);
+  std::printf("%-22s  %14.1f  %16.1f\n", "weighted OPIM-C", targeted_total,
+              targeted_value);
+  std::printf("\nweighted seeds certify alpha=%.3f on the *weighted* "
+              "objective (w.p. 1 - 1/n);\nexpect them to trade raw reach "
+              "for value inside the segment.\n",
+              targeted.alpha);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Viral-marketing budget planning — the application from the paper's
+// introduction. A marketer must choose how many seed users k to pay for;
+// this example sweeps k, runs OPIM-C for each budget, and reports the
+// expected cascade size and its marginal value, exposing the
+// diminishing-returns curve that submodularity promises.
+//
+//   ./build/examples/viral_marketing [--scale=14] [--eps=0.1] [--model=IC]
+
+#include <cstdio>
+#include <string>
+
+#include "core/opim_c.h"
+#include "diffusion/cascade.h"
+#include "gen/generators.h"
+#include "harness/flags.h"
+
+int main(int argc, char** argv) {
+  opim::Flags flags(argc, argv);
+  const uint32_t scale =
+      static_cast<uint32_t>(flags.GetUint("scale", 14));
+  const double eps = flags.GetDouble("eps", 0.1);
+  const std::string model_name = flags.GetString("model", "IC");
+  const opim::DiffusionModel model =
+      model_name == "LT" ? opim::DiffusionModel::kLinearThreshold
+                         : opim::DiffusionModel::kIndependentCascade;
+
+  // A follow-graph-like network: heavy-tailed in-degrees.
+  opim::Graph g =
+      opim::GenerateRmat(scale, /*m=*/16ULL * (1ULL << scale));
+  std::printf("campaign network: %u users, %llu follow edges, model=%s\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              opim::DiffusionModelName(model));
+
+  opim::SpreadEstimator estimator(g, model);
+  std::printf("%6s  %12s  %16s  %12s\n", "budget", "spread", "marginal/seed",
+              "rr_sets");
+
+  double previous_spread = 0.0;
+  uint32_t previous_k = 0;
+  for (uint32_t k : {1u, 2u, 5u, 10u, 20u, 50u, 100u}) {
+    opim::OpimCResult result =
+        opim::RunOpimC(g, model, k, eps, /*delta=*/1.0 / g.num_nodes());
+    double spread = estimator.Estimate(result.seeds, 5000);
+    double marginal =
+        (spread - previous_spread) / static_cast<double>(k - previous_k);
+    std::printf("%6u  %12.1f  %16.2f  %12llu\n", k, spread, marginal,
+                static_cast<unsigned long long>(result.num_rr_sets));
+    previous_spread = spread;
+    previous_k = k;
+  }
+  std::printf("\nEach extra seed buys less reach — pick the budget where\n"
+              "the marginal value crosses your per-seed cost.\n");
+  return 0;
+}

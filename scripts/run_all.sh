@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every artifact: build, tests, all paper tables/figures and
+# ablations. Pass --full to use paper-scale parameters (slower).
+#
+#   scripts/run_all.sh [--full] [output_dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL="--full"
+  shift
+fi
+OUT="${1:-results}"
+mkdir -p "$OUT"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee "$OUT/test_output.txt"
+
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  # Figure benches accept --full and --csv; the others ignore unknown
+  # flags, and google-benchmark binaries get no extra flags.
+  if [[ "$name" == bench_micro_components ]]; then
+    "$b" | tee "$OUT/$name.txt"
+  else
+    "$b" $FULL --csv="$OUT/$name" | tee "$OUT/$name.txt"
+  fi
+done
+
+echo "All outputs in $OUT/"

@@ -1,0 +1,71 @@
+// Borgs et al.'s OPIM algorithm (paper §3.2) — the only pre-existing
+// online-processing baseline.
+//
+// The algorithm streams RR sets and tracks γ, the cumulative number of
+// edges examined during their construction. Whenever γ crosses a power of
+// two it snapshots a greedy seed set and the guarantee
+//
+//     α = min{ 1/4, γ / (1492992 · (n + m) · ln n) },
+//
+// and a user query returns the latest snapshot. The guarantee uses no
+// instance-specific information, which is why it is ≈ 0 at any practical
+// γ (the paper's Figure 2–5 show it flat at zero) — reproducing that
+// emptiness is the point of this baseline.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "support/random.h"
+
+namespace opim {
+
+/// Snapshot returned by BorgsOnline::Query().
+struct BorgsSnapshot {
+  /// Greedy seed set at the last power-of-two γ crossing (empty if γ has
+  /// not crossed 1 yet).
+  std::vector<NodeId> seeds;
+  /// min{1/4, β} at that crossing.
+  double alpha = 0.0;
+  /// γ at that crossing.
+  uint64_t gamma = 0;
+};
+
+/// Streaming implementation of Borgs et al.'s OPIM baseline.
+class BorgsOnline {
+ public:
+  BorgsOnline(const Graph& g, DiffusionModel model, uint32_t k,
+              uint64_t seed = 1);
+
+  OPIM_DISALLOW_COPY(BorgsOnline);
+
+  /// Generates `count` more RR sets, snapshotting at each power-of-two γ.
+  void Advance(uint64_t count);
+
+  /// Returns the snapshot taken at the last power-of-two γ crossing.
+  BorgsSnapshot Query() const { return last_snapshot_; }
+
+  /// Total RR sets generated.
+  uint64_t num_rr_sets() const { return rr_.num_sets(); }
+  /// Current cumulative γ.
+  uint64_t gamma() const { return rr_.total_edges_examined(); }
+
+ private:
+  void MaybeSnapshot();
+
+  const Graph& graph_;
+  uint32_t k_;
+  std::unique_ptr<RRSampler> sampler_;
+  Rng rng_;
+  RRCollection rr_;
+  uint64_t next_power_ = 1;  // next power-of-two γ threshold
+  BorgsSnapshot last_snapshot_;
+};
+
+}  // namespace opim

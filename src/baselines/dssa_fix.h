@@ -1,0 +1,54 @@
+// D-SSA-Fix (Nguyen, Thai & Dinh, arXiv v3 2017; the paper's reference
+// [29]) — implemented verbatim from Algorithm 3 in the OPIM paper's
+// Appendix C, which restates it in the paper's own notation.
+//
+// D-SSA-Fix splits the RR-set stream into equal halves R1/R2 per round
+// (doubling each round), runs greedy on R1, and stops when the dynamic
+// error term
+//
+//   ε_i = (ε_a + ε_b + ε_a·ε_b)(1 - 1/e - ε) + (1 - 1/e)·ε_c
+//
+// drops to ε, where ε_a compares the R1 and R2 estimates of S* and
+// ε_b/ε_c are concentration widths at the current sample size. Appendix C
+// proves this stopping rule does NOT yield a valid instance-specific
+// guarantee (ε_b can undershoot the Chernoff requirement), which is why it
+// cannot be adapted to OPIM — we reproduce it as the paper's baseline
+// regardless.
+
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/im_result.h"
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Tuning knobs for RunDssaFix.
+struct DssaFixOptions {
+  /// RNG seed for the RR-set stream.
+  uint64_t seed = 1;
+  /// Safety cap on generated RR sets (0 = uncapped); see ImmOptions.
+  uint64_t max_rr_sets = 0;
+};
+
+/// Diagnostics from a RunDssaFix invocation.
+struct DssaFixStats {
+  /// Rounds executed.
+  uint32_t iterations = 0;
+  /// True if the run stopped via the ε_i <= ε condition (as opposed to
+  /// exhausting θ'_max or the cap).
+  bool stopped_early = false;
+  /// True if max_rr_sets stopped the run.
+  bool capped = false;
+};
+
+/// Runs D-SSA-Fix for a (1 - 1/e - ε)-approximation target with failure
+/// probability δ.
+ImResult RunDssaFix(const Graph& g, DiffusionModel model, uint32_t k,
+                    double eps, double delta,
+                    const DssaFixOptions& options = {},
+                    DssaFixStats* stats = nullptr);
+
+}  // namespace opim

@@ -1,0 +1,273 @@
+#include "baselines/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "support/macros.h"
+
+namespace opim {
+
+namespace {
+
+/// Top-k node ids by score, ties to the smaller id (determinism).
+std::vector<NodeId> TopKByScore(const std::vector<double>& score,
+                                uint32_t k) {
+  std::vector<NodeId> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> SelectByDegree(const Graph& g, uint32_t k) {
+  OPIM_CHECK_GE(k, 1u);
+  std::vector<double> score(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    score[v] = static_cast<double>(g.OutDegree(v));
+  }
+  return TopKByScore(score, k);
+}
+
+std::vector<NodeId> SelectByDegreeDiscount(const Graph& g, uint32_t k,
+                                           double p) {
+  OPIM_CHECK_GE(k, 1u);
+  OPIM_CHECK(p >= 0.0 && p <= 1.0);
+  const uint32_t n = g.num_nodes();
+  k = std::min(k, n);
+
+  // dd[v] = discounted degree; t[v] = selected in-neighbors of v.
+  // Chen et al.'s discount: dd = d - 2t - (d - t)·t·p.
+  std::vector<double> dd(n);
+  std::vector<uint32_t> t(n, 0);
+  std::vector<char> selected(n, 0);
+  for (NodeId v = 0; v < n; ++v) dd[v] = static_cast<double>(g.OutDegree(v));
+
+  struct Entry {
+    double score;
+    NodeId node;
+    bool operator<(const Entry& other) const {
+      if (score != other.score) return score < other.score;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<Entry> queue;
+  for (NodeId v = 0; v < n; ++v) queue.push({dd[v], v});
+
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  while (seeds.size() < k && !queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (selected[top.node]) continue;
+    if (top.score != dd[top.node]) continue;  // stale entry
+    selected[top.node] = 1;
+    seeds.push_back(top.node);
+    // Discount out-neighbors (influence flows seed -> neighbor).
+    for (NodeId w : g.OutNeighbors(top.node)) {
+      if (selected[w]) continue;
+      ++t[w];
+      double d = static_cast<double>(g.OutDegree(w));
+      dd[w] = d - 2.0 * t[w] - (d - t[w]) * t[w] * p;
+      queue.push({dd[w], w});
+    }
+  }
+  // Coverage saturated early (tiny graphs): fill deterministically.
+  for (NodeId v = 0; v < n && seeds.size() < k; ++v) {
+    if (!selected[v]) {
+      selected[v] = 1;
+      seeds.push_back(v);
+    }
+  }
+  return seeds;
+}
+
+std::vector<double> InfluencePageRank(const Graph& g, double damping,
+                                      uint32_t iterations) {
+  OPIM_CHECK(damping > 0.0 && damping < 1.0);
+  const uint32_t n = g.num_nodes();
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / n), next(n);
+
+  // Influence PageRank: v distributes its rank backwards along incoming
+  // edges, weighted by p(w, v) — a node that influences high-rank nodes
+  // becomes high-rank. Dangling mass (nodes with no in-edges, i.e. no one
+  // to credit) is spread uniformly.
+  for (uint32_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double weight_sum = g.InWeightSum(v);
+      if (weight_sum <= 0.0) {
+        dangling += rank[v];
+        continue;
+      }
+      auto in = g.InNeighbors(v);
+      auto probs = g.InProbs(v);
+      for (size_t i = 0; i < in.size(); ++i) {
+        next[in[i]] += rank[v] * probs[i] / weight_sum;
+      }
+    }
+    const double teleport =
+        (1.0 - damping) / n + damping * dangling / n;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] = damping * next[v] + teleport;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<NodeId> SelectByPageRank(const Graph& g, uint32_t k,
+                                     double damping, uint32_t iterations) {
+  OPIM_CHECK_GE(k, 1u);
+  return TopKByScore(InfluencePageRank(g, damping, iterations), k);
+}
+
+std::vector<double> TwoHopScores(const Graph& g) {
+  const uint32_t n = g.num_nodes();
+  // one_hop[v] = 1 + Σ_w p(v, w): expected self + direct activations.
+  std::vector<double> one_hop(n, 1.0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (double p : g.OutProbs(v)) one_hop[v] += p;
+  }
+  std::vector<double> two_hop(n, 1.0);
+  for (NodeId v = 0; v < n; ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    auto probs = g.OutProbs(v);
+    double total = 1.0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      total += probs[i] * one_hop[nbrs[i]];
+    }
+    two_hop[v] = total;
+  }
+  return two_hop;
+}
+
+std::vector<NodeId> SelectByTwoHop(const Graph& g, uint32_t k) {
+  OPIM_CHECK_GE(k, 1u);
+  const uint32_t n = g.num_nodes();
+  k = std::min(k, n);
+  std::vector<double> score = TwoHopScores(g);
+  std::vector<char> selected(n, 0);
+
+  struct Entry {
+    double score;
+    NodeId node;
+    bool operator<(const Entry& other) const {
+      if (score != other.score) return score < other.score;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<Entry> queue;
+  for (NodeId v = 0; v < n; ++v) queue.push({score[v], v});
+
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  while (seeds.size() < k && !queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (selected[top.node]) continue;
+    if (top.score != score[top.node]) continue;  // stale
+    selected[top.node] = 1;
+    seeds.push_back(top.node);
+    // Overlap discount: neighbors lose the mass the new seed claims
+    // through their shared edge (w no longer gains credit for activating
+    // the seed or re-activating its direct reach through that edge).
+    auto nbrs = g.OutNeighbors(top.node);
+    auto probs = g.OutProbs(top.node);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      NodeId w = nbrs[i];
+      if (selected[w]) continue;
+      // Remove w's credit for edges into the selected seed.
+      auto wn = g.OutNeighbors(w);
+      auto wp = g.OutProbs(w);
+      double loss = 0.0;
+      for (size_t j = 0; j < wn.size(); ++j) {
+        if (wn[j] == top.node) loss += wp[j] * (1.0 + probs[i]);
+      }
+      if (loss > 0.0) {
+        score[w] = std::max(score[w] - loss, 0.0);
+        queue.push({score[w], w});
+      }
+    }
+  }
+  for (NodeId v = 0; v < n && seeds.size() < k; ++v) {
+    if (!selected[v]) seeds.push_back(v);
+  }
+  return seeds;
+}
+
+std::vector<NodeId> SelectByIrie(const Graph& g, uint32_t k, double alpha,
+                                 uint32_t iterations) {
+  OPIM_CHECK_GE(k, 1u);
+  OPIM_CHECK(alpha > 0.0 && alpha < 1.0);
+  const uint32_t n = g.num_nodes();
+  k = std::min(k, n);
+
+  // ap[v]: estimated probability v is already activated by the selected
+  // seeds, propagated two hops from each new seed (IRIE's IE step).
+  std::vector<double> ap(n, 0.0);
+  std::vector<char> selected(n, 0);
+  std::vector<double> rank(n, 1.0), next(n);
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+
+  while (seeds.size() < k) {
+    // IR step: fixed-point iteration of the damped expected-influence
+    // recurrence, masked by (1 - ap).
+    std::fill(rank.begin(), rank.end(), 1.0);
+    for (uint32_t it = 0; it < iterations; ++it) {
+      for (NodeId u = 0; u < n; ++u) {
+        double acc = 1.0;
+        auto nbrs = g.OutNeighbors(u);
+        auto probs = g.OutProbs(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          acc += alpha * probs[i] * rank[nbrs[i]];
+        }
+        next[u] = (1.0 - ap[u]) * acc;
+      }
+      rank.swap(next);
+    }
+
+    // Pick the highest-ranked unselected node (smallest id on ties).
+    NodeId best = kInvalidNode;
+    double best_rank = -1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!selected[v] && rank[v] > best_rank) {
+        best = v;
+        best_rank = rank[v];
+      }
+    }
+    if (best == kInvalidNode) break;
+    selected[best] = 1;
+    seeds.push_back(best);
+
+    // IE step: fold the new seed's two-hop activation into ap.
+    ap[best] = 1.0;
+    auto nbrs = g.OutNeighbors(best);
+    auto probs = g.OutProbs(best);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      NodeId w = nbrs[i];
+      ap[w] = 1.0 - (1.0 - ap[w]) * (1.0 - probs[i]);
+      auto nbrs2 = g.OutNeighbors(w);
+      auto probs2 = g.OutProbs(w);
+      for (size_t j = 0; j < nbrs2.size(); ++j) {
+        NodeId x = nbrs2[j];
+        ap[x] = 1.0 - (1.0 - ap[x]) * (1.0 - probs[i] * probs2[j]);
+      }
+    }
+  }
+  for (NodeId v = 0; v < n && seeds.size() < k; ++v) {
+    if (!selected[v]) seeds.push_back(v);
+  }
+  return seeds;
+}
+
+}  // namespace opim

@@ -1,0 +1,64 @@
+// Classic guarantee-free seed-selection heuristics. The paper's related
+// work (§7) contrasts RIS algorithms against a long line of heuristics
+// that trade worst-case guarantees for speed; these are the three most
+// cited representatives, used by our ablation bench to show how much
+// spread the guarantees actually cost (usually: very little on scale-free
+// graphs, which is why instance-specific certificates — not better
+// seeds — are OPIM's contribution).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Top-k nodes by out-degree. The oldest baseline in the literature.
+std::vector<NodeId> SelectByDegree(const Graph& g, uint32_t k);
+
+/// DegreeDiscount (Chen, Wang & Yang, KDD 2009; the paper's [5]):
+/// degree ranking where each selected seed discounts its neighbors'
+/// effective degree by the expected overlap. `p` is the uniform
+/// propagation probability the discount formula assumes (the classic
+/// setting; for weighted-cascade graphs a small constant like 0.01
+/// behaves like the original heuristic).
+std::vector<NodeId> SelectByDegreeDiscount(const Graph& g, uint32_t k,
+                                           double p = 0.01);
+
+/// Top-k nodes by PageRank on the *reverse* graph with edge weights
+/// proportional to propagation probabilities — influential spreaders rank
+/// high when influence flows along edges. Standard power iteration.
+std::vector<NodeId> SelectByPageRank(const Graph& g, uint32_t k,
+                                     double damping = 0.85,
+                                     uint32_t iterations = 50);
+
+/// Raw PageRank vector (reverse-graph, influence-weighted), for callers
+/// that want the scores themselves. Sums to 1.
+std::vector<double> InfluencePageRank(const Graph& g, double damping = 0.85,
+                                      uint32_t iterations = 50);
+
+/// Per-node two-hop influence score (the hop-based family of Tang et al.,
+/// the paper's [34, 35]): score(v) = 1 + Σ_w p(v,w)·(1 + Σ_x p(w,x)),
+/// i.e. the expected spread truncated at two hops ignoring overlaps.
+std::vector<double> TwoHopScores(const Graph& g);
+
+/// Greedy top-k by two-hop score with neighborhood discounting: once v is
+/// selected, the one-hop mass it already claims is removed from its
+/// out-neighbors' scores (the overlap correction that makes hop-based
+/// selection competitive).
+std::vector<NodeId> SelectByTwoHop(const Graph& g, uint32_t k);
+
+/// IRIE (Jung, Heo & Chen, ICDM 2012; the paper's [19]): iterative
+/// influence ranking
+///     r(u) = (1 - ap(u)) · (1 + α · Σ_{v ∈ out(u)} p(u,v) · r(v)),
+/// where ap(u) estimates how activated u already is by the selected
+/// seeds (propagated two hops). Seeds are picked one at a time by
+/// maximum rank, re-ranking after each pick. `alpha` is IRIE's damping
+/// (the paper's default 0.7); `iterations` the fixed-point sweeps.
+std::vector<NodeId> SelectByIrie(const Graph& g, uint32_t k,
+                                 double alpha = 0.7,
+                                 uint32_t iterations = 20);
+
+}  // namespace opim

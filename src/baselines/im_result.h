@@ -1,0 +1,26 @@
+// Common result type for conventional influence-maximization algorithms
+// (IMM, SSA-Fix, D-SSA-Fix, OPIM-C is in core/), so the experiment harness
+// can treat them uniformly.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Output of one conventional (1 - 1/e - ε)-approximate IM run.
+struct ImResult {
+  /// The returned size-k seed set.
+  std::vector<NodeId> seeds;
+  /// Total RR sets the algorithm generated (its dominant cost).
+  uint64_t num_rr_sets = 0;
+  /// Total RR-set nodes generated, Σ|R|.
+  uint64_t total_rr_size = 0;
+  /// The worst-case guarantee the run promises (1 - 1/e - ε).
+  double guarantee = 0.0;
+};
+
+}  // namespace opim

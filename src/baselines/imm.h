@@ -1,0 +1,59 @@
+// IMM — Influence Maximization via Martingales (Tang, Shi & Xiao, SIGMOD
+// 2015; the paper's reference [38]). The state-of-the-art conventional IM
+// baseline that OPIM-C is compared against in Figures 6–7.
+//
+// IMM has two phases:
+//   1. *Sampling*: estimates a lower bound LB on OPT by testing the
+//      geometric thresholds x = n/2^i. For each i it grows R to
+//      θ_i = λ'/x sets (λ' from ε' = √2·ε), runs greedy, and accepts
+//      LB = n·Λ(S_k)/θ_i / (1 + ε') once the estimate clears (1 + ε')·x.
+//      It then grows R to θ = λ*/LB, where
+//      λ* = 2n·((1-1/e)·a + b)²·ε⁻², a = √(ℓ·ln n + ln 2),
+//      b = √((1-1/e)(ln C(n,k) + ℓ·ln n + ln 2)).
+//   2. *Node selection*: greedy max-coverage on the full R.
+//
+// Failure probability is expressed as n^-ℓ; we map a requested δ to
+// ℓ = ln(1/δ)/ln(n) and apply the paper's ℓ ← ℓ·(1 + ln 2 / ln n)
+// correction so the two phases share the budget.
+//
+// Note IMM derives its guarantee with a union bound over all C(n,k) seed
+// sets, because the same R both nominates and judges S* — the looseness
+// OPIM's two-pool design removes (§6, "Comparison with IMM").
+
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/im_result.h"
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Tuning knobs for RunImm.
+struct ImmOptions {
+  /// RNG seed for the RR-set stream.
+  uint64_t seed = 1;
+  /// Safety cap on the RR sets generated (0 = uncapped). When the formulas
+  /// demand more than the cap — e.g. tiny ε on a big graph — the run stops
+  /// at the cap and sets ImmStats::capped; the harness uses this to report
+  /// extrapolated costs instead of hanging (see DESIGN.md §3).
+  uint64_t max_rr_sets = 0;
+};
+
+/// Diagnostics from a RunImm invocation.
+struct ImmStats {
+  /// LB estimate of OPT from the sampling phase.
+  double lower_bound = 0.0;
+  /// θ = λ*/LB demanded by the formulas.
+  uint64_t theta_required = 0;
+  /// True if max_rr_sets stopped the run before θ was reached.
+  bool capped = false;
+};
+
+/// Runs IMM for a (1 - 1/e - ε)-approximation with probability 1 - δ.
+ImResult RunImm(const Graph& g, DiffusionModel model, uint32_t k, double eps,
+                double delta, const ImmOptions& options = {},
+                ImmStats* stats = nullptr);
+
+}  // namespace opim

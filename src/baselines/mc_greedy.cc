@@ -1,0 +1,66 @@
+#include "baselines/mc_greedy.h"
+
+#include <queue>
+
+#include "support/macros.h"
+
+namespace opim {
+
+std::vector<NodeId> SelectMcGreedy(const Graph& g, DiffusionModel model,
+                                   uint32_t k, uint64_t mc_samples,
+                                   uint64_t seed, unsigned num_threads) {
+  const uint32_t n = g.num_nodes();
+  OPIM_CHECK_GE(n, 1u);
+  OPIM_CHECK_GE(k, 1u);
+  OPIM_CHECK_GE(mc_samples, 1u);
+  k = std::min(k, n);
+
+  SpreadEstimator estimator(g, model, num_threads);
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  double current_spread = 0.0;
+
+  struct Entry {
+    double gain;
+    NodeId node;
+    uint32_t round;
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<Entry> queue;
+
+  // Seed the queue with singleton spreads.
+  std::vector<NodeId> candidate(1);
+  for (NodeId v = 0; v < n; ++v) {
+    candidate[0] = v;
+    double s = estimator.Estimate(candidate, mc_samples, seed + v);
+    queue.push({s, v, 0});
+  }
+
+  std::vector<NodeId> extended;
+  uint32_t round = 0;
+  while (seeds.size() < k && !queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (top.round != round) {
+      // Lazy-forward: recompute the stale marginal gain.
+      extended = seeds;
+      extended.push_back(top.node);
+      double s = estimator.Estimate(extended, mc_samples,
+                                    seed + 1315423911ULL * (round + 1) +
+                                        top.node);
+      top.gain = s - current_spread;
+      top.round = round;
+      queue.push(top);
+      continue;
+    }
+    seeds.push_back(top.node);
+    current_spread += top.gain;
+    ++round;
+  }
+  return seeds;
+}
+
+}  // namespace opim

@@ -1,0 +1,27 @@
+// Monte-Carlo CELF greedy — the original influence-maximization algorithm
+// of Kempe, Kleinberg & Tardos (2003) with the lazy-forward optimization of
+// Leskovec et al. (2007).
+//
+// Each marginal gain is estimated with `mc_samples` forward simulations,
+// so the cost is O(k · n · mc_samples · cascade); usable only on small
+// graphs. We keep it as a near-ground-truth cross-check: on test graphs,
+// the RIS-based algorithms' seed sets should match its spread closely.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Runs CELF greedy with Monte-Carlo spread estimation. `num_threads` = 0
+/// picks the hardware default for the estimator.
+std::vector<NodeId> SelectMcGreedy(const Graph& g, DiffusionModel model,
+                                   uint32_t k, uint64_t mc_samples,
+                                   uint64_t seed = 1,
+                                   unsigned num_threads = 0);
+
+}  // namespace opim

@@ -1,0 +1,42 @@
+#include "baselines/opim_adoption.h"
+
+#include <cmath>
+
+#include "support/macros.h"
+#include "support/math_util.h"
+
+namespace opim {
+
+std::vector<AdoptionStep> BuildAdoptionCurve(
+    const std::function<ImResult(double eps, uint32_t invocation)>& invoke,
+    uint64_t rr_budget, uint32_t max_invocations) {
+  std::vector<AdoptionStep> curve;
+  uint64_t cumulative = 0;
+  for (uint32_t i = 1; i <= max_invocations; ++i) {
+    const double eps_i = kOneMinusInvE / std::pow(2.0, i - 1);
+    ImResult r = invoke(eps_i, i);
+    cumulative += r.num_rr_sets;
+    AdoptionStep step;
+    step.cumulative_rr_sets = cumulative;
+    step.alpha = kOneMinusInvE - eps_i;  // (1-1/e)(1 - 1/2^{i-1})
+    step.seeds = std::move(r.seeds);
+    curve.push_back(std::move(step));
+    if (cumulative >= rr_budget) break;
+  }
+  return curve;
+}
+
+double AdoptionAlphaAt(const std::vector<AdoptionStep>& curve,
+                       uint64_t rr_budget) {
+  double alpha = 0.0;
+  for (const AdoptionStep& step : curve) {
+    if (step.cumulative_rr_sets <= rr_budget) {
+      alpha = step.alpha;
+    } else {
+      break;
+    }
+  }
+  return alpha;
+}
+
+}  // namespace opim

@@ -1,0 +1,61 @@
+// SSA-Fix — the stop-and-stare algorithm of Nguyen, Thai & Dinh (SIGMOD
+// 2016) with the corrected stopping rule of Huang et al. (VLDB 2017; the
+// paper's reference [18]).
+//
+// Structure (stop-and-stare): iteratively double the nominator pool R1;
+// after each doubling, run greedy on R1 ("stop") and validate the result
+// with an independent judge pool R2 ("stare"). Our stopping rule is the
+// sound fixed-schedule variant (this soundness is exactly what "Fix"
+// restored; Huang et al.'s precise constants differ slightly but the
+// sampling behaviour — geometric growth, independent validation, fixed
+// ε-split — is the algorithm the paper benchmarks):
+//
+//   split ε into ε1 = ε2 = ε3 = ε_s, the largest value with
+//       (1 - 1/e)(1 - ε_s) / ((1 + ε_s)(1 + ε_s)) >= 1 - 1/e - ε;
+//   per round, with failure budget δ' = δ/(3·i_max):
+//     (stare-1) grow R2 until Λ2(S*) >= Υ(ε2, δ') = 1 + (1+ε2)(2+2ε2/3)·
+//               ln(2/δ')/ε2²  — the Dagum et al. stopping rule, giving a
+//               (1±ε2)-accurate σ2(S*);
+//     (stare-2) require θ1 >= 2n·ln(1/δ')/(ε3²·LB) with LB = σ2/(1+ε2)
+//               — so Λ1(S°)·n/θ1 >= (1-ε3)·OPT w.h.p.;
+//     (stop)    require σ1(S*) <= (1+ε1)·σ2(S*) — greedy's R1-estimate is
+//               not inflated.
+//   Chaining the three gives σ(S*) >= (1-1/e)(1-ε3)/((1+ε1)(1+ε2))·OPT
+//   >= (1-1/e-ε)·OPT. A θ_max cap (Lemma 6.1 at δ/3) bounds the rounds.
+
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/im_result.h"
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Tuning knobs for RunSsaFix.
+struct SsaFixOptions {
+  /// RNG seed for the RR-set stream.
+  uint64_t seed = 1;
+  /// Safety cap on generated RR sets (0 = uncapped); see ImmOptions.
+  uint64_t max_rr_sets = 0;
+};
+
+/// Diagnostics from a RunSsaFix invocation.
+struct SsaFixStats {
+  /// Rounds executed.
+  uint32_t iterations = 0;
+  /// The ε_s split actually used.
+  double eps_split = 0.0;
+  /// True if the stop+stare conditions triggered (vs. θ_max / cap).
+  bool stopped_early = false;
+  /// True if max_rr_sets stopped the run.
+  bool capped = false;
+};
+
+/// Runs SSA-Fix for a (1 - 1/e - ε)-approximation with probability 1 - δ.
+ImResult RunSsaFix(const Graph& g, DiffusionModel model, uint32_t k,
+                   double eps, double delta, const SsaFixOptions& options = {},
+                   SsaFixStats* stats = nullptr);
+
+}  // namespace opim

@@ -1,0 +1,59 @@
+// TIM / TIM+ — Two-phase Influence Maximization (Tang, Xiao & Shi, SIGMOD
+// 2014; the paper's reference [39]). IMM's predecessor, included for
+// completeness of the RIS-baseline family: OPIM's related-work section
+// positions it as the first practical RIS algorithm.
+//
+// Phase 1 — parameter estimation:
+//   KPT*: for i = 1..log2(n)-1, draw c_i = (6ℓ·ln n + 6·ln log2 n)·2^i RR
+//   sets and compute κ_i = (1/c_i)·Σ_R (1 - (1 - w(R)/m)^k), where w(R) is
+//   the set's width (total in-degree of its members). Accept
+//   KPT = κ_i·n/2 once κ_i > 2^-i. KPT lower-bounds OPT/... within the
+//   factors TIM's analysis needs.
+//   Refinement (the "+" in TIM+): run greedy on λ'/KPT fresh RR sets to
+//   get S'; estimate its spread on another fresh batch; KPT+ =
+//   max(KPT, est/(1 + ε')). Tightens KPT by up to an order of magnitude.
+//
+// Phase 2 — node selection: draw θ = λ/KPT+ RR sets with
+//   λ = (8 + 2ε)·n·(ℓ·ln n + ln C(n,k) + ln 2)·ε⁻², run greedy.
+//
+// δ maps to ℓ via δ = n^-ℓ as for IMM.
+
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/im_result.h"
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Tuning knobs for RunTim.
+struct TimOptions {
+  /// RNG seed for the RR-set stream.
+  uint64_t seed = 1;
+  /// Safety cap on generated RR sets (0 = uncapped); see ImmOptions.
+  uint64_t max_rr_sets = 0;
+  /// Apply the TIM+ KPT refinement step (default on, as in the paper).
+  bool refine_kpt = true;
+};
+
+/// Diagnostics from a RunTim invocation.
+struct TimStats {
+  /// KPT* from the width-based estimator.
+  double kpt_star = 0.0;
+  /// KPT after the TIM+ refinement (== kpt_star when refinement is off or
+  /// did not improve).
+  double kpt_plus = 0.0;
+  /// θ = λ/KPT+ demanded by the formulas.
+  uint64_t theta_required = 0;
+  /// True if max_rr_sets stopped the run early.
+  bool capped = false;
+};
+
+/// Runs TIM+ for a (1 - 1/e - ε)-approximation with probability 1 - δ.
+ImResult RunTim(const Graph& g, DiffusionModel model, uint32_t k, double eps,
+                double delta, const TimOptions& options = {},
+                TimStats* stats = nullptr);
+
+}  // namespace opim

@@ -1,0 +1,115 @@
+#include "bounds/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math_util.h"
+
+namespace opim {
+
+const char* BoundKindName(BoundKind kind) {
+  switch (kind) {
+    case BoundKind::kBasic:
+      return "OPIM0";
+    case BoundKind::kImproved:
+      return "OPIM+";
+    case BoundKind::kLeskovec:
+      return "OPIM'";
+  }
+  return "?";
+}
+
+double SigmaLower(uint64_t lambda2, uint64_t theta2, double scale,
+                  double delta2) {
+  OPIM_CHECK_GT(theta2, 0u);
+  OPIM_CHECK(delta2 > 0.0 && delta2 < 1.0);
+  const double a = std::log(1.0 / delta2);
+  // ((sqrt(Λ2 + 2a/9) - sqrt(a/2))² - a/18) · scale/θ2, clamped at >= 0.
+  // `scale` is n for the unit-weight problem, Σ_v w_v for weighted IM.
+  const double inner = SquaredSqrtDiffClamped(
+                           static_cast<double>(lambda2) + 2.0 * a / 9.0,
+                           a / 2.0) -
+                       a / 18.0;
+  return std::max(inner, 0.0) * scale / static_cast<double>(theta2);
+}
+
+double SigmaUpperFromLambda(double lambda_upper, uint64_t theta1, double scale,
+                            double delta1) {
+  OPIM_CHECK_GT(theta1, 0u);
+  OPIM_CHECK(delta1 > 0.0 && delta1 < 1.0);
+  OPIM_CHECK_GE(lambda_upper, 0.0);
+  const double a = std::log(1.0 / delta1);
+  return SquaredSqrtSum(lambda_upper + a / 2.0, a / 2.0) * scale /
+         static_cast<double>(theta1);
+}
+
+double SigmaUpperBasic(uint64_t lambda1, uint64_t theta1, double scale,
+                       double delta1) {
+  return SigmaUpperFromLambda(
+      static_cast<double>(lambda1) / kOneMinusInvE, theta1, scale, delta1);
+}
+
+uint64_t LambdaUpperFromTrace(const GreedyResult& greedy) {
+  OPIM_CHECK_MSG(!greedy.coverage_at.empty(),
+                 "LambdaUpperFromTrace needs a GreedyResult with trace");
+  OPIM_CHECK_EQ(greedy.coverage_at.size(), greedy.topk_marginal_at.size());
+  uint64_t best = UINT64_MAX;
+  for (size_t i = 0; i < greedy.coverage_at.size(); ++i) {
+    best = std::min(best, greedy.coverage_at[i] + greedy.topk_marginal_at[i]);
+  }
+  return best;
+}
+
+uint64_t LambdaUpperLeskovec(const GreedyResult& greedy) {
+  OPIM_CHECK_MSG(!greedy.coverage_at.empty(),
+                 "LambdaUpperLeskovec needs a GreedyResult with trace");
+  return greedy.coverage_at.back() + greedy.topk_marginal_at.back();
+}
+
+double SigmaUpper(BoundKind kind, const GreedyResult& greedy, uint64_t theta1,
+                  double scale, double delta1) {
+  switch (kind) {
+    case BoundKind::kBasic:
+      return SigmaUpperBasic(greedy.coverage, theta1, scale, delta1);
+    case BoundKind::kImproved:
+      return SigmaUpperFromLambda(
+          static_cast<double>(LambdaUpperFromTrace(greedy)), theta1, scale,
+          delta1);
+    case BoundKind::kLeskovec:
+      return SigmaUpperFromLambda(
+          static_cast<double>(LambdaUpperLeskovec(greedy)), theta1, scale,
+          delta1);
+  }
+  return 0.0;
+}
+
+double ApproxRatio(double sigma_lower, double sigma_upper) {
+  if (sigma_upper <= 0.0) return 0.0;
+  return std::clamp(sigma_lower / sigma_upper, 0.0, 1.0);
+}
+
+double BorgsApproxGuarantee(uint64_t gamma, uint32_t n, uint64_t m) {
+  if (n < 2) return 0.0;
+  const double beta = static_cast<double>(gamma) /
+                      (1492992.0 * static_cast<double>(n + m) * std::log(n));
+  return std::min(0.25, beta);
+}
+
+double LemmaF(double lambda2, double x) {
+  return SquaredSqrtDiffClamped(lambda2 + 2.0 * x / 9.0, x / 2.0) - x / 18.0;
+}
+
+double LemmaG(double lambda1, double x) {
+  return SquaredSqrtSum(lambda1 / kOneMinusInvE + x / 2.0, x / 2.0);
+}
+
+double DeltaSplitRatio(double lambda1, double lambda2, double delta) {
+  OPIM_CHECK(delta > 0.0 && delta < 1.0);
+  const double half = std::log(2.0 / delta);
+  const double full = std::log(1.0 / delta);
+  const double denom = LemmaF(lambda2, full) * LemmaG(lambda1, half);
+  if (denom <= 0.0) return 0.0;
+  return LemmaF(lambda2, half) * LemmaG(lambda1, full) / denom;
+}
+
+}  // namespace opim

@@ -1,0 +1,155 @@
+#include "core/online_maximizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rrset/parallel_generate.h"
+
+namespace opim {
+
+OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
+                                 uint32_t k, double delta, uint64_t seed)
+    : graph_(g),
+      model_(model),
+      k_(k),
+      delta_(delta),
+      scale_(g.num_nodes()),
+      sampler_(MakeRRSampler(g, model)),
+      rng_(seed, 0x6f70696dULL),  // "opim"
+      r1_(g.num_nodes()),
+      r2_(g.num_nodes()) {
+  OPIM_CHECK_GE(k, 1u);
+  OPIM_CHECK_LE(k, g.num_nodes());
+  OPIM_CHECK(delta > 0.0 && delta < 1.0);
+}
+
+OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
+                                 uint32_t k, double delta,
+                                 std::span<const double> node_weights,
+                                 uint64_t seed)
+    : graph_(g),
+      model_(model),
+      k_(k),
+      delta_(delta),
+      scale_(0.0),
+      node_weights_(node_weights.begin(), node_weights.end()),
+      sampler_(MakeRRSampler(g, model, node_weights)),
+      rng_(seed, 0x6f70696dULL),
+      r1_(g.num_nodes()),
+      r2_(g.num_nodes()) {
+  OPIM_CHECK_GE(k, 1u);
+  OPIM_CHECK_LE(k, g.num_nodes());
+  OPIM_CHECK(delta > 0.0 && delta < 1.0);
+  OPIM_CHECK_EQ(node_weights.size(), g.num_nodes());
+  for (double w : node_weights) {
+    OPIM_CHECK_GE(w, 0.0);
+    scale_ += w;
+  }
+  OPIM_CHECK_MSG(scale_ > 0.0, "node weights must not all be zero");
+}
+
+void OnlineMaximizer::AdvanceParallel(uint64_t count,
+                                      unsigned num_threads) {
+  const uint64_t to_r1 = (count + next_to_r1_) / 2;
+  // Batch seeds derive from the shared RNG so successive calls stay
+  // decorrelated and the whole sequence remains reproducible.
+  uint64_t seed1 = rng_.NextU64();
+  uint64_t seed2 = rng_.NextU64();
+  ParallelGenerate(graph_, model_, &r1_, to_r1, seed1, num_threads,
+                   node_weights_);
+  ParallelGenerate(graph_, model_, &r2_, count - to_r1, seed2, num_threads,
+                   node_weights_);
+  if (count % 2 == 1) next_to_r1_ = !next_to_r1_;
+}
+
+void OnlineMaximizer::Advance(uint64_t count) {
+  std::vector<NodeId> scratch;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t cost = sampler_->SampleInto(rng_, &scratch);
+    (next_to_r1_ ? r1_ : r2_).AddSet(scratch, cost);
+    next_to_r1_ = !next_to_r1_;
+  }
+}
+
+OnlineSnapshot OnlineMaximizer::Query(BoundKind kind) const {
+  // δ1 = δ2 = δ/2 (near-optimal by Lemma 4.4).
+  return QueryWithDelta(kind, delta_ / 2.0);
+}
+
+OnlineSnapshot OnlineMaximizer::QuerySequential(BoundKind kind) {
+  ++sequential_queries_;
+  // The i-th query gets failure budget δ/2^i, split evenly between the
+  // two bounds, so Σ_i δ/2^i <= δ covers the whole sequence.
+  const double budget = delta_ / std::pow(2.0, sequential_queries_);
+  return QueryWithDelta(kind, budget / 2.0);
+}
+
+OnlineSnapshot OnlineMaximizer::QueryWithDelta(BoundKind kind,
+                                               double delta_each) const {
+  OPIM_CHECK_MSG(r1_.num_sets() > 0 && r2_.num_sets() > 0,
+                 "Query before any RR sets were generated; call Advance()");
+  const double delta1 = delta_each;
+  const double delta2 = delta_each;
+
+  const bool needs_trace = kind != BoundKind::kBasic;
+  GreedyResult greedy = SelectGreedy(r1_, k_, needs_trace);
+
+  OnlineSnapshot snap;
+  snap.theta1 = r1_.num_sets();
+  snap.theta2 = r2_.num_sets();
+  snap.lambda1 = greedy.coverage;
+  snap.lambda2 = r2_.CoverageOf(greedy.seeds);
+  snap.sigma_lower =
+      SigmaLower(snap.lambda2, snap.theta2, scale_, delta2);
+  snap.sigma_upper =
+      SigmaUpper(kind, greedy, snap.theta1, scale_, delta1);
+  snap.alpha = ApproxRatio(snap.sigma_lower, snap.sigma_upper);
+  snap.seeds = std::move(greedy.seeds);
+  return snap;
+}
+
+OnlineSnapshot OnlineMaximizer::RunUntilTarget(BoundKind kind,
+                                               double target_alpha,
+                                               uint64_t batch,
+                                               uint64_t max_rr_sets) {
+  OPIM_CHECK_GE(batch, 1u);
+  for (;;) {
+    uint64_t step = batch;
+    if (max_rr_sets != 0) {
+      OPIM_CHECK_GE(max_rr_sets, 2u);
+      if (num_rr_sets() >= max_rr_sets) break;
+      step = std::min<uint64_t>(step, max_rr_sets - num_rr_sets());
+    }
+    Advance(step);
+    if (Query(kind).alpha >= target_alpha) break;
+  }
+  return Query(kind);
+}
+
+OnlineSnapshotAll OnlineMaximizer::QueryAll() const {
+  OPIM_CHECK_MSG(r1_.num_sets() > 0 && r2_.num_sets() > 0,
+                 "QueryAll before any RR sets were generated; call Advance()");
+  const double delta1 = delta_ / 2.0;
+  const double delta2 = delta_ / 2.0;
+  const double n = scale_;
+
+  GreedyResult greedy = SelectGreedy(r1_, k_, /*with_trace=*/true);
+
+  OnlineSnapshotAll snap;
+  snap.theta_total = num_rr_sets();
+  uint64_t lambda2 = r2_.CoverageOf(greedy.seeds);
+  snap.sigma_lower = SigmaLower(lambda2, r2_.num_sets(), n, delta2);
+  snap.alpha_basic = ApproxRatio(
+      snap.sigma_lower,
+      SigmaUpper(BoundKind::kBasic, greedy, r1_.num_sets(), n, delta1));
+  snap.alpha_improved = ApproxRatio(
+      snap.sigma_lower,
+      SigmaUpper(BoundKind::kImproved, greedy, r1_.num_sets(), n, delta1));
+  snap.alpha_leskovec = ApproxRatio(
+      snap.sigma_lower,
+      SigmaUpper(BoundKind::kLeskovec, greedy, r1_.num_sets(), n, delta1));
+  snap.seeds = std::move(greedy.seeds);
+  return snap;
+}
+
+}  // namespace opim

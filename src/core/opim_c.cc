@@ -1,0 +1,118 @@
+#include "core/opim_c.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rrset/parallel_generate.h"
+#include "rrset/rr_collection.h"
+#include "select/greedy.h"
+#include "support/math_util.h"
+#include "support/random.h"
+
+namespace opim {
+
+double OpimCThetaMax(uint32_t n, uint32_t k, double eps, double delta) {
+  OPIM_CHECK_GE(k, 1u);
+  OPIM_CHECK(eps > 0.0 && eps < 1.0);
+  OPIM_CHECK(delta > 0.0 && delta < 1.0);
+  const double ln6d = std::log(6.0 / delta);
+  const double lognk = LogBinomial(n, k);
+  const double inner = kOneMinusInvE * std::sqrt(ln6d) +
+                       std::sqrt(kOneMinusInvE * (lognk + ln6d));
+  return 2.0 * n * inner * inner / (eps * eps * k);
+}
+
+double OpimCTheta0(uint32_t n, uint32_t k, double eps, double delta) {
+  return OpimCThetaMax(n, k, eps, delta) * eps * eps * k / n;
+}
+
+OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
+                     double eps, double delta, const OpimCOptions& options) {
+  const uint32_t n = g.num_nodes();
+  OPIM_CHECK_GE(n, 1u);
+  OPIM_CHECK_GE(k, 1u);
+  OPIM_CHECK_LE(k, n);
+  OPIM_CHECK(eps > 0.0 && eps < 1.0);
+  OPIM_CHECK(delta > 0.0 && delta < 1.0);
+
+  // Weighted objective: scale W = Σ w_v replaces n, and the trivial
+  // optimum lower bound becomes the top-k weight sum (each seed at least
+  // activates itself) instead of k. Unit weights recover Eqs. (16)/(17).
+  double scale = n;
+  double opt_lb = k;
+  const bool weighted = !options.node_weights.empty();
+  if (weighted) {
+    OPIM_CHECK_EQ(options.node_weights.size(), n);
+    scale = 0.0;
+    for (double w : options.node_weights) {
+      OPIM_CHECK_GE(w, 0.0);
+      scale += w;
+    }
+    OPIM_CHECK_MSG(scale > 0.0, "node weights must not all be zero");
+    std::vector<double> sorted = options.node_weights;
+    std::nth_element(sorted.begin(), sorted.begin() + (k - 1), sorted.end(),
+                     std::greater<double>());
+    opt_lb = 0.0;
+    for (uint32_t i = 0; i < k; ++i) opt_lb += sorted[i];
+    OPIM_CHECK_MSG(opt_lb > 0.0, "top-k node weights must be positive");
+  }
+  const double ln6d = std::log(6.0 / delta);
+  const double lm_inner = kOneMinusInvE * std::sqrt(ln6d) +
+                          std::sqrt(kOneMinusInvE * (LogBinomial(n, k) + ln6d));
+  const double theta_max =
+      2.0 * scale * lm_inner * lm_inner / (eps * eps * opt_lb);
+  const uint64_t theta0 = std::max<uint64_t>(
+      1, CeilToU64(theta_max * eps * eps * opt_lb / scale));
+  const uint32_t i_max = std::max<uint32_t>(
+      1, CeilLog2(CeilToU64(theta_max / static_cast<double>(theta0))));
+  const double delta_iter = delta / (3.0 * i_max);  // δ1 = δ2 = δ/(3·i_max)
+  const double target = 1.0 - 1.0 / std::exp(1.0) - eps;
+
+  // Generation goes through ParallelGenerate even in the serial case so
+  // the RR stream depends only on (seed, num_threads); each batch gets a
+  // distinct derived seed.
+  uint64_t batch_counter = 0;
+  auto generate = [&](RRCollection* rr, uint64_t count) {
+    uint64_t state = options.seed ^ (0x6f70634bULL + ++batch_counter);
+    ParallelGenerate(g, model, rr, count, SplitMix64(state),
+                     options.num_threads, options.node_weights);
+  };
+  RRCollection r1(n), r2(n);
+  generate(&r1, theta0);
+  generate(&r2, theta0);
+
+  OpimCResult result;
+  result.i_max = i_max;
+  const bool needs_trace = options.bound != BoundKind::kBasic;
+
+  for (uint32_t i = 1; i <= i_max; ++i) {
+    GreedyResult greedy = SelectGreedy(r1, k, needs_trace);
+    const uint64_t lambda2 = r2.CoverageOf(greedy.seeds);
+
+    OpimCIteration iter;
+    iter.theta1 = r1.num_sets();
+    iter.sigma_lower =
+        SigmaLower(lambda2, r2.num_sets(), scale, delta_iter);
+    iter.sigma_upper =
+        SigmaUpper(options.bound, greedy, r1.num_sets(), scale, delta_iter);
+    iter.alpha = ApproxRatio(iter.sigma_lower, iter.sigma_upper);
+    result.trace.push_back(iter);
+    result.iterations = i;
+
+    if (iter.alpha >= target || i == i_max) {
+      result.seeds = std::move(greedy.seeds);
+      result.alpha = iter.alpha;
+      break;
+    }
+    // Double both pools with fresh RR sets (Line 9 of Algorithm 2).
+    generate(&r1, r1.num_sets());
+    generate(&r2, r2.num_sets());
+  }
+
+  result.num_rr_sets =
+      static_cast<uint64_t>(r1.num_sets()) + r2.num_sets();
+  result.total_rr_size = r1.total_size() + r2.total_size();
+  return result;
+}
+
+}  // namespace opim

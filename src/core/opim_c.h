@@ -1,0 +1,81 @@
+// OPIM-C (Algorithm 2): the paper's extension of OPIM to conventional
+// influence maximization (§6).
+//
+// Given (G, model, k, ε, δ), OPIM-C returns a size-k seed set that is a
+// (1 - 1/e - ε)-approximation with probability >= 1 - δ, in
+// O((k ln n + ln(1/δ))(n + m) ε⁻²) expected time (Theorem 6.4) — matching
+// IMM's guarantees while generating far fewer RR sets in practice.
+//
+// Structure: start both pools at θ0 (Eq. 17) RR sets; each iteration runs
+// greedy on R1, computes σ_l from R2 and the σ-upper bound from R1 with
+// δ1 = δ2 = δ/(3·i_max), and stops as soon as
+// α = σ_l/σ_upper >= 1 - 1/e - ε; otherwise both pools double, up to
+// i_max = ceil(log2(θ_max/θ0)) iterations with θ_max from Eq. (16).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bounds/bounds.h"
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Tuning knobs for OpimC.
+struct OpimCOptions {
+  /// Which σ(S°) upper bound drives the stopping rule: kImproved is the
+  /// published OPIM-C⁺ default; kBasic / kLeskovec give OPIM-C⁰ / OPIM-C′.
+  BoundKind bound = BoundKind::kImproved;
+  /// RNG seed for the RR-set stream.
+  uint64_t seed = 1;
+  /// Worker threads for RR-set generation (1 = serial; 0 = hardware
+  /// default). Results are deterministic in (seed, num_threads).
+  unsigned num_threads = 1;
+  /// Optional node weights (one per node, non-negative, not all zero):
+  /// switches the objective to the weighted spread σ_w (see IcRRSampler).
+  /// The guarantee becomes (1 - 1/e - ε) w.r.t. the weighted optimum.
+  std::vector<double> node_weights;
+};
+
+/// Per-iteration record, for tests and diagnostics.
+struct OpimCIteration {
+  uint64_t theta1 = 0;       // |R1| this iteration
+  double alpha = 0.0;        // guarantee computed this iteration
+  double sigma_lower = 0.0;
+  double sigma_upper = 0.0;
+};
+
+/// Output of OpimC.
+struct OpimCResult {
+  /// The returned size-k seed set.
+  std::vector<NodeId> seeds;
+  /// Guarantee α at the stopping iteration (>= 1 - 1/e - ε unless the
+  /// algorithm exhausted i_max, which Lemma 6.1 covers instead).
+  double alpha = 0.0;
+  /// Total RR sets generated across both pools.
+  uint64_t num_rr_sets = 0;
+  /// Total RR-set nodes generated, Σ|R| (the memory/time driver).
+  uint64_t total_rr_size = 0;
+  /// Iterations executed (1-based; <= i_max).
+  uint32_t iterations = 0;
+  /// The i_max bound computed from Eqs. (16)/(17).
+  uint32_t i_max = 0;
+  /// Trace of every executed iteration.
+  std::vector<OpimCIteration> trace;
+};
+
+/// θ_max of Eq. (16): worst-case RR sets needed for the final iteration's
+/// unconditional Lemma 6.1 guarantee at failure budget δ/3.
+double OpimCThetaMax(uint32_t n, uint32_t k, double eps, double delta);
+
+/// θ0 of Eq. (17): the starting pool size, θ_max · ε²k/n.
+double OpimCTheta0(uint32_t n, uint32_t k, double eps, double delta);
+
+/// Runs OPIM-C on `g`. Requires 1 <= k <= n, ε ∈ (0, 1), δ ∈ (0, 1).
+OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
+                     double eps, double delta, const OpimCOptions& options = {});
+
+}  // namespace opim

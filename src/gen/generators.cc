@@ -1,0 +1,237 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/alias_sampler.h"
+#include "support/random.h"
+
+namespace opim {
+
+namespace {
+
+Graph BuildWith(GraphBuilder& builder, const GenOptions& opt) {
+  return builder.Build(opt.scheme, opt.constant_p, opt.seed ^ 0x77656967);
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(uint32_t n, uint64_t m, const GenOptions& opt) {
+  OPIM_CHECK_GE(n, 2u);
+  Rng rng(opt.seed, 0x4552);  // "ER"
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < m; ++e) {
+    NodeId u = rng.UniformBelow(n);
+    NodeId v = rng.UniformBelow(n - 1);
+    if (v >= u) ++v;  // skip self-loop without rejection
+    builder.AddEdge(u, v);
+  }
+  return BuildWith(builder, opt);
+}
+
+Graph GenerateBarabasiAlbert(uint32_t n, uint32_t edges_per_node,
+                             bool undirected, const GenOptions& opt) {
+  OPIM_CHECK_GE(n, 2u);
+  OPIM_CHECK_GE(edges_per_node, 1u);
+  Rng rng(opt.seed, 0x4241);  // "BA"
+  GraphBuilder builder(n);
+
+  // `targets` holds one entry per unit of (in-degree + 1) mass; drawing a
+  // uniform element implements preferential attachment exactly.
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<size_t>(n) * (edges_per_node + 1));
+  targets.push_back(0);  // node 0's +1 smoothing mass
+  for (NodeId v = 1; v < n; ++v) {
+    uint32_t fanout = std::min<uint32_t>(edges_per_node, v);
+    for (uint32_t j = 0; j < fanout; ++j) {
+      NodeId t = targets[rng.UniformBelow(static_cast<uint32_t>(
+          targets.size()))];
+      if (t == v) t = rng.UniformBelow(v);  // avoid self-loop
+      if (undirected) {
+        builder.AddUndirectedEdge(v, t);
+      } else {
+        builder.AddEdge(v, t);
+      }
+      targets.push_back(t);  // t gained one in-edge
+    }
+    targets.push_back(v);  // v's +1 smoothing mass
+  }
+  return BuildWith(builder, opt);
+}
+
+Graph GenerateWattsStrogatz(uint32_t n, uint32_t k_neighbors,
+                            double rewire_prob, const GenOptions& opt) {
+  OPIM_CHECK_GE(n, 3u);
+  OPIM_CHECK_MSG(k_neighbors % 2 == 0, "k_neighbors must be even");
+  OPIM_CHECK_LT(k_neighbors, n);
+  OPIM_CHECK(rewire_prob >= 0.0 && rewire_prob <= 1.0);
+  Rng rng(opt.seed, 0x5753);  // "WS"
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k_neighbors / 2; ++j) {
+      NodeId v = (u + j) % n;
+      if (rng.Bernoulli(rewire_prob)) {
+        v = rng.UniformBelow(n - 1);
+        if (v >= u) ++v;
+      }
+      builder.AddEdge(u, v);
+      builder.AddEdge(v, u);
+    }
+  }
+  return BuildWith(builder, opt);
+}
+
+Graph GeneratePowerLawConfiguration(uint32_t n, double exponent,
+                                    double avg_degree, uint32_t max_degree,
+                                    const GenOptions& opt) {
+  OPIM_CHECK_GE(n, 2u);
+  OPIM_CHECK_GT(exponent, 1.0);
+  OPIM_CHECK_GT(avg_degree, 0.0);
+  if (max_degree == 0) max_degree = n;
+  Rng rng(opt.seed, 0x504c);  // "PL"
+
+  // Zipf weights over degrees 1..max via the alias method; then scale the
+  // realized mean to avg_degree by thinning/duplicating stubs.
+  uint32_t dmax = std::min<uint32_t>(max_degree, n - 1);
+  std::vector<double> zipf(dmax);
+  for (uint32_t d = 1; d <= dmax; ++d) {
+    zipf[d - 1] = std::pow(static_cast<double>(d), -exponent);
+  }
+  AliasSampler deg_sampler(zipf);
+
+  auto sample_degrees = [&](std::vector<uint32_t>* degs) {
+    std::vector<double> zipf_draw(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      zipf_draw[i] = static_cast<double>(deg_sampler.Sample(rng) + 1);
+    }
+    // Choose the multiplicative scale s so that the mean of
+    // min(round(z_i * s), dmax) hits avg_degree; capping the tail removes
+    // mass, so solve for s by bisection (the capped mean is monotone in s).
+    auto capped_mean = [&](double s) {
+      double sum = 0.0;
+      for (uint32_t i = 0; i < n; ++i) {
+        sum += std::min(zipf_draw[i] * s, static_cast<double>(dmax));
+      }
+      return sum / n;
+    };
+    double lo = 0.0, hi = 1.0;
+    while (capped_mean(hi) < avg_degree && hi < 1e9) hi *= 2.0;
+    for (int it = 0; it < 50; ++it) {
+      double mid = 0.5 * (lo + hi);
+      (capped_mean(mid) < avg_degree ? lo : hi) = mid;
+    }
+    const double scale = 0.5 * (lo + hi);
+    degs->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      double target = std::min(zipf_draw[i] * scale,
+                               static_cast<double>(dmax));
+      uint32_t floor_deg = static_cast<uint32_t>(target);
+      (*degs)[i] = floor_deg + (rng.UniformDouble() < target - floor_deg);
+      (*degs)[i] = std::min((*degs)[i], dmax);
+    }
+  };
+
+  std::vector<uint32_t> out_deg, in_deg;
+  sample_degrees(&out_deg);
+  sample_degrees(&in_deg);
+
+  std::vector<NodeId> out_stubs, in_stubs;
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t j = 0; j < out_deg[v]; ++j) out_stubs.push_back(v);
+    for (uint32_t j = 0; j < in_deg[v]; ++j) in_stubs.push_back(v);
+  }
+  // Shuffle in-stubs; pair with out-stubs positionally.
+  for (size_t i = in_stubs.size(); i > 1; --i) {
+    std::swap(in_stubs[i - 1],
+              in_stubs[rng.UniformBelow(static_cast<uint32_t>(i))]);
+  }
+  size_t pairs = std::min(out_stubs.size(), in_stubs.size());
+  GraphBuilder builder(n);
+  for (size_t i = 0; i < pairs; ++i) {
+    if (out_stubs[i] == in_stubs[i]) continue;  // drop self-loops
+    builder.AddEdge(out_stubs[i], in_stubs[i]);
+  }
+  return BuildWith(builder, opt);
+}
+
+Graph GenerateRmat(uint32_t scale, uint64_t m, double a, double b, double c,
+                   double d, const GenOptions& opt) {
+  OPIM_CHECK_GE(scale, 1u);
+  OPIM_CHECK_LE(scale, 31u);
+  OPIM_CHECK_MSG(std::abs(a + b + c + d - 1.0) < 1e-9,
+                 "R-MAT quadrant probabilities must sum to 1");
+  const uint32_t n = 1u << scale;
+  Rng rng(opt.seed, 0x524d);  // "RM"
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < m; ++e) {
+    uint32_t u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.UniformDouble();
+      // Quadrants: a = (0,0), b = (0,1), c = (1,0), d = (1,1).
+      uint32_t ubit = (r >= a + b);
+      uint32_t vbit = (r >= a && r < a + b) || (r >= a + b + c);
+      u = (u << 1) | ubit;
+      v = (v << 1) | vbit;
+    }
+    if (u == v) continue;  // drop self-loops
+    builder.AddEdge(u, v);
+  }
+  return BuildWith(builder, opt);
+}
+
+Graph GenerateGrid2D(uint32_t rows, uint32_t cols, const GenOptions& opt) {
+  OPIM_CHECK_GE(rows, 1u);
+  OPIM_CHECK_GE(cols, 1u);
+  const uint64_t n64 = static_cast<uint64_t>(rows) * cols;
+  OPIM_CHECK_LE(n64, static_cast<uint64_t>(kInvalidNode));
+  GraphBuilder builder(static_cast<uint32_t>(n64));
+  auto id = [cols](uint32_t r, uint32_t col) { return r * cols + col; };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t col = 0; col < cols; ++col) {
+      if (col + 1 < cols) {
+        builder.AddEdge(id(r, col), id(r, col + 1));
+        builder.AddEdge(id(r, col + 1), id(r, col));
+      }
+      if (r + 1 < rows) {
+        builder.AddEdge(id(r, col), id(r + 1, col));
+        builder.AddEdge(id(r + 1, col), id(r, col));
+      }
+    }
+  }
+  return BuildWith(builder, opt);
+}
+
+Graph GenerateComplete(uint32_t n, const GenOptions& opt) {
+  OPIM_CHECK_GE(n, 2u);
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  return BuildWith(builder, opt);
+}
+
+Graph GenerateStar(uint32_t n, const GenOptions& opt) {
+  OPIM_CHECK_GE(n, 2u);
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.AddEdge(0, v);
+  return BuildWith(builder, opt);
+}
+
+Graph GeneratePath(uint32_t n, const GenOptions& opt) {
+  OPIM_CHECK_GE(n, 2u);
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return BuildWith(builder, opt);
+}
+
+Graph GenerateCycle(uint32_t n, const GenOptions& opt) {
+  OPIM_CHECK_GE(n, 3u);
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n);
+  return BuildWith(builder, opt);
+}
+
+}  // namespace opim

@@ -1,0 +1,82 @@
+// Deterministic synthetic graph generators.
+//
+// The paper evaluates on SNAP datasets (Pokec, Orkut, LiveJournal, Twitter;
+// Table 2) that are not shipped with this repository. OPIM is a pure
+// sampling algorithm whose measured quantities depend on coverage
+// statistics of RR sets, which in turn are driven by degree distribution
+// shape and average degree — so the experiments use synthetic stand-ins
+// from these generators, parameterized to match each dataset's degree
+// character (see DESIGN.md §3 and harness/datasets.h). Every generator is
+// deterministic given its seed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Options shared by all generators.
+struct GenOptions {
+  /// RNG seed; the same seed always yields the same graph.
+  uint64_t seed = 1;
+  /// Weighting applied to the generated edges.
+  WeightScheme scheme = WeightScheme::kWeightedCascade;
+  /// Constant probability for kConstant / kUniformRandom schemes.
+  double constant_p = 0.1;
+};
+
+/// Erdős–Rényi G(n, m): m directed edges drawn uniformly (self-loops
+/// excluded, parallel edges possible but rare for sparse m).
+Graph GenerateErdosRenyi(uint32_t n, uint64_t m, const GenOptions& opt = {});
+
+/// Barabási–Albert preferential attachment. Nodes arrive one at a time and
+/// attach `edges_per_node` out-edges to existing nodes chosen with
+/// probability proportional to (in-degree + 1). Yields a power-law
+/// in-degree tail, the character of social follow graphs.
+/// If `undirected`, each attachment adds both directions (Orkut-like).
+Graph GenerateBarabasiAlbert(uint32_t n, uint32_t edges_per_node,
+                             bool undirected = false,
+                             const GenOptions& opt = {});
+
+/// Watts–Strogatz small world: ring lattice of even degree `k_neighbors`
+/// with each edge rewired independently with probability `rewire_prob`.
+/// Directed (each lattice edge becomes one directed edge each way).
+Graph GenerateWattsStrogatz(uint32_t n, uint32_t k_neighbors,
+                            double rewire_prob, const GenOptions& opt = {});
+
+/// Directed configuration model with Zipf(exponent) in- and out-degrees,
+/// scaled so the average degree is `avg_degree`, stubs matched uniformly
+/// at random. Degree cap `max_degree` (0 = n). LiveJournal-like.
+Graph GeneratePowerLawConfiguration(uint32_t n, double exponent,
+                                    double avg_degree,
+                                    uint32_t max_degree = 0,
+                                    const GenOptions& opt = {});
+
+/// R-MAT (recursive matrix) generator: n = 2^scale nodes, `m` directed
+/// edges placed by recursive quadrant selection with probabilities
+/// (a, b, c, d), a + b + c + d = 1. Skewed a > d gives the heavy-tailed,
+/// scale-free character of the Twitter follow graph.
+Graph GenerateRmat(uint32_t scale, uint64_t m, double a = 0.57,
+                   double b = 0.19, double c = 0.19, double d = 0.05,
+                   const GenOptions& opt = {});
+
+/// `rows` x `cols` grid with directed edges both ways between lattice
+/// neighbors. Deterministic topology; useful for tests with computable
+/// spreads.
+Graph GenerateGrid2D(uint32_t rows, uint32_t cols, const GenOptions& opt = {});
+
+/// Complete directed graph K_n (all ordered pairs, no self-loops).
+Graph GenerateComplete(uint32_t n, const GenOptions& opt = {});
+
+/// Star: node 0 has edges to all others (and none back).
+Graph GenerateStar(uint32_t n, const GenOptions& opt = {});
+
+/// Directed path 0 -> 1 -> … -> n-1.
+Graph GeneratePath(uint32_t n, const GenOptions& opt = {});
+
+/// Directed cycle 0 -> 1 -> … -> n-1 -> 0.
+Graph GenerateCycle(uint32_t n, const GenOptions& opt = {});
+
+}  // namespace opim

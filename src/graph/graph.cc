@@ -1,0 +1,120 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "support/random.h"
+
+namespace opim {
+
+double Graph::MaxInWeightSum() const {
+  double mx = 0.0;
+  for (double s : in_weight_sum_) mx = std::max(mx, s);
+  return mx;
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v, double p) {
+  OPIM_CHECK_LT(u, num_nodes_);
+  OPIM_CHECK_LT(v, num_nodes_);
+  OPIM_CHECK_MSG(p == kUnsetProb || (p >= 0.0 && p <= 1.0),
+                 "edge probability must be in [0, 1]");
+  from_.push_back(u);
+  to_.push_back(v);
+  prob_.push_back(p);
+}
+
+Graph GraphBuilder::Build(WeightScheme scheme, double constant_p,
+                          uint64_t seed) {
+  const uint64_t m = from_.size();
+  const uint32_t n = num_nodes_;
+  Graph g;
+  g.num_nodes_ = n;
+
+  // Counting sort into CSR, both directions.
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (uint64_t e = 0; e < m; ++e) {
+    ++g.out_offsets_[from_[e] + 1];
+    ++g.in_offsets_[to_[e] + 1];
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+
+  // Assign probabilities to unset edges. Weighted cascade needs in-degrees,
+  // which the offsets now provide.
+  Rng rng(seed, /*stream=*/0x67726170);  // "grap"
+  for (uint64_t e = 0; e < m; ++e) {
+    if (prob_[e] != kUnsetProb) continue;
+    switch (scheme) {
+      case WeightScheme::kWeightedCascade: {
+        uint64_t indeg = g.in_offsets_[to_[e] + 1] - g.in_offsets_[to_[e]];
+        prob_[e] = 1.0 / static_cast<double>(indeg);
+        break;
+      }
+      case WeightScheme::kConstant:
+        prob_[e] = constant_p;
+        break;
+      case WeightScheme::kTrivalency: {
+        static constexpr double kTri[3] = {0.1, 0.01, 0.001};
+        prob_[e] = kTri[rng.UniformBelow(3)];
+        break;
+      }
+      case WeightScheme::kUniformRandom:
+        prob_[e] = rng.UniformDouble() * constant_p;
+        break;
+    }
+  }
+
+  g.out_neighbors_.resize(m);
+  g.out_probs_.resize(m);
+  g.in_neighbors_.resize(m);
+  g.in_probs_.resize(m);
+  std::vector<uint64_t> out_cursor(g.out_offsets_.begin(),
+                                   g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  for (uint64_t e = 0; e < m; ++e) {
+    uint64_t oi = out_cursor[from_[e]]++;
+    g.out_neighbors_[oi] = to_[e];
+    g.out_probs_[oi] = prob_[e];
+    uint64_t ii = in_cursor[to_[e]]++;
+    g.in_neighbors_[ii] = from_[e];
+    g.in_probs_[ii] = prob_[e];
+  }
+
+  g.in_weight_sum_.assign(n, 0.0);
+  for (uint32_t v = 0; v < n; ++v) {
+    double s = 0.0;
+    for (uint64_t i = g.in_offsets_[v]; i < g.in_offsets_[v + 1]; ++i) {
+      s += g.in_probs_[i];
+    }
+    g.in_weight_sum_[v] = s;
+  }
+
+  from_.clear();
+  to_.clear();
+  prob_.clear();
+  from_.shrink_to_fit();
+  to_.shrink_to_fit();
+  prob_.shrink_to_fit();
+  return g;
+}
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.average_degree = g.average_degree();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint64_t od = g.OutDegree(v);
+    uint64_t id = g.InDegree(v);
+    s.max_out_degree = std::max(s.max_out_degree, od);
+    s.max_in_degree = std::max(s.max_in_degree, id);
+    if (id == 0) ++s.num_sources;
+    if (od == 0) ++s.num_sinks;
+  }
+  return s;
+}
+
+}  // namespace opim

@@ -1,0 +1,172 @@
+// Immutable directed influence graph in CSR form.
+//
+// The graph stores both forward (out-neighbor) and reverse (in-neighbor)
+// adjacency: forward adjacency drives the IC/LT cascade simulators, reverse
+// adjacency drives reverse-reachable (RR) set sampling (paper §3.1 and
+// Appendix A). Every edge <u, v> carries its propagation probability
+// p(u, v) in both directions of the CSR.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/macros.h"
+
+namespace opim {
+
+/// Node identifier; nodes are densely numbered [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class GraphBuilder;
+
+/// Immutable directed graph with per-edge propagation probabilities.
+/// Construct via GraphBuilder; copy is allowed but deliberate (the CSR can
+/// be large), and all queries are O(1) or O(degree).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes n.
+  uint32_t num_nodes() const { return num_nodes_; }
+  /// Number of directed edges m.
+  uint64_t num_edges() const { return out_neighbors_.size(); }
+  /// Average out-degree m/n (0 for the empty graph).
+  double average_degree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_nodes_;
+  }
+
+  /// Out-neighbors of u (targets of edges u -> ·).
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    OPIM_CHECK_LT(u, num_nodes_);
+    return {out_neighbors_.data() + out_offsets_[u],
+            out_neighbors_.data() + out_offsets_[u + 1]};
+  }
+  /// Probabilities aligned with OutNeighbors(u): p(u, v_i).
+  std::span<const double> OutProbs(NodeId u) const {
+    OPIM_CHECK_LT(u, num_nodes_);
+    return {out_probs_.data() + out_offsets_[u],
+            out_probs_.data() + out_offsets_[u + 1]};
+  }
+  /// In-neighbors of v (sources of edges · -> v).
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    OPIM_CHECK_LT(v, num_nodes_);
+    return {in_neighbors_.data() + in_offsets_[v],
+            in_neighbors_.data() + in_offsets_[v + 1]};
+  }
+  /// Probabilities aligned with InNeighbors(v): p(w_i, v).
+  std::span<const double> InProbs(NodeId v) const {
+    OPIM_CHECK_LT(v, num_nodes_);
+    return {in_probs_.data() + in_offsets_[v],
+            in_probs_.data() + in_offsets_[v + 1]};
+  }
+
+  uint64_t OutDegree(NodeId u) const {
+    OPIM_CHECK_LT(u, num_nodes_);
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  uint64_t InDegree(NodeId v) const {
+    OPIM_CHECK_LT(v, num_nodes_);
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Sum of incoming propagation probabilities of v. The LT model requires
+  /// this to be <= 1 (paper §2.1); samplers OPIM_CHECK it.
+  double InWeightSum(NodeId v) const {
+    OPIM_CHECK_LT(v, num_nodes_);
+    return in_weight_sum_[v];
+  }
+
+  /// Largest InWeightSum over all nodes (0 for the empty graph).
+  double MaxInWeightSum() const;
+
+ private:
+  friend class GraphBuilder;
+
+  uint32_t num_nodes_ = 0;
+  std::vector<uint64_t> out_offsets_;  // n + 1
+  std::vector<NodeId> out_neighbors_;  // m
+  std::vector<double> out_probs_;      // m
+  std::vector<uint64_t> in_offsets_;   // n + 1
+  std::vector<NodeId> in_neighbors_;   // m
+  std::vector<double> in_probs_;       // m
+  std::vector<double> in_weight_sum_;  // n
+};
+
+/// Edge-weighting schemes applied at build time when edges were added
+/// without explicit probabilities.
+enum class WeightScheme {
+  /// Weighted-cascade: p(u, v) = 1 / in-degree(v). The setting used by the
+  /// paper's experiments (§8.1) and most of the IM literature. Always
+  /// LT-feasible (incoming probabilities sum to exactly 1).
+  kWeightedCascade,
+  /// Every edge gets the same constant probability.
+  kConstant,
+  /// Trivalency: each edge uniformly one of {0.1, 0.01, 0.001}.
+  kTrivalency,
+  /// Each edge probability uniform in (0, constant]. Scaled per node to
+  /// stay LT-feasible is NOT applied; intended for IC experiments.
+  kUniformRandom,
+};
+
+/// Mutable edge accumulator that produces an immutable Graph.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with `num_nodes` nodes.
+  explicit GraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds a directed edge u -> v with explicit probability p in [0, 1].
+  void AddEdge(NodeId u, NodeId v, double p);
+
+  /// Adds a directed edge whose probability will be assigned by the
+  /// WeightScheme passed to Build().
+  void AddEdge(NodeId u, NodeId v) { AddEdge(u, v, kUnsetProb); }
+
+  /// Adds both u -> v and v -> u (for undirected source data, e.g. Orkut).
+  void AddUndirectedEdge(NodeId u, NodeId v) {
+    AddEdge(u, v);
+    AddEdge(v, u);
+  }
+
+  /// Number of edges added so far.
+  uint64_t num_edges() const { return from_.size(); }
+
+  /// Builds the CSR graph. Edges added without probabilities get weights
+  /// from `scheme`. `constant_p` parameterizes kConstant/kUniformRandom;
+  /// `seed` parameterizes the randomized schemes. Duplicate edges are kept
+  /// as parallel edges (they are rare in the generators and harmless to
+  /// the samplers). The builder is left empty afterwards.
+  Graph Build(WeightScheme scheme = WeightScheme::kWeightedCascade,
+              double constant_p = 0.1, uint64_t seed = 1);
+
+ private:
+  static constexpr double kUnsetProb = -1.0;
+
+  uint32_t num_nodes_;
+  std::vector<NodeId> from_;
+  std::vector<NodeId> to_;
+  std::vector<double> prob_;
+};
+
+/// Summary statistics for a graph; reproduces the columns of the paper's
+/// Table 2 plus degree extrema.
+struct GraphStats {
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  double average_degree = 0.0;
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+  uint32_t num_sources = 0;  // nodes with in-degree 0
+  uint32_t num_sinks = 0;    // nodes with out-degree 0
+};
+
+/// Computes GraphStats in O(n + m).
+GraphStats ComputeStats(const Graph& g);
+
+}  // namespace opim

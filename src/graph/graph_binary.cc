@@ -1,0 +1,119 @@
+#include "graph/graph_binary.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace opim {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'P', 'I', 'M', 'G', 'R', 'B', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& f, const T& value) {
+  f.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void WriteVec(std::ofstream& f, const std::vector<T>& v) {
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& f, T* value) {
+  f.read(reinterpret_cast<char*>(value), sizeof(T));
+  return f.gcount() == sizeof(T);
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& f, std::vector<T>* v, uint64_t count) {
+  v->resize(count);
+  const std::streamsize bytes =
+      static_cast<std::streamsize>(count * sizeof(T));
+  f.read(reinterpret_cast<char*>(v->data()), bytes);
+  return f.gcount() == bytes;
+}
+
+}  // namespace
+
+Status SaveBinaryGraph(const Graph& g, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IOError("cannot open for writing: " + path);
+
+  f.write(kMagic, sizeof(kMagic));
+  WritePod(f, g.num_nodes());
+  WritePod(f, g.num_edges());
+
+  std::vector<NodeId> from, to;
+  std::vector<double> prob;
+  from.reserve(g.num_edges());
+  to.reserve(g.num_edges());
+  prob.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto probs = g.OutProbs(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      from.push_back(u);
+      to.push_back(nbrs[i]);
+      prob.push_back(probs[i]);
+    }
+  }
+  WriteVec(f, from);
+  WriteVec(f, to);
+  WriteVec(f, prob);
+  if (!f.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadBinaryGraph(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IOError("cannot open: " + path);
+
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  if (f.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an OPIMGRB1 file: " + path);
+  }
+  uint32_t n = 0;
+  uint64_t m = 0;
+  if (!ReadPod(f, &n) || !ReadPod(f, &m)) {
+    return Status::IOError("truncated header: " + path);
+  }
+  // Validate the claimed edge count against the actual file size before
+  // allocating anything: a corrupt header must not drive resize().
+  constexpr uint64_t kHeaderBytes = 8 + sizeof(uint32_t) + sizeof(uint64_t);
+  constexpr uint64_t kBytesPerEdge =
+      2 * sizeof(NodeId) + sizeof(double);
+  const std::streampos data_start = f.tellg();
+  f.seekg(0, std::ios::end);
+  const uint64_t file_bytes = static_cast<uint64_t>(f.tellg());
+  f.seekg(data_start);
+  if (file_bytes < kHeaderBytes ||
+      (file_bytes - kHeaderBytes) / kBytesPerEdge < m) {
+    return Status::IOError("truncated edge data (header claims " +
+                           std::to_string(m) + " edges): " + path);
+  }
+  std::vector<NodeId> from, to;
+  std::vector<double> prob;
+  if (!ReadVec(f, &from, m) || !ReadVec(f, &to, m) || !ReadVec(f, &prob, m)) {
+    return Status::IOError("truncated edge data: " + path);
+  }
+
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < m; ++e) {
+    if (from[e] >= n || to[e] >= n) {
+      return Status::InvalidArgument("edge endpoint out of range: " + path);
+    }
+    if (prob[e] < 0.0 || prob[e] > 1.0) {
+      return Status::InvalidArgument("edge probability out of range: " +
+                                     path);
+    }
+    builder.AddEdge(from[e], to[e], prob[e]);
+  }
+  return builder.Build();
+}
+
+}  // namespace opim

@@ -1,0 +1,124 @@
+#include "graph/graph_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace opim {
+
+namespace {
+
+struct RawEdge {
+  uint64_t u, v;
+  double p;  // < 0 means unset
+};
+
+/// Parses the edge lines out of `text`. Returns raw (uncompacted) edges.
+Status ParseLines(const std::string& text, std::vector<RawEdge>* edges) {
+  std::istringstream in(text);
+  std::string line;
+  uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip leading whitespace; skip blank lines and '#' comments.
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    std::istringstream ls(line.substr(pos));
+    RawEdge e{0, 0, -1.0};
+    if (!(ls >> e.u >> e.v)) {
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(lineno) + ": '" + line +
+                                     "'");
+    }
+    double p;
+    if (ls >> p) {
+      if (p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("probability out of [0,1] at line " +
+                                       std::to_string(lineno));
+      }
+      e.p = p;
+    }
+    edges->push_back(e);
+  }
+  return Status::OK();
+}
+
+Result<Graph> BuildFromRaw(const std::vector<RawEdge>& raw,
+                           const EdgeListOptions& options) {
+  // Compact sparse ids to [0, n) in first-appearance order.
+  std::unordered_map<uint64_t, NodeId> remap;
+  remap.reserve(raw.size() * 2);
+  auto intern = [&](uint64_t id) {
+    auto [it, inserted] = remap.emplace(id, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::vector<std::pair<NodeId, NodeId>> compact;
+  compact.reserve(raw.size());
+  for (const RawEdge& e : raw) {
+    // Sequence the interning calls: argument evaluation order is
+    // unspecified, and first-appearance numbering must see u before v.
+    NodeId u = intern(e.u);
+    NodeId v = intern(e.v);
+    compact.emplace_back(u, v);
+  }
+  if (remap.size() > static_cast<uint64_t>(kInvalidNode)) {
+    return Status::OutOfRange("more than 2^32-1 distinct node ids");
+  }
+
+  GraphBuilder builder(static_cast<uint32_t>(remap.size()));
+  for (size_t i = 0; i < raw.size(); ++i) {
+    auto [u, v] = compact[i];
+    if (raw[i].p >= 0.0) {
+      builder.AddEdge(u, v, raw[i].p);
+      if (options.undirected) builder.AddEdge(v, u, raw[i].p);
+    } else {
+      builder.AddEdge(u, v);
+      if (options.undirected) builder.AddEdge(v, u);
+    }
+  }
+  return builder.Build(options.scheme, options.constant_p, options.seed);
+}
+
+}  // namespace
+
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options) {
+  std::vector<RawEdge> raw;
+  Status st = ParseLines(text, &raw);
+  if (!st.ok()) return st;
+  return BuildFromRaw(raw, options);
+}
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) return Status::IOError("read failed: " + path);
+  return ParseEdgeList(buf.str(), options);
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open for writing: " + path);
+  f << "# opim edge list: u v p\n";
+  f << "# nodes " << g.num_nodes() << " edges " << g.num_edges() << "\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto probs = g.OutProbs(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%u %u %.12g\n", u, nbrs[i], probs[i]);
+      f << buf;
+    }
+  }
+  if (!f.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace opim

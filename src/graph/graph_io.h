@@ -1,0 +1,43 @@
+// Text I/O for graphs: SNAP-style edge lists with optional per-edge
+// probabilities. Lets users load the real Pokec/Orkut/LiveJournal/Twitter
+// files from snap.stanford.edu when available; our experiments use the
+// synthetic stand-ins from gen/ (see DESIGN.md §3).
+
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+#include "support/status.h"
+
+namespace opim {
+
+/// Options for LoadEdgeList.
+struct EdgeListOptions {
+  /// If true, each input line "u v" adds both directions (undirected data,
+  /// e.g. Orkut).
+  bool undirected = false;
+  /// Weighting applied to edges without an explicit third column.
+  WeightScheme scheme = WeightScheme::kWeightedCascade;
+  /// Constant probability for WeightScheme::kConstant / kUniformRandom.
+  double constant_p = 0.1;
+  /// Seed for randomized weight schemes.
+  uint64_t seed = 1;
+};
+
+/// Loads a SNAP-style edge list: one "u v" or "u v p" per line, `#` starts
+/// a comment, arbitrary whitespace separation. Node ids may be sparse; they
+/// are compacted to [0, n) preserving first-appearance order.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options = {});
+
+/// Parses an edge list from an in-memory string (same format as
+/// LoadEdgeList). Useful for tests and docs.
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options = {});
+
+/// Writes `g` as "u v p" lines with a `#` header. Inverse of LoadEdgeList
+/// with explicit probabilities.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace opim

@@ -1,0 +1,119 @@
+#include "graph/transform.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace opim {
+
+Graph ReverseGraph(const Graph& g) {
+  GraphBuilder builder(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto probs = g.OutProbs(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      builder.AddEdge(nbrs[i], u, probs[i]);
+    }
+  }
+  return builder.Build();
+}
+
+Graph InducedSubgraph(const Graph& g, std::span<const NodeId> nodes,
+                      std::vector<NodeId>* old_to_new) {
+  std::vector<NodeId> mapping(g.num_nodes(), kInvalidNode);
+  uint32_t next = 0;
+  for (NodeId v : nodes) {
+    OPIM_CHECK_LT(v, g.num_nodes());
+    if (mapping[v] == kInvalidNode) mapping[v] = next++;
+  }
+
+  GraphBuilder builder(next);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (mapping[u] == kInvalidNode) continue;
+    auto nbrs = g.OutNeighbors(u);
+    auto probs = g.OutProbs(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (mapping[nbrs[i]] == kInvalidNode) continue;
+      builder.AddEdge(mapping[u], mapping[nbrs[i]], probs[i]);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return builder.Build();
+}
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace
+
+std::vector<uint32_t> WeaklyConnectedComponents(const Graph& g,
+                                                uint32_t* num_components) {
+  const uint32_t n = g.num_nodes();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) uf.Union(u, v);
+  }
+  std::vector<uint32_t> component(n, 0);
+  std::vector<uint32_t> root_to_id(n, static_cast<uint32_t>(-1));
+  uint32_t count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t root = uf.Find(v);
+    if (root_to_id[root] == static_cast<uint32_t>(-1)) {
+      root_to_id[root] = count++;
+    }
+    component[v] = root_to_id[root];
+  }
+  if (num_components != nullptr) *num_components = count;
+  return component;
+}
+
+Graph LargestWeaklyConnectedComponent(const Graph& g,
+                                      std::vector<NodeId>* old_to_new) {
+  uint32_t num_components = 0;
+  std::vector<uint32_t> component = WeaklyConnectedComponents(
+      g, &num_components);
+  if (num_components == 0) {
+    if (old_to_new != nullptr) old_to_new->clear();
+    return Graph();
+  }
+  std::vector<uint32_t> sizes(num_components, 0);
+  for (uint32_t c : component) ++sizes[c];
+  const uint32_t largest = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<NodeId> keep;
+  keep.reserve(sizes[largest]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (component[v] == largest) keep.push_back(v);
+  }
+  return InducedSubgraph(g, keep, old_to_new);
+}
+
+}  // namespace opim

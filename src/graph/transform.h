@@ -1,0 +1,36 @@
+// Graph transformations used when preparing real datasets: IM papers
+// (including this one's SNAP inputs) conventionally work on the largest
+// weakly-connected component, sometimes on induced subgraphs, and RIS
+// itself is a computation on the reverse graph.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace opim {
+
+/// The transpose: every edge u -> v (p) becomes v -> u (p).
+Graph ReverseGraph(const Graph& g);
+
+/// The subgraph induced by `nodes` (deduplicated): kept nodes are
+/// renumbered 0..|nodes|-1 in the given first-appearance order, edges
+/// keep their probabilities. `old_to_new` (optional) receives the mapping
+/// (kInvalidNode for dropped nodes).
+Graph InducedSubgraph(const Graph& g, std::span<const NodeId> nodes,
+                      std::vector<NodeId>* old_to_new = nullptr);
+
+/// Weakly-connected component id per node (0-based, ids dense but in no
+/// particular order), via union-find.
+std::vector<uint32_t> WeaklyConnectedComponents(const Graph& g,
+                                                uint32_t* num_components);
+
+/// The subgraph induced by the largest weakly-connected component
+/// (smallest component id wins ties). Nodes renumbered ascending by old
+/// id; `old_to_new` as for InducedSubgraph.
+Graph LargestWeaklyConnectedComponent(const Graph& g,
+                                      std::vector<NodeId>* old_to_new =
+                                          nullptr);
+
+}  // namespace opim

@@ -1,0 +1,54 @@
+#include "harness/datasets.h"
+
+#include "gen/generators.h"
+
+namespace opim {
+
+std::vector<std::string> StandardDatasetNames() {
+  return {"pokec-sim", "orkut-sim", "livejournal-sim", "twitter-sim"};
+}
+
+Result<Graph> MakeDataset(const std::string& name, uint32_t scale_exponent,
+                          uint64_t seed) {
+  if (scale_exponent < 8 || scale_exponent > 24) {
+    return Status::InvalidArgument("scale_exponent must be in [8, 24]");
+  }
+  const uint32_t n = 1u << scale_exponent;
+  GenOptions opt;
+  opt.seed = seed;
+  opt.scheme = WeightScheme::kWeightedCascade;
+
+  if (name == "pokec-sim") {
+    // Pokec: directed, avg degree 37.5 -> 37-38 out-edges per node.
+    return GenerateBarabasiAlbert(n, 37, /*undirected=*/false, opt);
+  }
+  if (name == "orkut-sim") {
+    // Orkut: undirected, avg degree 76.3 -> 38 undirected attachments
+    // (each contributing 2 directed edges).
+    return GenerateBarabasiAlbert(n, 38, /*undirected=*/true, opt);
+  }
+  if (name == "livejournal-sim") {
+    // LiveJournal: directed power-law, avg degree 28.5.
+    return GeneratePowerLawConfiguration(n, /*exponent=*/2.1,
+                                         /*avg_degree=*/28.5,
+                                         /*max_degree=*/n / 8, opt);
+  }
+  if (name == "twitter-sim") {
+    // Twitter: heavily skewed follow graph, avg degree 70.5.
+    return GenerateRmat(scale_exponent,
+                        static_cast<uint64_t>(70.5 * n), 0.57, 0.19, 0.19,
+                        0.05, opt);
+  }
+  return Status::NotFound("unknown dataset: " + name +
+                          " (expected one of pokec-sim, orkut-sim, "
+                          "livejournal-sim, twitter-sim)");
+}
+
+Graph MakeTinyTestGraph(uint32_t n, uint64_t seed) {
+  GenOptions opt;
+  opt.seed = seed;
+  opt.scheme = WeightScheme::kWeightedCascade;
+  return GenerateBarabasiAlbert(n, 4, /*undirected=*/false, opt);
+}
+
+}  // namespace opim

@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+// Flags look like --name=value or --name value; anything else is a
+// positional argument.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opim {
+
+/// Parsed command line: --key=value flags plus positionals.
+class Flags {
+ public:
+  /// Parses argv (argv[0] skipped).
+  Flags(int argc, char** argv);
+
+  /// True if --name was given.
+  bool Has(const std::string& name) const;
+
+  /// Typed accessors with defaults. Malformed values fall back to the
+  /// default (benches prefer running over aborting on a typo).
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  uint64_t GetUint(const std::string& name, uint64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace opim

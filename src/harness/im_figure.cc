@@ -1,0 +1,180 @@
+#include "harness/im_figure.h"
+
+#include <functional>
+
+#include "baselines/dssa_fix.h"
+#include "baselines/im_result.h"
+#include "baselines/imm.h"
+#include "baselines/ssa_fix.h"
+#include "baselines/tim.h"
+#include "core/opim_c.h"
+#include "support/stopwatch.h"
+
+namespace opim {
+
+namespace {
+
+/// What one timed run reports back to the sweep loop.
+struct RunOutcome {
+  std::vector<NodeId> seeds;
+  double seconds = 0.0;       // extrapolated if capped
+  double rr_sets = 0.0;       // demanded count if capped
+  bool extrapolated = false;
+};
+
+using Runner = std::function<RunOutcome(double eps, uint64_t seed)>;
+
+}  // namespace
+
+std::vector<ImFigureRow> RunImFigure(const Graph& g, DiffusionModel model,
+                                     const ImFigureOptions& options) {
+  OPIM_CHECK_GE(options.reps, 1u);
+  const double delta =
+      options.delta > 0.0 ? options.delta : 1.0 / g.num_nodes();
+  const uint32_t k = options.k;
+  SpreadEstimator estimator(g, model);
+
+  auto make_opimc = [&](BoundKind bound) {
+    return [&, bound](double eps, uint64_t seed) {
+      OpimCOptions o;
+      o.bound = bound;
+      o.seed = seed;
+      Stopwatch sw;
+      OpimCResult r = RunOpimC(g, model, k, eps, delta, o);
+      RunOutcome out;
+      out.seconds = sw.ElapsedSeconds();
+      out.rr_sets = static_cast<double>(r.num_rr_sets);
+      out.seeds = std::move(r.seeds);
+      return out;
+    };
+  };
+
+  Runner run_imm = [&](double eps, uint64_t seed) {
+    ImmOptions o;
+    o.seed = seed;
+    o.max_rr_sets = options.cap_rr_sets;
+    ImmStats stats;
+    Stopwatch sw;
+    ImResult r = RunImm(g, model, k, eps, delta, o, &stats);
+    RunOutcome out;
+    out.seconds = sw.ElapsedSeconds();
+    out.rr_sets = static_cast<double>(r.num_rr_sets);
+    out.seeds = std::move(r.seeds);
+    if (stats.capped && r.num_rr_sets > 0) {
+      // RR-set generation dominates; scale by the demanded sample size.
+      double factor = static_cast<double>(stats.theta_required) /
+                      static_cast<double>(r.num_rr_sets);
+      out.seconds *= factor;
+      out.rr_sets = static_cast<double>(stats.theta_required);
+      out.extrapolated = true;
+    }
+    return out;
+  };
+
+  Runner run_ssa = [&](double eps, uint64_t seed) {
+    SsaFixOptions o;
+    o.seed = seed;
+    o.max_rr_sets = options.cap_rr_sets;
+    SsaFixStats stats;
+    Stopwatch sw;
+    ImResult r = RunSsaFix(g, model, k, eps, delta, o, &stats);
+    RunOutcome out;
+    out.seconds = sw.ElapsedSeconds();
+    out.rr_sets = static_cast<double>(r.num_rr_sets);
+    out.seeds = std::move(r.seeds);
+    // Capped stop-and-stare: the next doubling (at least) was still due.
+    if (stats.capped) {
+      out.seconds *= 2.0;
+      out.rr_sets *= 2.0;
+      out.extrapolated = true;
+    }
+    return out;
+  };
+
+  Runner run_dssa = [&](double eps, uint64_t seed) {
+    DssaFixOptions o;
+    o.seed = seed;
+    o.max_rr_sets = options.cap_rr_sets;
+    DssaFixStats stats;
+    Stopwatch sw;
+    ImResult r = RunDssaFix(g, model, k, eps, delta, o, &stats);
+    RunOutcome out;
+    out.seconds = sw.ElapsedSeconds();
+    out.rr_sets = static_cast<double>(r.num_rr_sets);
+    out.seeds = std::move(r.seeds);
+    if (stats.capped) {
+      out.seconds *= 2.0;
+      out.rr_sets *= 2.0;
+      out.extrapolated = true;
+    }
+    return out;
+  };
+
+  Runner run_tim = [&](double eps, uint64_t seed) {
+    TimOptions o;
+    o.seed = seed;
+    o.max_rr_sets = options.cap_rr_sets;
+    TimStats stats;
+    Stopwatch sw;
+    ImResult r = RunTim(g, model, k, eps, delta, o, &stats);
+    RunOutcome out;
+    out.seconds = sw.ElapsedSeconds();
+    out.rr_sets = static_cast<double>(r.num_rr_sets);
+    out.seeds = std::move(r.seeds);
+    if (stats.capped && r.num_rr_sets > 0) {
+      double factor = static_cast<double>(stats.theta_required) /
+                      static_cast<double>(r.num_rr_sets);
+      out.seconds *= factor;
+      out.rr_sets = static_cast<double>(stats.theta_required);
+      out.extrapolated = true;
+    }
+    return out;
+  };
+
+  std::vector<std::pair<std::string, Runner>> algos = {
+      {"OPIM-C0", make_opimc(BoundKind::kBasic)},
+      {"OPIM-C'", make_opimc(BoundKind::kLeskovec)},
+      {"OPIM-C+", make_opimc(BoundKind::kImproved)},
+      {"IMM", run_imm},
+      {"SSA-Fix", run_ssa},
+      {"D-SSA-Fix", run_dssa},
+  };
+  if (options.include_tim) algos.emplace_back("TIM+", run_tim);
+
+  std::vector<ImFigureRow> rows;
+  for (const auto& [name, runner] : algos) {
+    for (double eps : options.eps_list) {
+      ImFigureRow row;
+      row.algorithm = name;
+      row.eps = eps;
+      for (uint32_t rep = 0; rep < options.reps; ++rep) {
+        RunOutcome out = runner(eps, options.seed + 104729ULL * rep);
+        row.seconds += out.seconds;
+        row.rr_sets += out.rr_sets;
+        row.extrapolated = row.extrapolated || out.extrapolated;
+        row.spread += estimator.Estimate(out.seeds, options.mc_samples,
+                                         options.seed + rep);
+      }
+      row.seconds /= options.reps;
+      row.rr_sets /= options.reps;
+      row.spread /= options.reps;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+TablePrinter ImFigureToTable(const std::vector<ImFigureRow>& rows) {
+  TablePrinter table(
+      {"algorithm", "eps", "spread", "seconds", "rr_sets", "extrapolated"});
+  for (const ImFigureRow& row : rows) {
+    table.AddRow({row.algorithm, TablePrinter::Cell(row.eps, 3),
+                  TablePrinter::Cell(row.spread, 6),
+                  TablePrinter::Cell(row.seconds, 4),
+                  TablePrinter::Cell(row.rr_sets, 6),
+                  row.extrapolated ? "yes" : "no"});
+  }
+  return table;
+}
+
+}  // namespace opim

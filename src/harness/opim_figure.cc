@@ -1,0 +1,130 @@
+#include "harness/opim_figure.h"
+
+#include "baselines/borgs_online.h"
+#include "baselines/dssa_fix.h"
+#include "baselines/imm.h"
+#include "baselines/opim_adoption.h"
+#include "baselines/ssa_fix.h"
+#include "core/online_maximizer.h"
+
+namespace opim {
+
+namespace {
+
+/// Indices into the series vector (kept in presentation order).
+enum AlgoIndex {
+  kBorgs = 0,
+  kOpim0,
+  kOpimPlus,
+  kOpimPrime,
+  kAdoptImm,
+  kAdoptSsa,
+  kAdoptDssa,
+  kNumAlgos,
+};
+
+const char* kAlgoNames[kNumAlgos] = {
+    "Borgs", "OPIM0", "OPIM+", "OPIM'", "IMM", "SSA-Fix", "D-SSA-Fix",
+};
+
+}  // namespace
+
+OpimFigureSeries RunOpimFigure(const Graph& g, DiffusionModel model,
+                               const OpimFigureOptions& options) {
+  OPIM_CHECK_GE(options.reps, 1u);
+  OPIM_CHECK_GE(options.num_checkpoints, 1u);
+  const double delta =
+      options.delta > 0.0 ? options.delta : 1.0 / g.num_nodes();
+
+  OpimFigureSeries out;
+  for (uint32_t i = 0; i < options.num_checkpoints; ++i) {
+    out.checkpoints.push_back(options.base_checkpoint << i);
+  }
+  const uint64_t budget = out.checkpoints.back();
+  const size_t num_cp = out.checkpoints.size();
+
+  std::vector<std::vector<double>> sums(
+      kNumAlgos, std::vector<double>(num_cp, 0.0));
+
+  for (uint32_t rep = 0; rep < options.reps; ++rep) {
+    const uint64_t rep_seed = options.seed + 7919ULL * rep;
+
+    // Our OPIM variants share one RR stream; QueryAll judges all three.
+    OnlineMaximizer om(g, model, options.k, delta, rep_seed);
+    // Borgs' baseline streams its own RR sets.
+    BorgsOnline borgs(g, model, options.k, rep_seed ^ 0xb0b5);
+
+    uint64_t generated = 0;
+    for (size_t c = 0; c < num_cp; ++c) {
+      const uint64_t target = out.checkpoints[c];
+      om.Advance(target - generated);
+      borgs.Advance(target - generated);
+      generated = target;
+
+      OnlineSnapshotAll snap = om.QueryAll();
+      sums[kOpim0][c] += snap.alpha_basic;
+      sums[kOpimPlus][c] += snap.alpha_improved;
+      sums[kOpimPrime][c] += snap.alpha_leskovec;
+      sums[kBorgs][c] += borgs.Query().alpha;
+    }
+
+    // Adoption curves: each conventional algorithm is re-invoked with the
+    // §3.3 ε-schedule; capping an invocation at the budget marks it
+    // incomplete (its step lands past every checkpoint).
+    auto add_adoption = [&](AlgoIndex idx, auto&& run_algo) {
+      auto curve = BuildAdoptionCurve(
+          [&](double eps, uint32_t invocation) {
+            return run_algo(eps, rep_seed * 31 + invocation);
+          },
+          budget);
+      for (size_t c = 0; c < num_cp; ++c) {
+        sums[idx][c] += AdoptionAlphaAt(curve, out.checkpoints[c]);
+      }
+    };
+
+    add_adoption(kAdoptImm, [&](double eps, uint64_t seed) {
+      ImmOptions o;
+      o.seed = seed;
+      o.max_rr_sets = budget + 1;
+      return RunImm(g, model, options.k, eps, delta, o);
+    });
+    add_adoption(kAdoptSsa, [&](double eps, uint64_t seed) {
+      SsaFixOptions o;
+      o.seed = seed;
+      o.max_rr_sets = budget + 1;
+      return RunSsaFix(g, model, options.k, eps, delta, o);
+    });
+    add_adoption(kAdoptDssa, [&](double eps, uint64_t seed) {
+      DssaFixOptions o;
+      o.seed = seed;
+      o.max_rr_sets = budget + 1;
+      return RunDssaFix(g, model, options.k, eps, delta, o);
+    });
+  }
+
+  for (int a = 0; a < kNumAlgos; ++a) {
+    std::vector<double> means(num_cp);
+    for (size_t c = 0; c < num_cp; ++c) {
+      means[c] = sums[a][c] / options.reps;
+    }
+    out.series.emplace_back(kAlgoNames[a], std::move(means));
+  }
+  return out;
+}
+
+TablePrinter OpimFigureToTable(const OpimFigureSeries& series) {
+  std::vector<std::string> headers = {"rr_sets"};
+  for (const auto& [name, values] : series.series) headers.push_back(name);
+  TablePrinter table(std::move(headers));
+  for (size_t c = 0; c < series.checkpoints.size(); ++c) {
+    std::vector<std::string> row = {
+        TablePrinter::Cell(series.checkpoints[c])};
+    for (const auto& [name, values] : series.series) {
+      row.push_back(TablePrinter::Cell(values[c], 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace opim

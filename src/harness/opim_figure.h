@@ -1,0 +1,58 @@
+// Shared runner for the OPIM experiments (Figures 2, 3, 4, 5).
+//
+// One invocation evaluates, on a single (graph, model, k) instance, the
+// seven algorithms of §8.2/§8.3 at the paper's checkpoint schedule of
+// 2^i × 1000 generated RR sets (i = 0..10), averaged over repetitions:
+//
+//   Borgs      — Borgs et al.'s OPIM baseline (§3.2)
+//   OPIM0/+/'  — our three bound variants (§4, §5), one shared RR stream
+//   IMM / SSA-Fix / D-SSA-Fix — OPIM-adoptions per §3.3
+//
+// The y-value is the reported approximation guarantee α at each
+// checkpoint; the paper's qualitative outcome is Borgs ≈ 0,
+// OPIM⁺ ≥ OPIM⁰, adoptions capped at 1 - 1/e.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "support/table_printer.h"
+
+namespace opim {
+
+/// Parameters for RunOpimFigure.
+struct OpimFigureOptions {
+  /// Seed set size (paper default 50).
+  uint32_t k = 50;
+  /// Failure probability; <= 0 means the paper default 1/n.
+  double delta = -1.0;
+  /// Checkpoints are base_checkpoint · 2^i for i = 0..num_checkpoints-1.
+  uint64_t base_checkpoint = 1000;
+  uint32_t num_checkpoints = 11;
+  /// Independent repetitions averaged per point (paper uses 50).
+  uint32_t reps = 3;
+  /// Base RNG seed.
+  uint64_t seed = 1;
+};
+
+/// One figure panel: α per algorithm per checkpoint.
+struct OpimFigureSeries {
+  std::vector<uint64_t> checkpoints;
+  /// (algorithm name, mean α at each checkpoint).
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+};
+
+/// Runs the seven-algorithm comparison.
+OpimFigureSeries RunOpimFigure(const Graph& g, DiffusionModel model,
+                               const OpimFigureOptions& options);
+
+/// Renders a series as a table with one row per checkpoint and one column
+/// per algorithm.
+TablePrinter OpimFigureToTable(const OpimFigureSeries& series);
+
+}  // namespace opim

@@ -1,0 +1,64 @@
+#include "rrset/parallel_generate.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "rrset/rr_sampler.h"
+#include "support/random.h"
+#include "support/thread_pool.h"
+
+namespace opim {
+
+void ParallelGenerate(const Graph& g, DiffusionModel model,
+                      RRCollection* collection, uint64_t count,
+                      uint64_t seed, unsigned num_threads,
+                      std::span<const double> root_weights) {
+  if (count == 0) return;
+  if (num_threads == 0) num_threads = ThreadPool::DefaultThreadCount();
+  const unsigned shards =
+      static_cast<unsigned>(std::min<uint64_t>(count, num_threads));
+
+  // Per-shard buffers: flat node pool + per-set (length, cost) so append
+  // order is exactly shard-major, sample-minor.
+  struct ShardBuffer {
+    std::vector<NodeId> pool;
+    std::vector<std::pair<uint32_t, uint64_t>> sets;  // (size, cost)
+  };
+  std::vector<ShardBuffer> buffers(shards);
+
+  auto run_shard = [&](unsigned s) {
+    auto sampler = MakeRRSampler(g, model, root_weights);
+    Rng rng(seed, 0x70617267ULL + s);  // "parg" + shard
+    const uint64_t lo = count * s / shards;
+    const uint64_t hi = count * (s + 1) / shards;
+    std::vector<NodeId> scratch;
+    ShardBuffer& buf = buffers[s];
+    for (uint64_t i = lo; i < hi; ++i) {
+      uint64_t cost = sampler->SampleInto(rng, &scratch);
+      buf.sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
+      buf.pool.insert(buf.pool.end(), scratch.begin(), scratch.end());
+    }
+  };
+
+  if (shards == 1) {
+    run_shard(0);
+  } else {
+    ThreadPool pool(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+      pool.Submit([&, s] { run_shard(s); });
+    }
+    pool.Wait();
+  }
+
+  for (const ShardBuffer& buf : buffers) {
+    size_t offset = 0;
+    for (const auto& [size, cost] : buf.sets) {
+      collection->AddSet(
+          std::span<const NodeId>(buf.pool.data() + offset, size), cost);
+      offset += size;
+    }
+  }
+}
+
+}  // namespace opim

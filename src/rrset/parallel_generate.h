@@ -1,0 +1,34 @@
+// Parallel RR-set generation.
+//
+// RR sets are independent samples, so generation parallelizes trivially:
+// each worker owns a private sampler and an RNG stream derived from
+// (seed, shard), fills a local buffer, and the buffers are appended to the
+// collection in shard order — so the result is deterministic for a fixed
+// (seed, num_threads) pair, and single-threaded generation with the same
+// derivation reproduces num_threads = 1 exactly.
+//
+// The samplers' per-sample scratch (epoch arrays, alias tables) is why the
+// RRSampler class itself is not thread-safe; this helper is the supported
+// way to use multiple cores.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "rrset/rr_collection.h"
+
+namespace opim {
+
+/// Samples `count` RR sets under `model` and appends them to `collection`.
+/// Deterministic in (seed, num_threads); num_threads = 0 picks the
+/// hardware default. Non-empty `root_weights` selects weighted-spread
+/// sampling (see IcRRSampler).
+void ParallelGenerate(const Graph& g, DiffusionModel model,
+                      RRCollection* collection, uint64_t count,
+                      uint64_t seed, unsigned num_threads = 0,
+                      std::span<const double> root_weights = {});
+
+}  // namespace opim

@@ -1,0 +1,46 @@
+#include "rrset/rr_collection.h"
+
+namespace opim {
+
+RRCollection::RRCollection(uint32_t num_nodes)
+    : offsets_(1, 0), covers_(num_nodes) {}
+
+RRId RRCollection::AddSet(std::span<const NodeId> nodes,
+                          uint64_t edges_examined) {
+  const RRId id = num_sets();
+  for (NodeId v : nodes) {
+    OPIM_CHECK_LT(v, num_nodes());
+    pool_.push_back(v);
+    covers_[v].push_back(id);
+  }
+  offsets_.push_back(pool_.size());
+  set_cost_.push_back(edges_examined);
+  total_edges_examined_ += edges_examined;
+  return id;
+}
+
+uint64_t RRCollection::CoverageOf(std::span<const NodeId> seeds) const {
+  if (mark_epoch_.size() < num_sets()) mark_epoch_.resize(num_sets(), 0);
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(mark_epoch_.begin(), mark_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  uint64_t covered = 0;
+  for (NodeId v : seeds) {
+    for (RRId id : SetsCovering(v)) {
+      if (mark_epoch_[id] != epoch_) {
+        mark_epoch_[id] = epoch_;
+        ++covered;
+      }
+    }
+  }
+  return covered;
+}
+
+double RRCollection::EstimateSpread(std::span<const NodeId> seeds) const {
+  if (num_sets() == 0) return 0.0;
+  return static_cast<double>(CoverageOf(seeds)) * num_nodes() / num_sets();
+}
+
+}  // namespace opim

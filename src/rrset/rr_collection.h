@@ -1,0 +1,87 @@
+// Pooled storage for random reverse-reachable (RR) sets with an inverted
+// node -> RR-set index (paper §3.1).
+//
+// An RR set is a set of nodes; a collection R of them supports the two
+// operations every RIS algorithm needs:
+//   * coverage Λ(S): how many RR sets in R intersect a seed set S, and
+//   * greedy max-coverage (via the inverted index; see select/).
+// Storage is append-only: sets are concatenated into one flat pool with an
+// offsets array (CSR-of-sets), and each node keeps the list of RR-set ids
+// that contain it.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace opim {
+
+/// Index of an RR set within a collection.
+using RRId = uint32_t;
+
+/// Append-only collection of RR sets over a graph with n nodes.
+class RRCollection {
+ public:
+  /// Creates an empty collection for node ids in [0, num_nodes).
+  explicit RRCollection(uint32_t num_nodes);
+
+  /// Appends one RR set (list of distinct nodes). `edges_examined` is the
+  /// traversal cost the sampler paid (the paper's γ accounting, §3.2).
+  /// Returns the new set's id.
+  RRId AddSet(std::span<const NodeId> nodes, uint64_t edges_examined);
+
+  /// Number of RR sets θ.
+  uint32_t num_sets() const { return static_cast<uint32_t>(offsets_.size() - 1); }
+
+  /// Number of nodes n of the underlying graph.
+  uint32_t num_nodes() const { return static_cast<uint32_t>(covers_.size()); }
+
+  /// Nodes of RR set `id`.
+  std::span<const NodeId> Set(RRId id) const {
+    OPIM_CHECK_LT(id, num_sets());
+    return {pool_.data() + offsets_[id], pool_.data() + offsets_[id + 1]};
+  }
+
+  /// Ids of the RR sets containing `v` (ascending).
+  std::span<const RRId> SetsCovering(NodeId v) const {
+    OPIM_CHECK_LT(v, num_nodes());
+    return covers_[v];
+  }
+
+  /// Total nodes across all sets, Σ_R |R|. The query-time complexity of the
+  /// OPIM bounds is linear in this (paper Table 1).
+  uint64_t total_size() const { return pool_.size(); }
+
+  /// Cumulative traversal cost γ across all sampled sets.
+  uint64_t total_edges_examined() const { return total_edges_examined_; }
+
+  /// Traversal cost ("width" in TIM's terminology: total in-degree of the
+  /// set's members) of one RR set.
+  uint64_t SetCost(RRId id) const {
+    OPIM_CHECK_LT(id, num_sets());
+    return set_cost_[id];
+  }
+
+  /// Coverage Λ(S): number of RR sets intersecting S. O(Σ_{v∈S}|covers(v)|).
+  /// Duplicate nodes in `seeds` are handled (each RR set counted once).
+  uint64_t CoverageOf(std::span<const NodeId> seeds) const;
+
+  /// |V|/θ · Λ(S): the unbiased RIS estimate of σ(S) (Lemma 3.1). Returns 0
+  /// for an empty collection.
+  double EstimateSpread(std::span<const NodeId> seeds) const;
+
+ private:
+  std::vector<NodeId> pool_;
+  std::vector<uint64_t> offsets_;          // num_sets + 1
+  std::vector<std::vector<RRId>> covers_;  // node -> RR ids
+  std::vector<uint64_t> set_cost_;         // per-set traversal cost
+  uint64_t total_edges_examined_ = 0;
+  // Scratch for CoverageOf: stamp per RR set, grown lazily.
+  mutable std::vector<uint32_t> mark_epoch_;
+  mutable uint32_t epoch_ = 0;
+};
+
+}  // namespace opim

@@ -1,0 +1,123 @@
+#include "rrset/rr_sampler.h"
+
+namespace opim {
+
+void RRSampler::Generate(RRCollection* collection, uint64_t count, Rng& rng) {
+  std::vector<NodeId> scratch;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t cost = SampleInto(rng, &scratch);
+    collection->AddSet(scratch, cost);
+  }
+}
+
+namespace {
+
+/// Builds the (possibly empty) weighted-root alias table, validating size.
+AliasSampler MakeRootSampler(const Graph& g,
+                             std::span<const double> root_weights) {
+  if (root_weights.empty()) return AliasSampler();
+  OPIM_CHECK_EQ(root_weights.size(), g.num_nodes());
+  return AliasSampler(
+      std::vector<double>(root_weights.begin(), root_weights.end()));
+}
+
+NodeId PickRoot(const Graph& g, const AliasSampler& root_sampler, Rng& rng) {
+  if (root_sampler.empty()) return rng.UniformBelow(g.num_nodes());
+  return root_sampler.Sample(rng);
+}
+
+}  // namespace
+
+IcRRSampler::IcRRSampler(const Graph& g, std::span<const double> root_weights)
+    : graph_(g),
+      root_sampler_(MakeRootSampler(g, root_weights)),
+      visited_epoch_(g.num_nodes(), 0) {
+  OPIM_CHECK_GT(g.num_nodes(), 0u);
+}
+
+uint64_t IcRRSampler::SampleInto(Rng& rng, std::vector<NodeId>* out) {
+  out->clear();
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  NodeId root = PickRoot(graph_, root_sampler_, rng);
+  visited_epoch_[root] = epoch_;
+  out->push_back(root);
+  queue_.clear();
+  queue_.push_back(root);
+  uint64_t edges_examined = 0;
+
+  // `queue_` doubles as BFS frontier storage; `head` walks it in order.
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    NodeId u = queue_[head];
+    auto in_nbrs = graph_.InNeighbors(u);
+    auto in_probs = graph_.InProbs(u);
+    edges_examined += in_nbrs.size();
+    for (size_t i = 0; i < in_nbrs.size(); ++i) {
+      NodeId w = in_nbrs[i];
+      if (visited_epoch_[w] == epoch_) continue;
+      if (!rng.Bernoulli(in_probs[i])) continue;
+      visited_epoch_[w] = epoch_;
+      out->push_back(w);
+      queue_.push_back(w);
+    }
+  }
+  return edges_examined;
+}
+
+LtRRSampler::LtRRSampler(const Graph& g, std::span<const double> root_weights)
+    : graph_(g),
+      root_sampler_(MakeRootSampler(g, root_weights)),
+      in_alias_(g.num_nodes()),
+      visited_epoch_(g.num_nodes(), 0) {
+  OPIM_CHECK_GT(g.num_nodes(), 0u);
+  OPIM_CHECK_MSG(g.MaxInWeightSum() <= 1.0 + 1e-9,
+                 "LT requires per-node incoming weights to sum to <= 1");
+  std::vector<double> weights;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto probs = g.InProbs(v);
+    weights.assign(probs.begin(), probs.end());
+    in_alias_[v].Build(weights);
+  }
+}
+
+uint64_t LtRRSampler::SampleInto(Rng& rng, std::vector<NodeId>* out) {
+  out->clear();
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  NodeId u = PickRoot(graph_, root_sampler_, rng);
+  uint64_t edges_examined = 0;
+  for (;;) {
+    if (visited_epoch_[u] == epoch_) break;  // walk closed a cycle
+    visited_epoch_[u] = epoch_;
+    out->push_back(u);
+    edges_examined += graph_.InDegree(u);
+    double stay = graph_.InWeightSum(u);
+    if (stay <= 0.0 || in_alias_[u].empty()) break;  // no in-neighbors
+    if (rng.UniformDouble() >= stay) break;          // walk stops at u
+    uint32_t pick = in_alias_[u].Sample(rng);
+    u = graph_.InNeighbors(u)[pick];
+  }
+  return edges_examined;
+}
+
+std::unique_ptr<RRSampler> MakeRRSampler(
+    const Graph& g, DiffusionModel model,
+    std::span<const double> root_weights) {
+  switch (model) {
+    case DiffusionModel::kIndependentCascade:
+      return std::make_unique<IcRRSampler>(g, root_weights);
+    case DiffusionModel::kLinearThreshold:
+      return std::make_unique<LtRRSampler>(g, root_weights);
+  }
+  return nullptr;
+}
+
+}  // namespace opim

@@ -1,0 +1,99 @@
+// Random RR-set samplers for the IC and LT models (paper Appendix A).
+//
+// IC: pick a uniform root v, run a stochastic *reverse* BFS — each incoming
+// edge <w, u> of a traversed node u is kept with probability p(w, u) — and
+// return every traversed node.
+//
+// LT: pick a uniform root v, then walk backwards: from the current node u,
+// stop with probability 1 - Σ_w p(w, u), otherwise move to one in-neighbor
+// w chosen with probability p(w, u). The walk also stops on revisiting a
+// node (at most one in-neighbor can activate u under LT). Per-step neighbor
+// choice is O(1) with Walker's alias method (paper [42]) after O(n + m)
+// preprocessing.
+//
+// Both samplers report an `edges_examined` traversal cost per sample: the
+// total in-degree of the nodes placed in the RR set. For the IC reverse
+// BFS this is exactly the number of edge coin-flips; it is the γ that
+// Borgs et al.'s OPIM bound consumes (§3.2) and the "width" of TIM/IMM.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+#include "rrset/rr_collection.h"
+#include "support/alias_sampler.h"
+#include "support/random.h"
+
+namespace opim {
+
+/// Abstract RR-set sampler. Implementations are stateful (they own scratch
+/// and preprocessing) but logically const per sample; not thread-safe.
+class RRSampler {
+ public:
+  virtual ~RRSampler() = default;
+
+  /// Samples one RR set into `out` (cleared first; distinct nodes, root
+  /// included) and returns the traversal cost in edges examined.
+  virtual uint64_t SampleInto(Rng& rng, std::vector<NodeId>* out) = 0;
+
+  /// Samples `count` RR sets and appends them to `collection`.
+  void Generate(RRCollection* collection, uint64_t count, Rng& rng);
+
+  /// The graph being sampled.
+  virtual const Graph& graph() const = 0;
+};
+
+/// IC-model sampler: stochastic reverse BFS.
+///
+/// The optional `root_weights` (one non-negative weight per node) selects
+/// the RR-set root with probability proportional to weight instead of
+/// uniformly — the standard weighted-RIS generalization: with total
+/// weight W, W·Pr[S ∩ R ≠ ∅] estimates the *weighted* spread
+/// σ_w(S) = Σ_v w_v·Pr[S activates v] (Lemma 3.1 with importance-weighted
+/// roots). Pass W as the `scale` of the bounds/ functions.
+class IcRRSampler final : public RRSampler {
+ public:
+  explicit IcRRSampler(const Graph& g,
+                       std::span<const double> root_weights = {});
+
+  uint64_t SampleInto(Rng& rng, std::vector<NodeId>* out) override;
+  const Graph& graph() const override { return graph_; }
+
+ private:
+  const Graph& graph_;
+  AliasSampler root_sampler_;  // empty => uniform roots
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> visited_epoch_;
+  std::vector<NodeId> queue_;
+};
+
+/// LT-model sampler: reverse random walk with alias-method neighbor choice.
+/// Preprocessing builds one alias table per node over its in-edge weights
+/// (O(n + m) total, per Appendix A).
+class LtRRSampler final : public RRSampler {
+ public:
+  /// `root_weights` as for IcRRSampler (weighted-spread estimation).
+  explicit LtRRSampler(const Graph& g,
+                       std::span<const double> root_weights = {});
+
+  uint64_t SampleInto(Rng& rng, std::vector<NodeId>* out) override;
+  const Graph& graph() const override { return graph_; }
+
+ private:
+  const Graph& graph_;
+  AliasSampler root_sampler_;  // empty => uniform roots
+  std::vector<AliasSampler> in_alias_;  // per node, over InNeighbors(v)
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> visited_epoch_;
+};
+
+/// Factory keyed on the diffusion model. `root_weights` non-empty selects
+/// weighted-spread sampling (see IcRRSampler).
+std::unique_ptr<RRSampler> MakeRRSampler(
+    const Graph& g, DiffusionModel model,
+    std::span<const double> root_weights = {});
+
+}  // namespace opim

@@ -1,0 +1,126 @@
+#include "rrset/triggering.h"
+
+namespace opim {
+
+uint64_t IcTriggering::SampleTriggeringSet(NodeId v, Rng& rng,
+                                           std::vector<NodeId>* out) const {
+  auto nbrs = graph_.InNeighbors(v);
+  auto probs = graph_.InProbs(v);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (rng.Bernoulli(probs[i])) out->push_back(nbrs[i]);
+  }
+  return nbrs.size();
+}
+
+LtTriggering::LtTriggering(const Graph& g)
+    : graph_(g), in_alias_(g.num_nodes()) {
+  OPIM_CHECK_MSG(g.MaxInWeightSum() <= 1.0 + 1e-9,
+                 "LT requires per-node incoming weights to sum to <= 1");
+  std::vector<double> weights;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto probs = g.InProbs(v);
+    weights.assign(probs.begin(), probs.end());
+    in_alias_[v].Build(weights);
+  }
+}
+
+uint64_t LtTriggering::SampleTriggeringSet(NodeId v, Rng& rng,
+                                           std::vector<NodeId>* out) const {
+  const double stay = graph_.InWeightSum(v);
+  if (stay > 0.0 && !in_alias_[v].empty() && rng.UniformDouble() < stay) {
+    out->push_back(graph_.InNeighbors(v)[in_alias_[v].Sample(rng)]);
+  }
+  return graph_.InDegree(v);
+}
+
+uint32_t SimulateTriggeringCascade(const TriggeringDistribution& dist,
+                                   std::span<const NodeId> seeds, Rng& rng,
+                                   std::vector<NodeId>* activated) {
+  const Graph& g = dist.graph();
+  const uint32_t n = g.num_nodes();
+  if (activated != nullptr) activated->clear();
+
+  // Live-edge view: draw T_v lazily for every node the frontier touches;
+  // v activates when a frontier member is in T_v. Equivalent to forward
+  // diffusion by the standard coupling argument.
+  std::vector<char> active(n, 0);
+  std::vector<char> drawn(n, 0);
+  // trigger_of[v] holds T_v once drawn.
+  std::vector<std::vector<NodeId>> trigger_of(n);
+  std::vector<NodeId> frontier, next;
+
+  uint32_t count = 0;
+  for (NodeId s : seeds) {
+    OPIM_CHECK_LT(s, n);
+    if (active[s]) continue;
+    active[s] = 1;
+    frontier.push_back(s);
+    if (activated != nullptr) activated->push_back(s);
+    ++count;
+  }
+  while (!frontier.empty()) {
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (active[v]) continue;
+        if (!drawn[v]) {
+          drawn[v] = 1;
+          dist.SampleTriggeringSet(v, rng, &trigger_of[v]);
+        }
+        bool triggered = false;
+        for (NodeId w : trigger_of[v]) {
+          if (w == u) {
+            triggered = true;
+            break;
+          }
+        }
+        if (!triggered) continue;
+        active[v] = 1;
+        next.push_back(v);
+        if (activated != nullptr) activated->push_back(v);
+        ++count;
+      }
+    }
+    frontier.swap(next);
+  }
+  return count;
+}
+
+TriggeringRRSampler::TriggeringRRSampler(
+    std::shared_ptr<TriggeringDistribution> dist)
+    : dist_(std::move(dist)),
+      visited_epoch_(dist_->graph().num_nodes(), 0) {
+  OPIM_CHECK(dist_ != nullptr);
+  OPIM_CHECK_GT(dist_->graph().num_nodes(), 0u);
+}
+
+uint64_t TriggeringRRSampler::SampleInto(Rng& rng, std::vector<NodeId>* out) {
+  out->clear();
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  const Graph& g = dist_->graph();
+  NodeId root = rng.UniformBelow(g.num_nodes());
+  visited_epoch_[root] = epoch_;
+  out->push_back(root);
+  queue_.clear();
+  queue_.push_back(root);
+  uint64_t edges_examined = 0;
+
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    NodeId u = queue_[head];
+    trigger_scratch_.clear();
+    edges_examined += dist_->SampleTriggeringSet(u, rng, &trigger_scratch_);
+    for (NodeId w : trigger_scratch_) {
+      if (visited_epoch_[w] == epoch_) continue;
+      visited_epoch_[w] = epoch_;
+      out->push_back(w);
+      queue_.push_back(w);
+    }
+  }
+  return edges_examined;
+}
+
+}  // namespace opim

@@ -1,0 +1,103 @@
+// The triggering model of Kempe et al. — the generalization under which
+// the paper's complexity results are stated (Theorem 6.4 "under the
+// triggering model"), with IC and LT as instances.
+//
+// Each node v independently draws a *triggering set* T_v from a
+// distribution over subsets of its in-neighbors; v activates as soon as
+// any member of T_v is active. IC draws each in-neighbor independently
+// with probability p(w, v); LT draws at most one in-neighbor, w with
+// probability p(w, v) (and none with probability 1 - Σ p).
+//
+// This header provides the abstraction:
+//   * TriggeringDistribution — samples T_v for a node,
+//   * SimulateTriggeringCascade — forward diffusion under any
+//     distribution (live-edge view, sampling T_v lazily),
+//   * TriggeringRRSampler — a generic reverse-reachability sampler: the
+//     reverse BFS expands a node u by drawing T_u and following it.
+//
+// The specialized IC/LT samplers in rrset/ remain the fast paths; the
+// generic machinery exists so downstream users can plug in their own
+// triggering distributions (and so tests can cross-check the fast paths
+// against the general implementation).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rrset/rr_sampler.h"
+#include "support/random.h"
+
+namespace opim {
+
+/// Distribution over triggering sets, one per node. Implementations must
+/// be deterministic functions of (v, rng state).
+class TriggeringDistribution {
+ public:
+  virtual ~TriggeringDistribution() = default;
+
+  /// Draws T_v and appends its members (in-neighbors of v) to `out`
+  /// (not cleared). Returns the traversal cost charged for the draw
+  /// (edges examined; by convention the in-degree of v).
+  virtual uint64_t SampleTriggeringSet(NodeId v, Rng& rng,
+                                       std::vector<NodeId>* out) const = 0;
+
+  /// The graph this distribution is defined over.
+  virtual const Graph& graph() const = 0;
+};
+
+/// IC as a triggering distribution: each in-edge kept independently.
+class IcTriggering final : public TriggeringDistribution {
+ public:
+  explicit IcTriggering(const Graph& g) : graph_(g) {}
+  uint64_t SampleTriggeringSet(NodeId v, Rng& rng,
+                               std::vector<NodeId>* out) const override;
+  const Graph& graph() const override { return graph_; }
+
+ private:
+  const Graph& graph_;
+};
+
+/// LT as a triggering distribution: at most one in-neighbor, weighted by
+/// the edge probabilities.
+class LtTriggering final : public TriggeringDistribution {
+ public:
+  explicit LtTriggering(const Graph& g);
+  uint64_t SampleTriggeringSet(NodeId v, Rng& rng,
+                               std::vector<NodeId>* out) const override;
+  const Graph& graph() const override { return graph_; }
+
+ private:
+  const Graph& graph_;
+  std::vector<AliasSampler> in_alias_;
+};
+
+/// Simulates one forward cascade under the live-edge view: activated
+/// nodes' triggering sets are drawn lazily; v activates when some member
+/// of T_v activates. Returns the number of activated nodes.
+uint32_t SimulateTriggeringCascade(const TriggeringDistribution& dist,
+                                   std::span<const NodeId> seeds, Rng& rng,
+                                   std::vector<NodeId>* activated = nullptr);
+
+/// Generic RR-set sampler for any triggering distribution: reverse BFS
+/// that expands u by drawing T_u. Distributionally identical to the
+/// specialized IC/LT samplers for those models.
+class TriggeringRRSampler final : public RRSampler {
+ public:
+  /// Takes shared ownership so callers can hand over a freshly built
+  /// distribution without keeping it alive themselves.
+  explicit TriggeringRRSampler(std::shared_ptr<TriggeringDistribution> dist);
+
+  uint64_t SampleInto(Rng& rng, std::vector<NodeId>* out) override;
+  const Graph& graph() const override { return dist_->graph(); }
+
+ private:
+  std::shared_ptr<TriggeringDistribution> dist_;
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> visited_epoch_;
+  std::vector<NodeId> queue_;
+  std::vector<NodeId> trigger_scratch_;
+};
+
+}  // namespace opim

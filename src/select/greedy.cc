@@ -1,0 +1,167 @@
+#include "select/greedy.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace opim {
+
+namespace {
+
+/// Sum of the k largest values in `counts` (copied; O(n) via nth_element).
+uint64_t TopKSum(const std::vector<uint64_t>& counts, uint32_t k,
+                 std::vector<uint64_t>* scratch) {
+  if (k == 0 || counts.empty()) return 0;
+  *scratch = counts;
+  if (k >= scratch->size()) {
+    uint64_t total = 0;
+    for (uint64_t c : *scratch) total += c;
+    return total;
+  }
+  std::nth_element(scratch->begin(), scratch->begin() + (k - 1),
+                   scratch->end(), std::greater<uint64_t>());
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < k; ++i) total += (*scratch)[i];
+  return total;
+}
+
+/// Appends the smallest-id nodes not yet selected until `seeds` has k
+/// entries (used when coverage saturates before k picks).
+void FillWithUnselected(uint32_t n, uint32_t k,
+                        const std::vector<char>& selected,
+                        std::vector<NodeId>* seeds) {
+  for (NodeId v = 0; v < n && seeds->size() < k; ++v) {
+    if (!selected[v]) seeds->push_back(v);
+  }
+}
+
+}  // namespace
+
+GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
+                          bool with_trace) {
+  const uint32_t n = collection.num_nodes();
+  const uint32_t theta = collection.num_sets();
+  k = std::min(k, n);
+
+  GreedyResult result;
+  result.seeds.reserve(k);
+
+  std::vector<uint64_t> counts(n, 0);  // Λ(v | S_i*) for the current prefix
+  for (NodeId v = 0; v < n; ++v) {
+    counts[v] = collection.SetsCovering(v).size();
+  }
+  std::vector<char> covered(theta, 0);
+  std::vector<char> selected(n, 0);
+  std::vector<uint64_t> scratch;
+
+  if (with_trace) {
+    result.coverage_at.reserve(k + 1);
+    result.topk_marginal_at.reserve(k + 1);
+  }
+
+  uint64_t coverage = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    if (with_trace) {
+      result.coverage_at.push_back(coverage);
+      result.topk_marginal_at.push_back(TopKSum(counts, k, &scratch));
+    }
+
+    // Argmax of marginal coverage; smallest id wins ties (determinism).
+    NodeId best = kInvalidNode;
+    uint64_t best_count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!selected[v] && counts[v] > best_count) {
+        best = v;
+        best_count = counts[v];
+      }
+    }
+    if (best == kInvalidNode) break;  // all RR sets covered
+
+    selected[best] = 1;
+    result.seeds.push_back(best);
+    coverage += best_count;
+    // Mark newly covered sets; every co-member loses one unit of marginal.
+    for (RRId id : collection.SetsCovering(best)) {
+      if (covered[id]) continue;
+      covered[id] = 1;
+      for (NodeId w : collection.Set(id)) --counts[w];
+    }
+    OPIM_CHECK_EQ(counts[best], 0u);
+  }
+
+  if (with_trace) {
+    // Record the state after the final pick too (prefix i = |seeds|); pad
+    // to k + 1 entries if selection stopped early (coverage saturated:
+    // marginals are all zero from here on).
+    result.coverage_at.push_back(coverage);
+    result.topk_marginal_at.push_back(TopKSum(counts, k, &scratch));
+    while (result.coverage_at.size() < static_cast<size_t>(k) + 1) {
+      result.coverage_at.push_back(coverage);
+      result.topk_marginal_at.push_back(0);
+    }
+  }
+
+  FillWithUnselected(n, k, selected, &result.seeds);
+  result.coverage = coverage;
+  return result;
+}
+
+GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k) {
+  const uint32_t n = collection.num_nodes();
+  const uint32_t theta = collection.num_sets();
+  k = std::min(k, n);
+
+  GreedyResult result;
+  result.seeds.reserve(k);
+  std::vector<char> covered(theta, 0);
+  std::vector<char> selected(n, 0);
+
+  // Lazy-forward queue of (stale upper bound on marginal gain, node).
+  // Smaller node id wins ties so the output matches SelectGreedy.
+  struct Entry {
+    uint64_t gain;
+    NodeId node;
+    uint32_t round;  // selection round the gain was computed in
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<Entry> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t g = collection.SetsCovering(v).size();
+    queue.push({g, v, 0});
+  }
+
+  auto fresh_gain = [&](NodeId v) {
+    uint64_t g = 0;
+    for (RRId id : collection.SetsCovering(v)) g += !covered[id];
+    return g;
+  };
+
+  uint64_t coverage = 0;
+  uint32_t round = 0;
+  while (result.seeds.size() < k && !queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (selected[top.node]) continue;
+    if (top.round != round) {
+      // Stale: recompute (submodularity guarantees it only shrinks).
+      top.gain = fresh_gain(top.node);
+      top.round = round;
+      queue.push(top);
+      continue;
+    }
+    if (top.gain == 0) break;  // coverage saturated
+    selected[top.node] = 1;
+    result.seeds.push_back(top.node);
+    coverage += top.gain;
+    for (RRId id : collection.SetsCovering(top.node)) covered[id] = 1;
+    ++round;
+  }
+
+  FillWithUnselected(n, k, selected, &result.seeds);
+  result.coverage = coverage;
+  return result;
+}
+
+}  // namespace opim

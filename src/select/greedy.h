@@ -1,0 +1,52 @@
+// Greedy maximum-coverage seed selection over an RRCollection
+// (Algorithm 1 of the paper), in two interchangeable implementations:
+//
+//  * SelectGreedy — the classic destructive cover-count greedy. Maintains
+//    the marginal coverage Λ(v | S_i*) of every node while it selects, so
+//    it can also capture the *greedy trace* that the improved bound of §5
+//    consumes: Λ1(S_i*) and Σ_{v ∈ maxMC(S_i*, k)} Λ1(v | S_i*) for every
+//    prefix i = 0..k (Eq. 10), in O(kn + Σ|R|) total.
+//  * SelectGreedyCelf — CELF lazy-forward greedy (Leskovec et al. 2007),
+//    usually faster in practice, identical output up to tie-breaking; kept
+//    as an ablation and cross-check. Does not produce the trace.
+//
+// Both return seed sets of exactly min(k, n) nodes; once every RR set is
+// covered, remaining slots are filled with the smallest-id unused nodes
+// (zero marginal gain), keeping results deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rrset/rr_collection.h"
+
+namespace opim {
+
+/// Output of greedy selection, including the per-prefix trace used by the
+/// Λ1ᵘ(S°) bound of Eq. (10).
+struct GreedyResult {
+  /// Selected seeds in selection order; size min(k, n).
+  std::vector<NodeId> seeds;
+
+  /// Final coverage Λ(S*) of the seed set in the collection.
+  uint64_t coverage = 0;
+
+  /// coverage_at[i] = Λ(S_i*) for i = 0..k (coverage_at[0] == 0).
+  /// Empty unless the trace was requested.
+  std::vector<uint64_t> coverage_at;
+
+  /// topk_marginal_at[i] = Σ_{v ∈ maxMC(S_i*, k)} Λ(v | S_i*) for i = 0..k.
+  /// Empty unless the trace was requested.
+  std::vector<uint64_t> topk_marginal_at;
+};
+
+/// Destructive cover-count greedy. If `with_trace`, also fills coverage_at
+/// and topk_marginal_at (adds O(kn) work, per the paper's §5 analysis).
+GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
+                          bool with_trace = false);
+
+/// CELF lazy-forward greedy; same seeds as SelectGreedy up to ties.
+GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k);
+
+}  // namespace opim

@@ -1,0 +1,50 @@
+#include "support/alias_sampler.h"
+
+#include <cstddef>
+
+namespace opim {
+
+void AliasSampler::Build(const std::vector<double>& weights) {
+  prob_.clear();
+  alias_.clear();
+  const size_t n = weights.size();
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) {
+    OPIM_CHECK_MSG(w >= 0.0, "AliasSampler weight must be non-negative");
+    total += w;
+  }
+  if (total <= 0.0) return;  // degenerate: leave empty
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled weights: mean 1. Partition into under-full and over-full buckets
+  // and pair them greedily (Vose's stable variant of Walker's method).
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining buckets are (numerically) exactly full.
+  for (uint32_t l : large) prob_[l] = 1.0;
+  for (uint32_t s : small) prob_[s] = 1.0;
+}
+
+}  // namespace opim

@@ -1,0 +1,53 @@
+// Walker's alias method for O(1) sampling from a fixed discrete
+// distribution (Walker 1977, cited as [42] by the paper).
+//
+// The LT-model RR-set sampler draws, at every random-walk step, one
+// in-neighbor of the current node with probability proportional to the edge
+// weight (or stops). Appendix A of the paper notes this takes O(1) per step
+// with the alias method after O(n + m) preprocessing; this class is that
+// preprocessing, built once per node over its in-edges.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/random.h"
+
+namespace opim {
+
+/// O(1) sampler over a fixed discrete distribution on {0, …, n-1}.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the alias table from non-negative weights. Weights need not be
+  /// normalized; all-zero or empty weights yield an empty sampler (Sample
+  /// must not be called). O(n) construction.
+  explicit AliasSampler(const std::vector<double>& weights) {
+    Build(weights);
+  }
+
+  /// (Re)builds the table from `weights`; see the constructor.
+  void Build(const std::vector<double>& weights);
+
+  /// Draws one index with probability proportional to its weight.
+  /// Requires a non-empty distribution.
+  uint32_t Sample(Rng& rng) const {
+    OPIM_CHECK_MSG(!prob_.empty(), "Sample() on empty AliasSampler");
+    uint32_t i = rng.UniformBelow(static_cast<uint32_t>(prob_.size()));
+    return rng.UniformDouble() < prob_[i] ? i : alias_[i];
+  }
+
+  /// True if the distribution is empty or had zero total weight.
+  bool empty() const { return prob_.empty(); }
+
+  /// Number of categories in the distribution (0 if empty()).
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;    // acceptance probability per bucket
+  std::vector<uint32_t> alias_; // alias index per bucket
+};
+
+}  // namespace opim

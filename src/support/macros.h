@@ -1,0 +1,55 @@
+// Core assertion and utility macros used across the opim library.
+//
+// Internal invariants use OPIM_CHECK-family macros: they abort with a
+// diagnostic on violation (these are programming errors, not recoverable
+// conditions). Fallible operations whose failure is an expected runtime
+// outcome (I/O, parsing) return Status/Result instead; see status.h.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace opim::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "OPIM_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace opim::internal
+
+/// Aborts with a diagnostic if `expr` is false. Enabled in all build types:
+/// the costs are trivial next to sampling work, and silent corruption in a
+/// randomized algorithm is far worse than an abort.
+#define OPIM_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::opim::internal::CheckFailed(__FILE__, __LINE__, #expr, "");       \
+    }                                                                     \
+  } while (0)
+
+/// OPIM_CHECK with an explanatory message.
+#define OPIM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::opim::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));    \
+    }                                                                     \
+  } while (0)
+
+/// Comparison checks that print both operand texts.
+#define OPIM_CHECK_LT(a, b) OPIM_CHECK((a) < (b))
+#define OPIM_CHECK_LE(a, b) OPIM_CHECK((a) <= (b))
+#define OPIM_CHECK_GT(a, b) OPIM_CHECK((a) > (b))
+#define OPIM_CHECK_GE(a, b) OPIM_CHECK((a) >= (b))
+#define OPIM_CHECK_EQ(a, b) OPIM_CHECK((a) == (b))
+#define OPIM_CHECK_NE(a, b) OPIM_CHECK((a) != (b))
+
+/// Marks a class as non-copyable (movability unaffected).
+#define OPIM_DISALLOW_COPY(ClassName)            \
+  ClassName(const ClassName&) = delete;          \
+  ClassName& operator=(const ClassName&) = delete

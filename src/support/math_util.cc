@@ -1,0 +1,48 @@
+#include "support/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace opim {
+
+double LogFactorial(uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  if (k == 0 || k >= n) return 0.0;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+uint64_t CeilToU64(double x) {
+  if (x <= 0.0) return 0;
+  double c = std::ceil(x);
+  if (c >= static_cast<double>(std::numeric_limits<uint64_t>::max())) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(c);
+}
+
+uint32_t CeilLog2(uint64_t x) {
+  uint32_t i = 0;
+  uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++i;
+  }
+  return i;
+}
+
+double SquaredSqrtSum(double u, double v) {
+  double s = std::sqrt(std::max(u, 0.0)) + std::sqrt(std::max(v, 0.0));
+  return s * s;
+}
+
+double SquaredSqrtDiffClamped(double u, double v) {
+  double d = std::sqrt(std::max(u, 0.0)) - std::sqrt(std::max(v, 0.0));
+  if (d <= 0.0) return 0.0;
+  return d * d;
+}
+
+}  // namespace opim

@@ -1,0 +1,37 @@
+// Small numeric helpers shared by the bound derivations and the baseline
+// algorithms (log-binomials for IMM's λ formulas, etc.).
+
+#pragma once
+
+#include <cstdint>
+
+namespace opim {
+
+/// Natural log of the binomial coefficient C(n, k), computed via
+/// lgamma to stay finite for the huge n the sample-size formulas use.
+/// Returns 0 for k <= 0 or k >= n (C = 1 at the boundary; out-of-range k
+/// is clamped, matching how the sample-size formulas use it).
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// log(n!) via lgamma.
+double LogFactorial(uint64_t n);
+
+/// 1 - 1/e, the greedy approximation factor for submodular maximization.
+constexpr double kOneMinusInvE = 0.6321205588285577;
+
+/// Rounds a positive double up to the next uint64, saturating at max.
+uint64_t CeilToU64(double x);
+
+/// Integer log2 ceiling: smallest i with 2^i >= x (x >= 1).
+uint32_t CeilLog2(uint64_t x);
+
+/// Numerically careful (a + b) choose over doubles: returns x*x for
+/// x = sqrt(u) + sqrt(v) without cancellation. Convenience for the
+/// (sqrt(A) + sqrt(B))^2 pattern in Eqs. (8), (13), (15).
+double SquaredSqrtSum(double u, double v);
+
+/// (sqrt(u) - sqrt(v))^2, clamped at 0 when sqrt(u) < sqrt(v).
+/// Convenience for the pattern in Eq. (5).
+double SquaredSqrtDiffClamped(double u, double v);
+
+}  // namespace opim

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation for the opim library.
+//
+// Everything in opim that consumes randomness takes an explicit Rng&, so
+// every experiment, test, and benchmark is reproducible from a single seed.
+// The generator is PCG32 (O'Neill 2014): tiny state, excellent statistical
+// quality, and much faster than std::mt19937 for the hot RR-set sampling
+// loops. Seeding uses SplitMix64 to decorrelate nearby integer seeds.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/macros.h"
+
+namespace opim {
+
+/// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Used for seeding and for deriving independent child seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// PCG32 (XSH-RR variant) pseudo-random generator with explicit seeding
+/// and cheap stream splitting.
+class Rng {
+ public:
+  using result_type = uint32_t;
+
+  /// Constructs a generator from a seed and an optional stream selector.
+  /// Distinct (seed, stream) pairs yield statistically independent streams.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1) {
+    uint64_t sm = seed;
+    state_ = 0;
+    inc_ = (SplitMix64(sm) ^ stream) << 1 | 1u;
+    NextU32();
+    state_ += SplitMix64(sm);
+    NextU32();
+  }
+
+  /// Minimum value returned by operator() (UniformRandomBitGenerator).
+  static constexpr result_type min() { return 0; }
+  /// Maximum value returned by operator() (UniformRandomBitGenerator).
+  static constexpr result_type max() {
+    return std::numeric_limits<uint32_t>::max();
+  }
+
+  /// UniformRandomBitGenerator interface; equivalent to NextU32().
+  result_type operator()() { return NextU32(); }
+
+  /// Returns the next 32 uniformly random bits.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  /// Returns an unbiased uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method.
+  uint32_t UniformBelow(uint32_t bound) {
+    OPIM_CHECK_GT(bound, 0u);
+    uint64_t m = static_cast<uint64_t>(NextU32()) * bound;
+    uint32_t lo = static_cast<uint32_t>(m);
+    if (lo < bound) {
+      uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<uint64_t>(NextU32()) * bound;
+        lo = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  /// Returns a uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+  /// Derives an independent child generator; deterministic in (this state,
+  /// tag). Useful for handing decorrelated streams to worker threads.
+  Rng Split(uint64_t tag) {
+    uint64_t s = NextU64() ^ (tag * 0x9e3779b97f4a7c15ULL);
+    return Rng(s, tag + 0x632be59bd9b4e019ULL);
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace opim

@@ -1,0 +1,132 @@
+// Status / Result error handling, in the style of Arrow and RocksDB.
+//
+// Functions whose failure is an expected runtime outcome (file I/O, text
+// parsing, user-supplied parameters) return Status or Result<T> rather than
+// throwing. Internal invariant violations use OPIM_CHECK (macros.h).
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/macros.h"
+
+namespace opim {
+
+/// Error categories for Status. Kept deliberately small; the message
+/// carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+};
+
+/// Returns a human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome with a message. Cheap to move; OK status
+/// carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status outcome, in the style of arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Constructing from an OK
+  /// status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    OPIM_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                   "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    OPIM_CHECK_MSG(ok(), "Result::ValueOrDie on error Result");
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    OPIM_CHECK_MSG(ok(), "Result::ValueOrDie on error Result");
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    OPIM_CHECK_MSG(ok(), "Result::ValueOrDie on error Result");
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace opim
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define OPIM_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::opim::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define OPIM_ASSIGN_OR_RETURN(lhs, rexpr)    \
+  auto _res_##__LINE__ = (rexpr);            \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).ValueOrDie()

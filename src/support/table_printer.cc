@@ -1,0 +1,109 @@
+#include "support/table_printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "support/macros.h"
+
+namespace opim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OPIM_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  OPIM_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Cell(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string TablePrinter::Cell(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string TablePrinter::ToAlignedString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  append_row(out, headers_);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TablePrinter::ToCsvString() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += CsvEscape(row[c]);
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  f << ToCsvString();
+  if (!f.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace opim

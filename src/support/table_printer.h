@@ -1,0 +1,46 @@
+// Aligned plain-text table and CSV emission for the experiment harness.
+// Every bench binary prints one table per paper table/figure through this.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace opim {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for the console) or as CSV (for plotting).
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with %g-style formatting.
+  static std::string Cell(double v, int precision = 6);
+  static std::string Cell(uint64_t v);
+  static std::string Cell(int64_t v);
+
+  /// Renders an aligned table with a header rule.
+  std::string ToAlignedString() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string ToCsvString() const;
+
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opim

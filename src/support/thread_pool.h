@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool, used by the Monte-Carlo spread estimator
+// to parallelize the (embarrassingly parallel) forward simulations.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "support/macros.h"
+
+namespace opim {
+
+/// Fixed-size worker pool executing std::function<void()> tasks.
+/// Submit work with Submit(); Wait() blocks until all submitted tasks have
+/// finished. Destruction waits for outstanding tasks.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  OPIM_DISALLOW_COPY(ThreadPool);
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Number of worker threads.
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// A reasonable default: hardware concurrency, at least 1.
+  static unsigned DefaultThreadCount();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits. `fn` must be
+  /// safe to invoke concurrently for distinct i.
+  void ParallelFor(uint64_t n, const std::function<void(uint64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  uint64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace opim

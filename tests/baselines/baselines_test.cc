@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/borgs_online.h"
+#include "baselines/dssa_fix.h"
+#include "baselines/imm.h"
+#include "baselines/mc_greedy.h"
+#include "baselines/opim_adoption.h"
+#include "baselines/ssa_fix.h"
+#include "core/opim_c.h"
+#include "gen/generators.h"
+#include "support/math_util.h"
+
+namespace opim {
+namespace {
+
+TEST(BorgsOnlineTest, SnapshotGammaIsPowerOfTwo) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  BorgsOnline borgs(g, DiffusionModel::kIndependentCascade, 3);
+  borgs.Advance(500);
+  BorgsSnapshot snap = borgs.Query();
+  ASSERT_GT(snap.gamma, 0u);
+  EXPECT_EQ(snap.gamma & (snap.gamma - 1), 0u) << snap.gamma;
+  EXPECT_LE(snap.gamma, borgs.gamma());
+  EXPECT_GT(2 * snap.gamma, borgs.gamma());
+  EXPECT_EQ(snap.seeds.size(), 3u);
+}
+
+TEST(BorgsOnlineTest, GuaranteeIsNearZeroAtPracticalScale) {
+  // Reproduces the paper's core criticism (§3.2, Figures 2-5).
+  Graph g = GenerateBarabasiAlbert(2000, 8);
+  BorgsOnline borgs(g, DiffusionModel::kLinearThreshold, 50);
+  borgs.Advance(20000);
+  EXPECT_LT(borgs.Query().alpha, 0.01);
+}
+
+TEST(BorgsOnlineTest, QueryBeforeFirstSnapshotIsEmpty) {
+  GraphBuilder b(10);
+  Graph g = b.Build();  // isolated: zero edges examined forever
+  BorgsOnline borgs(g, DiffusionModel::kIndependentCascade, 2);
+  borgs.Advance(10);
+  BorgsSnapshot snap = borgs.Query();
+  EXPECT_EQ(snap.gamma, 0u);
+  EXPECT_EQ(snap.alpha, 0.0);
+  EXPECT_TRUE(snap.seeds.empty());
+}
+
+class BaselineModelTest : public ::testing::TestWithParam<DiffusionModel> {};
+
+TEST_P(BaselineModelTest, ImmReturnsKSeeds) {
+  Graph g = GenerateBarabasiAlbert(400, 5);
+  ImmStats stats;
+  ImResult r = RunImm(g, GetParam(), 5, 0.3, 0.05, {}, &stats);
+  EXPECT_EQ(r.seeds.size(), 5u);
+  EXPECT_GT(r.num_rr_sets, 0u);
+  EXPECT_GT(stats.lower_bound, 0.0);
+  EXPECT_FALSE(stats.capped);
+  EXPECT_NEAR(r.guarantee, kOneMinusInvE - 0.3, 1e-12);
+}
+
+TEST_P(BaselineModelTest, ImmCapRespected) {
+  Graph g = GenerateBarabasiAlbert(400, 5);
+  ImmOptions o;
+  o.max_rr_sets = 100;
+  ImmStats stats;
+  ImResult r = RunImm(g, GetParam(), 5, 0.05, 0.05, o, &stats);
+  EXPECT_LE(r.num_rr_sets, 100u);
+  EXPECT_EQ(r.seeds.size(), 5u);
+}
+
+TEST_P(BaselineModelTest, SsaFixCompletes) {
+  Graph g = GenerateBarabasiAlbert(400, 5);
+  SsaFixStats stats;
+  ImResult r = RunSsaFix(g, GetParam(), 5, 0.3, 0.05, {}, &stats);
+  EXPECT_EQ(r.seeds.size(), 5u);
+  EXPECT_GT(r.num_rr_sets, 0u);
+  EXPECT_GT(stats.eps_split, 0.0);
+  EXPECT_LT(stats.eps_split, 1.0);
+  EXPECT_GE(stats.iterations, 1u);
+}
+
+TEST_P(BaselineModelTest, DssaFixCompletes) {
+  Graph g = GenerateBarabasiAlbert(400, 5);
+  DssaFixStats stats;
+  ImResult r = RunDssaFix(g, GetParam(), 5, 0.3, 0.05, {}, &stats);
+  EXPECT_EQ(r.seeds.size(), 5u);
+  EXPECT_GT(r.num_rr_sets, 0u);
+  EXPECT_GE(stats.iterations, 1u);
+}
+
+TEST_P(BaselineModelTest, AllAlgorithmsAgreeOnSpreadQuality) {
+  // IMM, SSA-Fix, D-SSA-Fix, and OPIM-C promise the same guarantee; their
+  // spreads should agree within a few percent (paper Figures 6a/7a).
+  Graph g = GenerateBarabasiAlbert(600, 6);
+  const DiffusionModel model = GetParam();
+  const uint32_t k = 10;
+  const double eps = 0.2, delta = 0.05;
+
+  OpimCResult opimc = RunOpimC(g, model, k, eps, delta);
+  ImResult imm = RunImm(g, model, k, eps, delta);
+  ImResult ssa = RunSsaFix(g, model, k, eps, delta);
+  ImResult dssa = RunDssaFix(g, model, k, eps, delta);
+
+  SpreadEstimator est(g, model, 2);
+  const uint64_t mc = 20000;
+  double s_opimc = est.Estimate(opimc.seeds, mc, 1);
+  double s_imm = est.Estimate(imm.seeds, mc, 1);
+  double s_ssa = est.Estimate(ssa.seeds, mc, 1);
+  double s_dssa = est.Estimate(dssa.seeds, mc, 1);
+
+  double lo = std::min(std::min(s_opimc, s_imm), std::min(s_ssa, s_dssa));
+  double hi = std::max(std::max(s_opimc, s_imm), std::max(s_ssa, s_dssa));
+  EXPECT_GE(lo, 0.9 * hi) << "spreads diverged: " << s_opimc << " "
+                          << s_imm << " " << s_ssa << " " << s_dssa;
+}
+
+TEST_P(BaselineModelTest, OpimCUsesFewestRRSets) {
+  // The headline efficiency claim (Figures 6b/7b): OPIM-C+ needs no more
+  // RR sets than IMM at the same (ε, δ). Allow slack for randomness.
+  Graph g = GenerateBarabasiAlbert(600, 6);
+  const DiffusionModel model = GetParam();
+  OpimCResult opimc = RunOpimC(g, model, 10, 0.1, 0.01);
+  ImResult imm = RunImm(g, model, 10, 0.1, 0.01);
+  EXPECT_LE(opimc.num_rr_sets, imm.num_rr_sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, BaselineModelTest,
+                         ::testing::Values(
+                             DiffusionModel::kIndependentCascade,
+                             DiffusionModel::kLinearThreshold),
+                         [](const auto& info) {
+                           return DiffusionModelName(info.param);
+                         });
+
+TEST(AdoptionTest, CurveAlphasFollowSchedule) {
+  // Fake algorithm: always uses 100 RR sets.
+  auto invoke = [](double eps, uint32_t) {
+    ImResult r;
+    r.num_rr_sets = 100;
+    r.seeds = {0};
+    r.guarantee = kOneMinusInvE - eps;
+    return r;
+  };
+  auto curve = BuildAdoptionCurve(invoke, 1000);
+  ASSERT_GE(curve.size(), 3u);
+  EXPECT_EQ(curve[0].cumulative_rr_sets, 100u);
+  EXPECT_NEAR(curve[0].alpha, 0.0, 1e-12);  // ε_1 = 1 - 1/e
+  EXPECT_NEAR(curve[1].alpha, kOneMinusInvE / 2, 1e-12);
+  EXPECT_NEAR(curve[2].alpha, kOneMinusInvE * 0.75, 1e-12);
+}
+
+TEST(AdoptionTest, AlphaAtBudgetIsLastCompleted) {
+  std::vector<AdoptionStep> curve;
+  curve.push_back({100, 0.0, {}});
+  curve.push_back({300, 0.3, {}});
+  curve.push_back({900, 0.45, {}});
+  EXPECT_EQ(AdoptionAlphaAt(curve, 50), 0.0);
+  EXPECT_EQ(AdoptionAlphaAt(curve, 100), 0.0);
+  EXPECT_EQ(AdoptionAlphaAt(curve, 299), 0.0);
+  EXPECT_EQ(AdoptionAlphaAt(curve, 300), 0.3);
+  EXPECT_EQ(AdoptionAlphaAt(curve, 10000), 0.45);
+}
+
+TEST(AdoptionTest, AlphaCappedBelowOneMinusInvE) {
+  auto invoke = [](double eps, uint32_t) {
+    ImResult r;
+    r.num_rr_sets = 1;
+    r.guarantee = kOneMinusInvE - eps;
+    return r;
+  };
+  auto curve = BuildAdoptionCurve(invoke, 1000000, 40);
+  for (const auto& step : curve) {
+    EXPECT_LT(step.alpha, kOneMinusInvE);
+  }
+}
+
+TEST(AdoptionTest, StopsAtBudget) {
+  int calls = 0;
+  auto invoke = [&calls](double, uint32_t) {
+    ++calls;
+    ImResult r;
+    r.num_rr_sets = 500;
+    return r;
+  };
+  BuildAdoptionCurve(invoke, 1000);
+  EXPECT_EQ(calls, 2);  // 500, 1000 -> budget reached
+}
+
+TEST(McGreedyTest, PicksTheHubOnAStar) {
+  GraphBuilder b(30);
+  for (NodeId v = 1; v < 30; ++v) b.AddEdge(0, v, 0.8);
+  Graph g = b.Build();
+  auto seeds =
+      SelectMcGreedy(g, DiffusionModel::kIndependentCascade, 1, 500);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(McGreedyTest, ReturnsKDistinctSeeds) {
+  Graph g = GenerateBarabasiAlbert(60, 3);
+  auto seeds =
+      SelectMcGreedy(g, DiffusionModel::kLinearThreshold, 5, 300);
+  ASSERT_EQ(seeds.size(), 5u);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,73 @@
+// Appendix C of the paper proves that D-SSA-Fix's dynamic error term ε_b
+// can undershoot the Chernoff requirement ε̂, so its stopping rule does
+// not yield a valid instance-specific guarantee (and hence cannot be
+// adapted for OPIM). This test reproduces the appendix's arithmetic
+// counterexample — an edgeless graph with n = 1e5 nodes, k = 1,
+// δ' = 1e-3, θ2 = 1e5 — and checks every number the paper derives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph.h"
+#include "rrset/rr_sampler.h"
+#include "support/math_util.h"
+#include "support/random.h"
+
+namespace opim {
+namespace {
+
+/// Unique positive root of ε̂² = (2 + 2ε̂/3)·(n/(θ2·σ))·ln(1/δ'), solved
+/// by fixed-point/bisection (the paper's ε̂ definition).
+double SolveEpsHat(double n, double theta2, double sigma, double delta_p) {
+  const double c = n / (theta2 * sigma) * std::log(1.0 / delta_p);
+  double lo = 0.0, hi = 1e9;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    ((mid * mid < (2.0 + 2.0 * mid / 3.0) * c) ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+TEST(DssaCounterexampleTest, EpsHatMatchesPaper) {
+  // "we can compute that ε̂ = 6.67" for n = 1e5, θ2 = 1e5, σ(S*) = 1,
+  // δ' = 1e-3.
+  double eps_hat = SolveEpsHat(1e5, 1e5, 1.0, 1e-3);
+  EXPECT_NEAR(eps_hat, 6.67, 0.05);
+}
+
+TEST(DssaCounterexampleTest, EmptyCoverageProbabilityMatchesPaper) {
+  // "Pr[Λ2(S*) = 0] = (1 - 1/n)^θ2 = 0.37".
+  double p = std::pow(1.0 - 1e-5, 1e5);
+  EXPECT_NEAR(p, 0.37, 0.005);
+}
+
+TEST(DssaCounterexampleTest, EpsBUndershootsEpsHat) {
+  // With σ2(S*) >= σ(S*) = 1 (probability 0.63) and ε = 1 - 1/e:
+  // ε_b²/ε̂² = (2 + 2ε/3)(1 + ε)σ(S*) / ((2 + 2ε̂/3)σ2(S*)) < 0.62 < 1.
+  const double eps = kOneMinusInvE;
+  const double eps_hat = SolveEpsHat(1e5, 1e5, 1.0, 1e-3);
+  const double sigma = 1.0, sigma2 = 1.0;  // σ2 >= σ; worst case equality
+  const double ratio2 = (2.0 + 2.0 * eps / 3.0) * (1.0 + eps) * sigma /
+                        ((2.0 + 2.0 * eps_hat / 3.0) * sigma2);
+  EXPECT_LT(ratio2, 0.62);
+  EXPECT_LT(ratio2, 1.0);  // hence ε_b < ε̂: the Chernoff bound need not hold
+}
+
+TEST(DssaCounterexampleTest, EdgelessGraphRRSetsAreSingletons) {
+  // The construction behind the counterexample: with m = 0, every RR set
+  // is exactly its root and every seed's spread is 1.
+  GraphBuilder b(1000);
+  Graph g = b.Build();
+  auto sampler = MakeRRSampler(g, DiffusionModel::kIndependentCascade);
+  Rng rng(1);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t cost = sampler->SampleInto(rng, &out);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(cost, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace opim

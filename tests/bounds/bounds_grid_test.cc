@@ -1,0 +1,114 @@
+// Parameterized grid sweeps over the bound formulas: the monotonicity and
+// dominance properties that make the α certificates sound must hold at
+// every (δ, θ, Λ) corner, not just the defaults the algorithms happen to
+// use.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "bounds/bounds.h"
+#include "support/math_util.h"
+
+namespace opim {
+namespace {
+
+using GridParam = std::tuple<double /*delta*/, uint64_t /*theta*/>;
+
+class BoundGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(BoundGridTest, LowerBelowEmpiricalBelowUpper) {
+  auto [delta, theta] = GetParam();
+  const double scale = 10000.0;
+  for (uint64_t lambda : {0ULL, 1ULL, 7ULL, 50ULL, 500ULL, 5000ULL}) {
+    if (lambda > theta) continue;
+    const double empirical = static_cast<double>(lambda) * scale / theta;
+    const double lower = SigmaLower(lambda, theta, scale, delta);
+    const double upper = SigmaUpperBasic(lambda, theta, scale, delta);
+    EXPECT_LE(lower, empirical + 1e-9)
+        << "lambda " << lambda << " theta " << theta << " delta " << delta;
+    // Upper bound dominates even the 1/(1-1/e)-scaled empirical value.
+    EXPECT_GE(upper, empirical / kOneMinusInvE - 1e-9);
+    EXPECT_LE(lower, upper);
+  }
+}
+
+TEST_P(BoundGridTest, LowerMonotoneInLambda) {
+  auto [delta, theta] = GetParam();
+  double prev = -1.0;
+  for (uint64_t lambda = 0; lambda <= theta; lambda += theta / 8 + 1) {
+    double v = SigmaLower(lambda, theta, 1000.0, delta);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST_P(BoundGridTest, UpperMonotoneInLambda) {
+  auto [delta, theta] = GetParam();
+  double prev = 0.0;
+  for (uint64_t lambda = 0; lambda <= theta; lambda += theta / 8 + 1) {
+    double v = SigmaUpperBasic(lambda, theta, 1000.0, delta);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST_P(BoundGridTest, BoundsScaleLinearlyWithScale) {
+  auto [delta, theta] = GetParam();
+  const uint64_t lambda = theta / 3 + 1;
+  double l1 = SigmaLower(lambda, theta, 1000.0, delta);
+  double l2 = SigmaLower(lambda, theta, 2000.0, delta);
+  EXPECT_NEAR(l2, 2.0 * l1, 1e-9 * std::max(1.0, l2));
+  double u1 = SigmaUpperBasic(lambda, theta, 1000.0, delta);
+  double u2 = SigmaUpperBasic(lambda, theta, 2000.0, delta);
+  EXPECT_NEAR(u2, 2.0 * u1, 1e-9 * u2);
+}
+
+TEST_P(BoundGridTest, MoreSamplesTightenTheGapAtFixedFrequency) {
+  auto [delta, theta] = GetParam();
+  if (theta < 64) return;
+  // Hold the empirical frequency Λ/θ at ~30% and grow θ 16x: the
+  // relative gap between upper and lower must shrink.
+  auto gap = [&](uint64_t th) {
+    uint64_t lam = th * 3 / 10;
+    double lower = SigmaLower(lam, th, 1000.0, delta);
+    double upper = SigmaUpperBasic(lam, th, 1000.0, delta);
+    return lower > 0 ? upper / lower : 1e300;
+  };
+  EXPECT_LT(gap(theta * 16), gap(theta));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeltaThetaGrid, BoundGridTest,
+    ::testing::Combine(::testing::Values(1e-9, 1e-6, 1e-3, 0.05, 0.3),
+                       ::testing::Values(uint64_t{16}, uint64_t{512},
+                                         uint64_t{16384})));
+
+class DeltaSplitGridTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaSplitGridTest, RatioBoundedAndBelowOne) {
+  const double delta = GetParam();
+  // Λ2 must be large enough that the Eq. (5) lower bound is non-vacuous
+  // (at Λ2 ~ 10 and δ = 1e-9 f() clamps to 0 — correctly); the paper's
+  // Figure 1 uses Λ2 = 100.
+  for (double lambda1 : {10.0, 100.0, 1000.0, 100000.0}) {
+    for (double lambda2 : {100.0, 1000.0, 10000.0}) {
+      double r = DeltaSplitRatio(lambda1, lambda2, delta);
+      EXPECT_GT(r, 0.5) << lambda1 << " " << lambda2 << " " << delta;
+      EXPECT_LE(r, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(DeltaSplitTest, VacuousLowerBoundYieldsZeroRatio) {
+  // Tiny Λ2 at strict δ: f(ln 1/δ) <= 0, and the ratio reports 0 rather
+  // than dividing by a non-positive number.
+  EXPECT_EQ(DeltaSplitRatio(1000.0, 10.0, 1e-9), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSplitGridTest,
+                         ::testing::Values(1e-9, 1e-7, 1e-5, 1e-3, 1e-1));
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "core/online_maximizer.h"
+#include "gen/generators.h"
+
+namespace opim {
+namespace {
+
+TEST(AdvanceParallelTest, PoolsBalancedAndCounted) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 5, 0.05, 1);
+  om.AdvanceParallel(101, 3);
+  EXPECT_EQ(om.num_rr_sets(), 101u);
+  uint64_t t1 = om.r1().num_sets(), t2 = om.r2().num_sets();
+  EXPECT_LE(t1 > t2 ? t1 - t2 : t2 - t1, 1u);
+  om.AdvanceParallel(101, 3);
+  EXPECT_EQ(om.num_rr_sets(), 202u);
+  EXPECT_EQ(om.r1().num_sets(), om.r2().num_sets());
+}
+
+TEST(AdvanceParallelTest, DeterministicForFixedThreadCount) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  OnlineMaximizer a(g, DiffusionModel::kLinearThreshold, 5, 0.05, 42);
+  OnlineMaximizer b(g, DiffusionModel::kLinearThreshold, 5, 0.05, 42);
+  a.AdvanceParallel(600, 2);
+  b.AdvanceParallel(600, 2);
+  OnlineSnapshot sa = a.Query(BoundKind::kImproved);
+  OnlineSnapshot sb = b.Query(BoundKind::kImproved);
+  EXPECT_EQ(sa.seeds, sb.seeds);
+  EXPECT_EQ(sa.alpha, sb.alpha);
+}
+
+TEST(AdvanceParallelTest, MixesWithSerialAdvance) {
+  Graph g = GenerateBarabasiAlbert(300, 4);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 5, 0.05, 7);
+  om.Advance(500);
+  om.AdvanceParallel(500, 2);
+  om.Advance(500);
+  EXPECT_EQ(om.num_rr_sets(), 1500u);
+  OnlineSnapshot snap = om.Query(BoundKind::kImproved);
+  EXPECT_EQ(snap.seeds.size(), 5u);
+  EXPECT_GT(snap.alpha, 0.0);
+}
+
+TEST(AdvanceParallelTest, QualityMatchesSerialStatistically) {
+  Graph g = GenerateBarabasiAlbert(400, 5);
+  OnlineMaximizer serial(g, DiffusionModel::kIndependentCascade, 8, 0.05, 3);
+  OnlineMaximizer parallel(g, DiffusionModel::kIndependentCascade, 8, 0.05,
+                           3);
+  serial.Advance(16000);
+  parallel.AdvanceParallel(16000, 4);
+  double a = serial.Query(BoundKind::kImproved).alpha;
+  double b = parallel.Query(BoundKind::kImproved).alpha;
+  EXPECT_NEAR(a, b, 0.1);
+}
+
+}  // namespace
+}  // namespace opim

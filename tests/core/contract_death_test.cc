@@ -1,0 +1,82 @@
+// Contract enforcement: invalid arguments must abort loudly via
+// OPIM_CHECK (a randomized algorithm silently fed garbage produces
+// plausible-looking wrong answers, which is worse than a crash).
+
+#include <gtest/gtest.h>
+
+#include "core/online_maximizer.h"
+#include "core/opim_c.h"
+#include "gen/generators.h"
+#include "rrset/rr_collection.h"
+
+namespace opim {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, OnlineMaximizerRejectsZeroK) {
+  Graph g = GeneratePath(4);
+  EXPECT_DEATH(
+      OnlineMaximizer(g, DiffusionModel::kIndependentCascade, 0, 0.1),
+      "OPIM_CHECK");
+}
+
+TEST(ContractDeathTest, OnlineMaximizerRejectsKAboveN) {
+  Graph g = GeneratePath(4);
+  EXPECT_DEATH(
+      OnlineMaximizer(g, DiffusionModel::kIndependentCascade, 5, 0.1),
+      "OPIM_CHECK");
+}
+
+TEST(ContractDeathTest, OnlineMaximizerRejectsBadDelta) {
+  Graph g = GeneratePath(4);
+  EXPECT_DEATH(
+      OnlineMaximizer(g, DiffusionModel::kIndependentCascade, 2, 0.0),
+      "OPIM_CHECK");
+  EXPECT_DEATH(
+      OnlineMaximizer(g, DiffusionModel::kIndependentCascade, 2, 1.0),
+      "OPIM_CHECK");
+}
+
+TEST(ContractDeathTest, QueryBeforeAdvanceAborts) {
+  Graph g = GeneratePath(4);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 2, 0.1);
+  EXPECT_DEATH(om.Query(BoundKind::kBasic), "Advance");
+}
+
+TEST(ContractDeathTest, OpimCRejectsBadEps) {
+  Graph g = GeneratePath(4);
+  EXPECT_DEATH(
+      RunOpimC(g, DiffusionModel::kIndependentCascade, 2, 0.0, 0.1),
+      "OPIM_CHECK");
+  EXPECT_DEATH(
+      RunOpimC(g, DiffusionModel::kIndependentCascade, 2, 1.0, 0.1),
+      "OPIM_CHECK");
+}
+
+TEST(ContractDeathTest, WeightedRejectsWrongLengthOrAllZero) {
+  Graph g = GeneratePath(4);
+  std::vector<double> short_weights = {1.0, 1.0};
+  EXPECT_DEATH(OnlineMaximizer(g, DiffusionModel::kIndependentCascade, 2,
+                               0.1, short_weights, 1),
+               "OPIM_CHECK");
+  std::vector<double> zero_weights(4, 0.0);
+  EXPECT_DEATH(OnlineMaximizer(g, DiffusionModel::kIndependentCascade, 2,
+                               0.1, zero_weights, 1),
+               "zero");
+}
+
+TEST(ContractDeathTest, CollectionRejectsOutOfRangeNode) {
+  RRCollection rr(3);
+  std::vector<NodeId> bad = {7};
+  EXPECT_DEATH(rr.AddSet(bad, 1), "OPIM_CHECK");
+}
+
+TEST(ContractDeathTest, GraphBuilderRejectsBadEndpointsAndProbs) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.AddEdge(0, 5, 0.5), "OPIM_CHECK");
+  EXPECT_DEATH(b.AddEdge(0, 1, 1.5), "probability");
+}
+
+}  // namespace
+}  // namespace opim

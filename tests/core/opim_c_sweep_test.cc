@@ -1,0 +1,63 @@
+// Parameterized OPIM-C sweep over (ε, bound kind, model): every
+// combination must terminate, return k seeds, and — whenever it stopped
+// via the bound rather than i_max — certify at least 1 - 1/e - ε.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/opim_c.h"
+#include "gen/generators.h"
+#include "support/math_util.h"
+
+namespace opim {
+namespace {
+
+using SweepParam = std::tuple<double /*eps*/, BoundKind, DiffusionModel>;
+
+class OpimCSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(OpimCSweepTest, TerminatesWithValidCertificate) {
+  auto [eps, bound, model] = GetParam();
+  Graph g = GenerateBarabasiAlbert(400, 5, /*undirected=*/false,
+                                   {.seed = 11});
+  OpimCOptions o;
+  o.bound = bound;
+  o.seed = 13;
+  OpimCResult r = RunOpimC(g, model, 8, eps, 0.05, o);
+  EXPECT_EQ(r.seeds.size(), 8u);
+  EXPECT_GE(r.iterations, 1u);
+  EXPECT_LE(r.iterations, r.i_max);
+  if (r.iterations < r.i_max) {
+    EXPECT_GE(r.alpha, kOneMinusInvE - eps)
+        << "early stop without meeting the target";
+  }
+  // Iterations and trace agree.
+  EXPECT_EQ(r.trace.size(), r.iterations);
+  EXPECT_DOUBLE_EQ(r.trace.back().alpha, r.alpha);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OpimCSweepTest,
+    ::testing::Combine(
+        ::testing::Values(0.4, 0.2, 0.1),
+        ::testing::Values(BoundKind::kBasic, BoundKind::kImproved,
+                          BoundKind::kLeskovec),
+        ::testing::Values(DiffusionModel::kIndependentCascade,
+                          DiffusionModel::kLinearThreshold)),
+    [](const auto& info) {
+      // NOTE: no structured bindings here — the comma-separated binding
+      // list would be split by the INSTANTIATE macro's preprocessor.
+      const double eps = std::get<0>(info.param);
+      const BoundKind bound = std::get<1>(info.param);
+      std::string name = DiffusionModelName(std::get<2>(info.param));
+      name += bound == BoundKind::kBasic      ? "_basic"
+              : bound == BoundKind::kImproved ? "_improved"
+                                              : "_leskovec";
+      name += "_eps";
+      name += std::to_string(static_cast<int>(eps * 100));
+      return name;
+    });
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "core/online_maximizer.h"
+#include "gen/generators.h"
+
+namespace opim {
+namespace {
+
+TEST(RunUntilTargetTest, StopsWhenTargetReached) {
+  Graph g = GenerateBarabasiAlbert(300, 5);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 5, 0.05, 1);
+  OnlineSnapshot snap =
+      om.RunUntilTarget(BoundKind::kImproved, 0.5, /*batch=*/2000);
+  EXPECT_GE(snap.alpha, 0.5);
+  EXPECT_GT(om.num_rr_sets(), 0u);
+}
+
+TEST(RunUntilTargetTest, RespectsRRBudget) {
+  Graph g = GenerateBarabasiAlbert(300, 5);
+  OnlineMaximizer om(g, DiffusionModel::kLinearThreshold, 5, 0.05, 2);
+  // An unreachable target with a small budget must stop at the budget.
+  OnlineSnapshot snap = om.RunUntilTarget(BoundKind::kBasic, 0.9999,
+                                          /*batch=*/500,
+                                          /*max_rr_sets=*/3000);
+  EXPECT_EQ(om.num_rr_sets(), 3000u);
+  EXPECT_LT(snap.alpha, 0.9999);
+}
+
+TEST(RunUntilTargetTest, BatchLargerThanBudgetClamps) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 3, 0.1, 3);
+  om.RunUntilTarget(BoundKind::kBasic, 2.0 /* impossible */, 100000, 1500);
+  EXPECT_EQ(om.num_rr_sets(), 1500u);
+}
+
+TEST(RunUntilTargetTest, ZeroTargetStopsAfterOneBatch) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 3, 0.1, 4);
+  om.RunUntilTarget(BoundKind::kImproved, 0.0, 700);
+  EXPECT_EQ(om.num_rr_sets(), 700u);
+}
+
+}  // namespace
+}  // namespace opim

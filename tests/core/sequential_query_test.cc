@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/online_maximizer.h"
+#include "gen/generators.h"
+#include "rrset/rr_collection.h"
+
+namespace opim {
+namespace {
+
+TEST(SequentialQueryTest, BudgetCounterAdvances) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 5, 0.1, 1);
+  om.Advance(1000);
+  EXPECT_EQ(om.sequential_queries_issued(), 0u);
+  om.QuerySequential(BoundKind::kImproved);
+  EXPECT_EQ(om.sequential_queries_issued(), 1u);
+  om.QuerySequential(BoundKind::kImproved);
+  EXPECT_EQ(om.sequential_queries_issued(), 2u);
+}
+
+TEST(SequentialQueryTest, PlainQueryDoesNotConsumeBudget) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 5, 0.1, 1);
+  om.Advance(1000);
+  om.Query(BoundKind::kBasic);
+  om.QueryAll();
+  EXPECT_EQ(om.sequential_queries_issued(), 0u);
+}
+
+TEST(SequentialQueryTest, LaterQueriesPayShrinkingBudget) {
+  // δ_i = δ/2^i shrinks, so at a FIXED sample state a later sequential
+  // query must report a weaker (or equal) guarantee than an earlier one
+  // would at the same state — compare against plain Query at matching δ.
+  Graph g = GenerateBarabasiAlbert(400, 5);
+  OnlineMaximizer om(g, DiffusionModel::kLinearThreshold, 10, 0.1, 2);
+  om.Advance(20000);
+
+  OnlineSnapshot plain = om.Query(BoundKind::kImproved);           // δ/2 each
+  OnlineSnapshot seq1 = om.QuerySequential(BoundKind::kImproved);  // δ/4 each
+  OnlineSnapshot seq2 = om.QuerySequential(BoundKind::kImproved);  // δ/8 each
+  OnlineSnapshot seq3 = om.QuerySequential(BoundKind::kImproved);  // δ/16 each
+
+  // The first sequential query pays δ/2 split over two bounds (δ/4 each),
+  // strictly less than the plain query's δ/2 each.
+  EXPECT_LE(seq1.alpha, plain.alpha + 1e-12);
+  // Identical sample state, shrinking budget -> non-increasing alpha.
+  EXPECT_LE(seq2.alpha, seq1.alpha + 1e-12);
+  EXPECT_LE(seq3.alpha, seq2.alpha + 1e-12);
+  // But the cost of simultaneity is mild (log factors only).
+  EXPECT_GT(seq3.alpha, 0.5 * seq1.alpha);
+}
+
+TEST(SequentialQueryTest, InterleavedWithAdvanceStillImproves) {
+  Graph g = GenerateBarabasiAlbert(400, 5);
+  OnlineMaximizer om(g, DiffusionModel::kIndependentCascade, 10, 0.1, 3);
+  om.Advance(500);
+  double first = om.QuerySequential(BoundKind::kImproved).alpha;
+  om.Advance(31500);
+  double later = om.QuerySequential(BoundKind::kImproved).alpha;
+  // 64x more samples should dominate the halved budget.
+  EXPECT_GT(later, first);
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,202 @@
+#include "diffusion/cascade.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+
+namespace opim {
+namespace {
+
+Graph DeterministicPath(uint32_t n) {
+  // 0 -> 1 -> ... -> n-1 with p = 1 everywhere.
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1, 1.0);
+  return b.Build();
+}
+
+Graph ZeroProbPath(uint32_t n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1, 0.0);
+  return b.Build();
+}
+
+class CascadeModelTest : public ::testing::TestWithParam<DiffusionModel> {};
+
+TEST_P(CascadeModelTest, CertainEdgesActivateWholePath) {
+  Graph g = DeterministicPath(10);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0};
+  // p = 1: IC always fires; LT threshold <= 1 = incoming weight.
+  EXPECT_EQ(SimulateCascade(g, GetParam(), seeds, rng), 10u);
+}
+
+TEST_P(CascadeModelTest, ZeroProbEdgesActivateOnlySeeds) {
+  Graph g = ZeroProbPath(10);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0, 5};
+  EXPECT_EQ(SimulateCascade(g, GetParam(), seeds, rng), 2u);
+}
+
+TEST_P(CascadeModelTest, DuplicateSeedsCountOnce) {
+  Graph g = ZeroProbPath(5);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {2, 2, 2};
+  EXPECT_EQ(SimulateCascade(g, GetParam(), seeds, rng), 1u);
+}
+
+TEST_P(CascadeModelTest, EmptySeedsActivateNothing) {
+  Graph g = DeterministicPath(5);
+  Rng rng(1);
+  std::vector<NodeId> seeds;
+  EXPECT_EQ(SimulateCascade(g, GetParam(), seeds, rng), 0u);
+}
+
+TEST_P(CascadeModelTest, ActivatedListMatchesCount) {
+  Graph g = DeterministicPath(6);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {3};
+  std::vector<NodeId> activated;
+  uint32_t count = SimulateCascade(g, GetParam(), seeds, rng, &activated);
+  EXPECT_EQ(count, activated.size());
+  // From node 3 the cascade reaches 3, 4, 5 exactly.
+  std::sort(activated.begin(), activated.end());
+  EXPECT_EQ(activated, (std::vector<NodeId>{3, 4, 5}));
+}
+
+TEST_P(CascadeModelTest, SimulatorReusableAcrossRuns) {
+  Graph g = DeterministicPath(8);
+  CascadeSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> s0 = {0}, s7 = {7};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sim.Run(GetParam(), s0, rng), 8u);
+    EXPECT_EQ(sim.Run(GetParam(), s7, rng), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, CascadeModelTest,
+                         ::testing::Values(
+                             DiffusionModel::kIndependentCascade,
+                             DiffusionModel::kLinearThreshold),
+                         [](const auto& info) {
+                           return DiffusionModelName(info.param);
+                         });
+
+TEST(CascadeTest, ModelNames) {
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kIndependentCascade), "IC");
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kLinearThreshold), "LT");
+}
+
+TEST(CascadeTest, IcTwoNodeActivationProbability) {
+  // Single edge 0 -> 1 with p = 0.3: E[spread({0})] = 1.3 exactly.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.3);
+  Graph g = b.Build();
+  CascadeSimulator sim(g);
+  Rng rng(42);
+  std::vector<NodeId> seeds = {0};
+  const int n = 100000;
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += sim.Run(DiffusionModel::kIndependentCascade, seeds, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / n, 1.3, 0.01);
+}
+
+TEST(CascadeTest, LtTwoNodeActivationProbability) {
+  // Under LT a single in-edge of weight 0.3 activates iff threshold <= 0.3.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.3);
+  Graph g = b.Build();
+  CascadeSimulator sim(g);
+  Rng rng(42);
+  std::vector<NodeId> seeds = {0};
+  const int n = 100000;
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += sim.Run(DiffusionModel::kLinearThreshold, seeds, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / n, 1.3, 0.01);
+}
+
+TEST(CascadeTest, LtThresholdSharedAcrossInfluencers) {
+  // v has two in-edges of weight 0.5 each. Seeding both parents activates
+  // v with probability 1 (combined weight 1 >= any threshold).
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(1, 2, 0.5);
+  Graph g = b.Build();
+  CascadeSimulator sim(g);
+  Rng rng(7);
+  std::vector<NodeId> seeds = {0, 1};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sim.Run(DiffusionModel::kLinearThreshold, seeds, rng), 3u);
+  }
+}
+
+TEST(CascadeTest, IcIndependentEdgesCompose) {
+  // v with two in-edges p = 0.5 each, both parents seeded:
+  // P[v active] = 1 - 0.25 = 0.75 under IC.
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(1, 2, 0.5);
+  Graph g = b.Build();
+  CascadeSimulator sim(g);
+  Rng rng(7);
+  std::vector<NodeId> seeds = {0, 1};
+  const int n = 100000;
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += sim.Run(DiffusionModel::kIndependentCascade, seeds, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / n, 2.75, 0.01);
+}
+
+TEST(SpreadEstimatorTest, MatchesAnalyticTwoNode) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.4);
+  Graph g = b.Build();
+  SpreadEstimator est(g, DiffusionModel::kIndependentCascade, 2);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_NEAR(est.Estimate(seeds, 100000), 1.4, 0.02);
+}
+
+TEST(SpreadEstimatorTest, DeterministicForFixedSeedAndThreads) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  SpreadEstimator est(g, DiffusionModel::kIndependentCascade, 3);
+  std::vector<NodeId> seeds = {0, 5, 10};
+  double a = est.Estimate(seeds, 5000, /*seed=*/9);
+  double b = est.Estimate(seeds, 5000, /*seed=*/9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SpreadEstimatorTest, ZeroSamplesGiveZero) {
+  Graph g = DeterministicPath(3);
+  SpreadEstimator est(g, DiffusionModel::kIndependentCascade, 1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(est.Estimate(seeds, 0), 0.0);
+}
+
+TEST(SpreadEstimatorTest, SpreadMonotoneInSeeds) {
+  Graph g = GenerateBarabasiAlbert(300, 4);
+  SpreadEstimator est(g, DiffusionModel::kIndependentCascade, 2);
+  std::vector<NodeId> small = {0, 1};
+  std::vector<NodeId> large = {0, 1, 2, 3};
+  EXPECT_LE(est.Estimate(small, 20000, 3),
+            est.Estimate(large, 20000, 3) + 0.2);
+}
+
+TEST(SpreadEstimatorTest, SeedsAloneWhenGraphDisconnected) {
+  GraphBuilder b(10);
+  Graph g = b.Build();  // no edges at all
+  SpreadEstimator est(g, DiffusionModel::kLinearThreshold, 2);
+  std::vector<NodeId> seeds = {1, 3, 5};
+  EXPECT_DOUBLE_EQ(est.Estimate(seeds, 100), 3.0);
+}
+
+}  // namespace
+}  // namespace opim

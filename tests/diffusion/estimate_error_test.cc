@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/cascade.h"
+#include "gen/generators.h"
+
+namespace opim {
+namespace {
+
+TEST(EstimateWithErrorTest, MeanMatchesPlainEstimate) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  SpreadEstimator est(g, DiffusionModel::kIndependentCascade, 2);
+  std::vector<NodeId> seeds = {0, 3};
+  // Same RNG stream derivation: means must be bit-identical.
+  double plain = est.Estimate(seeds, 10000, 5);
+  auto withe = est.EstimateWithError(seeds, 10000, 5);
+  EXPECT_DOUBLE_EQ(plain, withe.mean);
+  EXPECT_EQ(withe.num_samples, 10000u);
+}
+
+TEST(EstimateWithErrorTest, StderrShrinksWithSamples) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  SpreadEstimator est(g, DiffusionModel::kLinearThreshold, 2);
+  // Node 0 has no out-edges in the directed BA construction (its spread
+  // is deterministically 1); use a late node, which has out-degree 4.
+  std::vector<NodeId> seeds = {150};
+  auto small = est.EstimateWithError(seeds, 1000, 7);
+  auto large = est.EstimateWithError(seeds, 64000, 7);
+  EXPECT_GT(small.stderr_, 0.0);
+  // 64x samples -> ~8x smaller standard error.
+  EXPECT_NEAR(small.stderr_ / large.stderr_, 8.0, 2.5);
+}
+
+TEST(EstimateWithErrorTest, DeterministicSpreadHasZeroError) {
+  // Path with p = 1: every run activates the same count.
+  GraphBuilder b(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) b.AddEdge(v, v + 1, 1.0);
+  Graph g = b.Build();
+  SpreadEstimator est(g, DiffusionModel::kIndependentCascade, 1);
+  std::vector<NodeId> seeds = {0};
+  auto r = est.EstimateWithError(seeds, 500, 1);
+  EXPECT_DOUBLE_EQ(r.mean, 5.0);
+  EXPECT_DOUBLE_EQ(r.stderr_, 0.0);
+}
+
+TEST(EstimateWithErrorTest, CiCoversAnalyticTruth) {
+  // Two-node p = 0.3 edge: σ({0}) = 1.3. The 99.9% CI must cover it in
+  // nearly every run; with one fixed seed, assert a ~4-sigma cover.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.3);
+  Graph g = b.Build();
+  SpreadEstimator est(g, DiffusionModel::kIndependentCascade, 2);
+  std::vector<NodeId> seeds = {0};
+  auto r = est.EstimateWithError(seeds, 50000, 3);
+  EXPECT_NEAR(r.mean, 1.3, 4.0 * r.stderr_ + 1e-9);
+  // stderr itself should match the Bernoulli formula sqrt(p(1-p)/n).
+  EXPECT_NEAR(r.stderr_, std::sqrt(0.3 * 0.7 / 50000), 0.0005);
+}
+
+TEST(EstimateWithErrorTest, ZeroSamples) {
+  Graph g = GenerateBarabasiAlbert(50, 3);
+  SpreadEstimator est(g, DiffusionModel::kIndependentCascade, 1);
+  std::vector<NodeId> seeds = {0};
+  auto r = est.EstimateWithError(seeds, 0, 1);
+  EXPECT_EQ(r.mean, 0.0);
+  EXPECT_EQ(r.stderr_, 0.0);
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,100 @@
+// Edge cases and determinism sweeps for every generator: minimal sizes,
+// boundary parameters, and seed-stability (the experiments depend on
+// bit-reproducible workloads).
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+
+namespace opim {
+namespace {
+
+bool GraphsIdentical(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    auto na = a.OutNeighbors(u), nb = b.OutNeighbors(u);
+    auto pa = a.OutProbs(u), pb = b.OutProbs(u);
+    if (na.size() != nb.size()) return false;
+    for (size_t i = 0; i < na.size(); ++i) {
+      if (na[i] != nb[i] || pa[i] != pb[i]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(GeneratorEdgeCasesTest, MinimalSizes) {
+  EXPECT_EQ(GenerateErdosRenyi(2, 1).num_nodes(), 2u);
+  EXPECT_EQ(GenerateBarabasiAlbert(2, 1).num_edges(), 1u);
+  EXPECT_EQ(GenerateWattsStrogatz(3, 2, 0.5).num_nodes(), 3u);
+  EXPECT_EQ(GenerateComplete(2).num_edges(), 2u);
+  EXPECT_EQ(GenerateStar(2).num_edges(), 1u);
+  EXPECT_EQ(GeneratePath(2).num_edges(), 1u);
+  EXPECT_EQ(GenerateCycle(3).num_edges(), 3u);
+  EXPECT_EQ(GenerateGrid2D(1, 1).num_edges(), 0u);
+  EXPECT_EQ(GenerateGrid2D(1, 5).num_edges(), 8u);  // path, both ways
+}
+
+TEST(GeneratorEdgeCasesTest, RmatMinimalScale) {
+  Graph g = GenerateRmat(1, 10);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_LE(g.num_edges(), 10u);  // self-loops dropped
+}
+
+TEST(GeneratorEdgeCasesTest, ZeroEdgeRequest) {
+  Graph g = GenerateErdosRenyi(10, 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GeneratorEdgeCasesTest, WattsStrogatzFullRewire) {
+  // rewire_prob = 1: still n·k directed edges, still no self-loops.
+  Graph g = GenerateWattsStrogatz(50, 4, 1.0);
+  EXPECT_EQ(g.num_edges(), 200u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) EXPECT_NE(u, v);
+  }
+}
+
+/// Every generator must be deterministic in its seed.
+class GeneratorDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorDeterminismTest, SameSeedSameGraph) {
+  GenOptions opt;
+  opt.seed = 404;
+  auto make = [&]() -> Graph {
+    switch (GetParam()) {
+      case 0: return GenerateErdosRenyi(80, 400, opt);
+      case 1: return GenerateBarabasiAlbert(80, 4, false, opt);
+      case 2: return GenerateBarabasiAlbert(80, 4, true, opt);
+      case 3: return GenerateWattsStrogatz(80, 4, 0.3, opt);
+      case 4: return GeneratePowerLawConfiguration(80, 2.2, 6.0, 0, opt);
+      case 5: return GenerateRmat(7, 500, 0.57, 0.19, 0.19, 0.05, opt);
+      default: return GenerateGrid2D(8, 10, opt);
+    }
+  };
+  EXPECT_TRUE(GraphsIdentical(make(), make())) << "case " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorDeterminismTest,
+                         ::testing::Range(0, 7));
+
+TEST(GeneratorEdgeCasesTest, CompleteGraphIsWeightFeasibleAndUniform) {
+  Graph g = GenerateComplete(6);  // WC: every p = 1/5
+  for (NodeId v = 0; v < 6; ++v) {
+    for (double p : g.InProbs(v)) EXPECT_DOUBLE_EQ(p, 0.2);
+    EXPECT_NEAR(g.InWeightSum(v), 1.0, 1e-12);
+  }
+}
+
+TEST(GeneratorEdgeCasesTest, GridCornersAndCenterDegrees) {
+  Graph g = GenerateGrid2D(5, 5);
+  auto id = [](uint32_t r, uint32_t c) { return r * 5 + c; };
+  EXPECT_EQ(g.OutDegree(id(0, 0)), 2u);   // corner
+  EXPECT_EQ(g.OutDegree(id(0, 2)), 3u);   // edge
+  EXPECT_EQ(g.OutDegree(id(2, 2)), 4u);   // center
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,185 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace opim {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiCounts) {
+  Graph g = GenerateErdosRenyi(100, 500);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiNoSelfLoops) {
+  Graph g = GenerateErdosRenyi(20, 200);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  GenOptions opt;
+  opt.seed = 99;
+  Graph a = GenerateErdosRenyi(50, 200, opt);
+  Graph b = GenerateErdosRenyi(50, 200, opt);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < 50; ++u) {
+    auto na = a.OutNeighbors(u), nb = b.OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  GenOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  Graph ga = GenerateErdosRenyi(50, 200, a);
+  Graph gb = GenerateErdosRenyi(50, 200, b);
+  bool any_difference = false;
+  for (NodeId u = 0; u < 50 && !any_difference; ++u) {
+    auto na = ga.OutNeighbors(u), nb = gb.OutNeighbors(u);
+    if (na.size() != nb.size()) {
+      any_difference = true;
+      break;
+    }
+    for (size_t i = 0; i < na.size(); ++i) {
+      if (na[i] != nb[i]) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDirectedDegrees) {
+  Graph g = GenerateBarabasiAlbert(1000, 5);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Every node after the first contributes min(5, v) out-edges.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 5.0 * 1000, 20.0);
+  // Preferential attachment: max in-degree far exceeds the average.
+  GraphStats s = ComputeStats(g);
+  EXPECT_GT(s.max_in_degree, 5 * static_cast<uint64_t>(s.average_degree));
+}
+
+TEST(GeneratorsTest, BarabasiAlbertUndirectedSymmetric) {
+  Graph g = GenerateBarabasiAlbert(300, 4, /*undirected=*/true);
+  // Every directed edge must have its reverse.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.OutDegree(u), g.InDegree(u)) << "node " << u;
+  }
+}
+
+TEST(GeneratorsTest, WattsStrogatzNoRewireIsLattice) {
+  Graph g = GenerateWattsStrogatz(20, 4, 0.0);
+  // Ring lattice with k=4: each node has out-degree 4 (2 initiated + 2
+  // reciprocal).
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 4u) << "node " << v;
+  }
+}
+
+TEST(GeneratorsTest, WattsStrogatzEdgeCount) {
+  Graph g = GenerateWattsStrogatz(100, 6, 0.3);
+  EXPECT_EQ(g.num_edges(), 100u * 6);
+}
+
+TEST(GeneratorsTest, PowerLawConfigurationAverageDegree) {
+  Graph g = GeneratePowerLawConfiguration(2000, 2.1, 10.0);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  // Self-loop drops and stub mismatch cost a few percent.
+  EXPECT_NEAR(g.average_degree(), 10.0, 1.5);
+}
+
+TEST(GeneratorsTest, PowerLawConfigurationHasSkew) {
+  Graph g = GeneratePowerLawConfiguration(2000, 2.0, 10.0);
+  GraphStats s = ComputeStats(g);
+  EXPECT_GT(s.max_in_degree, 50u);
+}
+
+TEST(GeneratorsTest, RmatBasics) {
+  Graph g = GenerateRmat(10, 5000);
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  // Self-loops dropped, so slightly under m.
+  EXPECT_LE(g.num_edges(), 5000u);
+  EXPECT_GE(g.num_edges(), 4500u);
+}
+
+TEST(GeneratorsTest, RmatSkewedQuadrantsGiveSkewedDegrees) {
+  Graph g = GenerateRmat(12, 40000, 0.57, 0.19, 0.19, 0.05);
+  GraphStats s = ComputeStats(g);
+  EXPECT_GT(s.max_in_degree, 10 * static_cast<uint64_t>(s.average_degree));
+}
+
+TEST(GeneratorsTest, Grid2DStructure) {
+  Graph g = GenerateGrid2D(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // Edges: horizontal 3*3 + vertical 2*4 = 17 undirected = 34 directed.
+  EXPECT_EQ(g.num_edges(), 34u);
+  // Corner (0,0) has exactly 2 out-neighbors.
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+TEST(GeneratorsTest, CompleteGraph) {
+  Graph g = GenerateComplete(5);
+  EXPECT_EQ(g.num_edges(), 20u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 4u);
+    EXPECT_EQ(g.InDegree(v), 4u);
+  }
+}
+
+TEST(GeneratorsTest, StarPathCycle) {
+  Graph star = GenerateStar(6);
+  EXPECT_EQ(star.OutDegree(0), 5u);
+  EXPECT_EQ(star.InDegree(0), 0u);
+
+  Graph path = GeneratePath(4);
+  EXPECT_EQ(path.num_edges(), 3u);
+  EXPECT_EQ(path.OutDegree(3), 0u);
+
+  Graph cycle = GenerateCycle(4);
+  EXPECT_EQ(cycle.num_edges(), 4u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(cycle.OutDegree(v), 1u);
+    EXPECT_EQ(cycle.InDegree(v), 1u);
+  }
+}
+
+TEST(GeneratorsTest, WeightSchemePlumbing) {
+  GenOptions opt;
+  opt.scheme = WeightScheme::kConstant;
+  opt.constant_p = 0.03;
+  Graph g = GeneratePath(3, opt);
+  EXPECT_DOUBLE_EQ(g.OutProbs(0)[0], 0.03);
+}
+
+/// All generators must produce LT-feasible graphs under weighted cascade.
+class GeneratorLtFeasibilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorLtFeasibilityTest, WeightedCascadeFeasible) {
+  GenOptions opt;
+  opt.scheme = WeightScheme::kWeightedCascade;
+  Graph g;
+  switch (GetParam()) {
+    case 0: g = GenerateErdosRenyi(500, 3000, opt); break;
+    case 1: g = GenerateBarabasiAlbert(500, 6, false, opt); break;
+    case 2: g = GenerateBarabasiAlbert(500, 6, true, opt); break;
+    case 3: g = GenerateWattsStrogatz(500, 6, 0.2, opt); break;
+    case 4: g = GeneratePowerLawConfiguration(500, 2.2, 8.0, 0, opt); break;
+    case 5: g = GenerateRmat(9, 4000, 0.57, 0.19, 0.19, 0.05, opt); break;
+    case 6: g = GenerateGrid2D(20, 25, opt); break;
+    default: FAIL();
+  }
+  EXPECT_LE(g.MaxInWeightSum(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorLtFeasibilityTest,
+                         ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace opim

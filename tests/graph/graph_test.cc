@@ -1,0 +1,189 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "support/random.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace opim {
+namespace {
+
+Graph MakeTriangle() {
+  // 0 -> 1 -> 2 -> 0 with explicit probabilities.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(1, 2, 0.25);
+  b.AddEdge(2, 0, 1.0);
+  return b.Build();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder b(0);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.average_degree(), 0.0);
+  EXPECT_EQ(g.MaxInWeightSum(), 0.0);
+}
+
+TEST(GraphTest, NodesWithoutEdges) {
+  GraphBuilder b(5);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.OutNeighbors(v).empty());
+    EXPECT_TRUE(g.InNeighbors(v).empty());
+    EXPECT_EQ(g.InWeightSum(v), 0.0);
+  }
+}
+
+TEST(GraphTest, TriangleAdjacency) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  ASSERT_EQ(g.OutNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1u);
+  EXPECT_EQ(g.OutProbs(0)[0], 0.5);
+  ASSERT_EQ(g.InNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.InNeighbors(0)[0], 2u);
+  EXPECT_EQ(g.InProbs(0)[0], 1.0);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(2), 1u);
+}
+
+TEST(GraphTest, InWeightSums) {
+  Graph g = MakeTriangle();
+  EXPECT_DOUBLE_EQ(g.InWeightSum(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.InWeightSum(1), 0.5);
+  EXPECT_DOUBLE_EQ(g.InWeightSum(2), 0.25);
+  EXPECT_DOUBLE_EQ(g.MaxInWeightSum(), 1.0);
+}
+
+TEST(GraphTest, ForwardAndReverseAdjacencyConsistent) {
+  GraphBuilder b(10);
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    b.AddEdge(rng.UniformBelow(10), rng.UniformBelow(10), 0.1);
+  }
+  Graph g = b.Build();
+  // Every forward edge appears exactly once in the reverse direction.
+  uint64_t forward = 0, backward = 0;
+  for (NodeId u = 0; u < 10; ++u) {
+    forward += g.OutDegree(u);
+    backward += g.InDegree(u);
+  }
+  EXPECT_EQ(forward, g.num_edges());
+  EXPECT_EQ(backward, g.num_edges());
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      auto in = g.InNeighbors(v);
+      EXPECT_NE(std::find(in.begin(), in.end(), u), in.end())
+          << u << "->" << v << " missing from reverse CSR";
+    }
+  }
+}
+
+TEST(GraphTest, WeightedCascadeAssignsInverseInDegree) {
+  // Node 2 has in-degree 2 -> each incoming edge gets p = 0.5.
+  GraphBuilder b(3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  Graph g = b.Build(WeightScheme::kWeightedCascade);
+  EXPECT_DOUBLE_EQ(g.InProbs(2)[0], 0.5);
+  EXPECT_DOUBLE_EQ(g.InProbs(2)[1], 0.5);
+  EXPECT_DOUBLE_EQ(g.InWeightSum(2), 1.0);
+}
+
+TEST(GraphTest, WeightedCascadeIsAlwaysLtFeasible) {
+  GraphBuilder b(50);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    NodeId u = rng.UniformBelow(50), v = rng.UniformBelow(50);
+    if (u != v) b.AddEdge(u, v);
+  }
+  Graph g = b.Build(WeightScheme::kWeightedCascade);
+  EXPECT_LE(g.MaxInWeightSum(), 1.0 + 1e-12);
+  for (NodeId v = 0; v < 50; ++v) {
+    if (g.InDegree(v) > 0) {
+      EXPECT_NEAR(g.InWeightSum(v), 1.0, 1e-9) << "node " << v;
+    }
+  }
+}
+
+TEST(GraphTest, ConstantScheme) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build(WeightScheme::kConstant, 0.07);
+  EXPECT_DOUBLE_EQ(g.OutProbs(0)[0], 0.07);
+  EXPECT_DOUBLE_EQ(g.OutProbs(1)[0], 0.07);
+}
+
+TEST(GraphTest, TrivalencySchemeUsesThreeValues) {
+  GraphBuilder b(2);
+  for (int i = 0; i < 300; ++i) b.AddEdge(0, 1);
+  Graph g = b.Build(WeightScheme::kTrivalency, 0.1, /*seed=*/3);
+  for (double p : g.OutProbs(0)) {
+    EXPECT_TRUE(p == 0.1 || p == 0.01 || p == 0.001) << p;
+  }
+}
+
+TEST(GraphTest, UniformRandomSchemeBounded) {
+  GraphBuilder b(2);
+  for (int i = 0; i < 300; ++i) b.AddEdge(0, 1);
+  Graph g = b.Build(WeightScheme::kUniformRandom, 0.2, /*seed=*/3);
+  for (double p : g.OutProbs(0)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 0.2);
+  }
+}
+
+TEST(GraphTest, ExplicitProbabilitiesSurviveSchemes) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.42);  // explicit
+  b.AddEdge(1, 2);        // scheme-assigned
+  Graph g = b.Build(WeightScheme::kConstant, 0.1);
+  EXPECT_DOUBLE_EQ(g.OutProbs(0)[0], 0.42);
+  EXPECT_DOUBLE_EQ(g.OutProbs(1)[0], 0.1);
+}
+
+TEST(GraphTest, UndirectedEdgeAddsBothDirections) {
+  GraphBuilder b(2);
+  b.AddUndirectedEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1u);
+  EXPECT_EQ(g.OutNeighbors(1)[0], 0u);
+}
+
+TEST(GraphTest, ParallelEdgesKept) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.1);
+  b.AddEdge(0, 1, 0.2);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+TEST(GraphStatsTest, ComputesDegreesAndCounts) {
+  // star: 0 -> {1,2,3}
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(0, 3, 0.5);
+  Graph g = b.Build();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 0.75);
+  EXPECT_EQ(s.max_out_degree, 3u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+  EXPECT_EQ(s.num_sources, 1u);  // node 0
+  EXPECT_EQ(s.num_sinks, 3u);    // nodes 1..3
+}
+
+}  // namespace
+}  // namespace opim

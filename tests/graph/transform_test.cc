@@ -1,0 +1,131 @@
+#include "graph/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+
+namespace opim {
+namespace {
+
+TEST(ReverseGraphTest, SwapsDirections) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.3);
+  b.AddEdge(1, 2, 0.7);
+  Graph g = b.Build();
+  Graph r = ReverseGraph(g);
+  EXPECT_EQ(r.num_edges(), 2u);
+  ASSERT_EQ(r.OutNeighbors(1).size(), 1u);
+  EXPECT_EQ(r.OutNeighbors(1)[0], 0u);
+  EXPECT_DOUBLE_EQ(r.OutProbs(1)[0], 0.3);
+  ASSERT_EQ(r.OutNeighbors(2).size(), 1u);
+  EXPECT_EQ(r.OutNeighbors(2)[0], 1u);
+}
+
+TEST(ReverseGraphTest, DoubleReverseIsIdentity) {
+  Graph g = GenerateErdosRenyi(50, 300);
+  Graph rr = ReverseGraph(ReverseGraph(g));
+  ASSERT_EQ(rr.num_nodes(), g.num_nodes());
+  ASSERT_EQ(rr.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto a = g.OutNeighbors(u);
+    auto b = rr.OutNeighbors(u);
+    std::vector<NodeId> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    EXPECT_EQ(sa, sb) << "node " << u;
+  }
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  // 0 -> 1 -> 2 -> 3; keep {1, 2}: one edge survives.
+  GraphBuilder b(4);
+  for (NodeId v = 0; v + 1 < 4; ++v) b.AddEdge(v, v + 1, 0.5);
+  Graph g = b.Build();
+  std::vector<NodeId> keep = {1, 2};
+  std::vector<NodeId> mapping;
+  Graph sub = InducedSubgraph(g, keep, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_EQ(mapping[0], kInvalidNode);
+  EXPECT_EQ(mapping[1], 0u);
+  EXPECT_EQ(mapping[2], 1u);
+  EXPECT_EQ(mapping[3], kInvalidNode);
+  EXPECT_EQ(sub.OutNeighbors(0)[0], 1u);
+  EXPECT_DOUBLE_EQ(sub.OutProbs(0)[0], 0.5);
+}
+
+TEST(InducedSubgraphTest, DuplicateNodeIdsDeduplicated) {
+  Graph g = GenerateCycle(5);
+  std::vector<NodeId> keep = {2, 2, 4, 2};
+  Graph sub = InducedSubgraph(g, keep);
+  EXPECT_EQ(sub.num_nodes(), 2u);
+}
+
+TEST(WccTest, SingleComponentCycle) {
+  Graph g = GenerateCycle(8);
+  uint32_t count = 0;
+  auto comp = WeaklyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 1u);
+  for (uint32_t c : comp) EXPECT_EQ(c, 0u);
+}
+
+TEST(WccTest, DirectionIgnored) {
+  // 0 -> 1 and 2 -> 1: weakly one component despite no directed path
+  // between 0 and 2.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(2, 1, 0.5);
+  Graph g = b.Build();
+  uint32_t count = 0;
+  WeaklyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(WccTest, IsolatedNodesAreOwnComponents) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 0.5);
+  Graph g = b.Build();
+  uint32_t count = 0;
+  auto comp = WeaklyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 4u);  // {0,1}, {2}, {3}, {4}
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(LargestWccTest, ExtractsTheBigPiece) {
+  // Component A: path 0-1-2-3 (4 nodes); component B: edge 4-5.
+  GraphBuilder b(6);
+  for (NodeId v = 0; v < 3; ++v) b.AddEdge(v, v + 1, 0.5);
+  b.AddEdge(4, 5, 0.5);
+  Graph g = b.Build();
+  std::vector<NodeId> mapping;
+  Graph wcc = LargestWeaklyConnectedComponent(g, &mapping);
+  EXPECT_EQ(wcc.num_nodes(), 4u);
+  EXPECT_EQ(wcc.num_edges(), 3u);
+  EXPECT_EQ(mapping[4], kInvalidNode);
+  EXPECT_EQ(mapping[5], kInvalidNode);
+  EXPECT_NE(mapping[0], kInvalidNode);
+}
+
+TEST(LargestWccTest, EmptyGraph) {
+  GraphBuilder b(0);
+  Graph g = b.Build();
+  std::vector<NodeId> mapping;
+  Graph wcc = LargestWeaklyConnectedComponent(g, &mapping);
+  EXPECT_EQ(wcc.num_nodes(), 0u);
+  EXPECT_TRUE(mapping.empty());
+}
+
+TEST(LargestWccTest, GeneratedGraphsMostlyConnected) {
+  // BA graphs are connected by construction; LWCC must be the identity
+  // size-wise.
+  Graph g = GenerateBarabasiAlbert(500, 3);
+  Graph wcc = LargestWeaklyConnectedComponent(g);
+  EXPECT_EQ(wcc.num_nodes(), g.num_nodes());
+  EXPECT_EQ(wcc.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace opim

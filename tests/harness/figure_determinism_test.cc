@@ -1,0 +1,88 @@
+// Reproducibility of the experiment harness itself: identical options and
+// seeds must give bit-identical figure series — the property that makes
+// EXPERIMENTS.md numbers checkable by anyone.
+
+#include <gtest/gtest.h>
+
+#include "harness/datasets.h"
+#include "harness/im_figure.h"
+#include "harness/opim_figure.h"
+
+namespace opim {
+namespace {
+
+TEST(FigureDeterminismTest, OpimFigureIsReproducible) {
+  Graph g = MakeTinyTestGraph(384, 2);
+  OpimFigureOptions opt;
+  opt.k = 4;
+  opt.base_checkpoint = 200;
+  opt.num_checkpoints = 3;
+  opt.reps = 2;
+  opt.seed = 77;
+  OpimFigureSeries a = RunOpimFigure(g, DiffusionModel::kIndependentCascade, opt);
+  OpimFigureSeries b = RunOpimFigure(g, DiffusionModel::kIndependentCascade, opt);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].first, b.series[i].first);
+    ASSERT_EQ(a.series[i].second.size(), b.series[i].second.size());
+    for (size_t c = 0; c < a.series[i].second.size(); ++c) {
+      EXPECT_DOUBLE_EQ(a.series[i].second[c], b.series[i].second[c])
+          << a.series[i].first << " checkpoint " << c;
+    }
+  }
+}
+
+TEST(FigureDeterminismTest, DifferentSeedsChangeTheNumbers) {
+  Graph g = MakeTinyTestGraph(384, 2);
+  OpimFigureOptions opt;
+  opt.k = 4;
+  opt.base_checkpoint = 200;
+  opt.num_checkpoints = 2;
+  opt.reps = 1;
+  opt.seed = 1;
+  OpimFigureSeries a = RunOpimFigure(g, DiffusionModel::kIndependentCascade, opt);
+  opt.seed = 2;
+  OpimFigureSeries b = RunOpimFigure(g, DiffusionModel::kIndependentCascade, opt);
+  bool any_diff = false;
+  for (size_t i = 1; i < a.series.size() && !any_diff; ++i) {  // skip Borgs
+    for (size_t c = 0; c < a.series[i].second.size(); ++c) {
+      if (a.series[i].second[c] != b.series[i].second[c]) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FigureDeterminismTest, ImFigureSpreadReproducible) {
+  Graph g = MakeTinyTestGraph(384, 3);
+  ImFigureOptions opt;
+  opt.k = 4;
+  opt.eps_list = {0.3};
+  opt.mc_samples = 400;
+  opt.reps = 1;
+  opt.seed = 5;
+  auto a = RunImFigure(g, DiffusionModel::kLinearThreshold, opt);
+  auto b = RunImFigure(g, DiffusionModel::kLinearThreshold, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].algorithm, b[i].algorithm);
+    EXPECT_DOUBLE_EQ(a[i].spread, b[i].spread) << a[i].algorithm;
+    EXPECT_DOUBLE_EQ(a[i].rr_sets, b[i].rr_sets) << a[i].algorithm;
+  }
+}
+
+TEST(FigureDeterminismTest, IncludeTimAddsARowGroup) {
+  Graph g = MakeTinyTestGraph(384, 4);
+  ImFigureOptions opt;
+  opt.k = 3;
+  opt.eps_list = {0.3};
+  opt.mc_samples = 200;
+  opt.reps = 1;
+  opt.include_tim = true;
+  auto rows = RunImFigure(g, DiffusionModel::kIndependentCascade, opt);
+  EXPECT_EQ(rows.size(), 7u);  // 6 + TIM+
+  EXPECT_EQ(rows.back().algorithm, "TIM+");
+  EXPECT_GT(rows.back().spread, 0.0);
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "harness/datasets.h"
+#include "harness/flags.h"
+#include "harness/im_figure.h"
+#include "harness/opim_figure.h"
+#include "support/math_util.h"
+
+namespace opim {
+namespace {
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--k=50", "--eps=0.1", "--name=twitter"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetUint("k", 0), 50u);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.0), 0.1);
+  EXPECT_EQ(f.GetString("name", ""), "twitter");
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--k", "7", "pos1"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetUint("k", 0), 7u);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const char* argv[] = {"prog", "--quick"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_TRUE(f.Has("quick"));
+  EXPECT_TRUE(f.GetBool("quick", false));
+  EXPECT_FALSE(f.GetBool("missing", false));
+}
+
+TEST(FlagsTest, MalformedValueFallsBack) {
+  const char* argv[] = {"prog", "--k=abc"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetInt("k", -5), -5);
+  EXPECT_EQ(f.GetDouble("k", 2.5), 2.5);
+}
+
+TEST(DatasetsTest, AllStandardNamesBuild) {
+  for (const std::string& name : StandardDatasetNames()) {
+    auto r = MakeDataset(name, /*scale_exponent=*/10);
+    ASSERT_TRUE(r.ok()) << name << ": " << r.status().ToString();
+    const Graph& g = r.ValueOrDie();
+    EXPECT_EQ(g.num_nodes(), 1024u) << name;
+    EXPECT_GT(g.num_edges(), 1024u) << name;
+    // Weighted cascade everywhere (LT-feasible).
+    EXPECT_LE(g.MaxInWeightSum(), 1.0 + 1e-9) << name;
+  }
+}
+
+TEST(DatasetsTest, AverageDegreesTrackTable2) {
+  struct Expect {
+    const char* name;
+    double avg;
+    double tol;
+  } expected[] = {
+      {"pokec-sim", 37.5, 4.0},
+      {"orkut-sim", 76.3, 8.0},
+      {"livejournal-sim", 28.5, 5.0},
+      {"twitter-sim", 70.5, 7.0},
+  };
+  for (const auto& e : expected) {
+    auto r = MakeDataset(e.name, 12);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r.ValueOrDie().average_degree(), e.avg, e.tol) << e.name;
+  }
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  auto r = MakeDataset("facebook");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetsTest, BadScaleRejected) {
+  auto r = MakeDataset("pokec-sim", 99);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetsTest, TinyTestGraphUsable) {
+  Graph g = MakeTinyTestGraph(128);
+  EXPECT_EQ(g.num_nodes(), 128u);
+  EXPECT_GT(g.num_edges(), 128u);
+}
+
+TEST(OpimFigureTest, SeriesShapeAndOrdering) {
+  Graph g = MakeTinyTestGraph(512, 3);
+  OpimFigureOptions opt;
+  opt.k = 5;
+  opt.base_checkpoint = 200;
+  opt.num_checkpoints = 4;
+  opt.reps = 2;
+  OpimFigureSeries s =
+      RunOpimFigure(g, DiffusionModel::kIndependentCascade, opt);
+
+  ASSERT_EQ(s.checkpoints.size(), 4u);
+  EXPECT_EQ(s.checkpoints[0], 200u);
+  EXPECT_EQ(s.checkpoints[3], 1600u);
+  ASSERT_EQ(s.series.size(), 7u);
+  for (const auto& [name, values] : s.series) {
+    ASSERT_EQ(values.size(), 4u) << name;
+    for (double a : values) {
+      EXPECT_GE(a, 0.0) << name;
+      EXPECT_LE(a, 1.0) << name;
+    }
+  }
+  // Headline orderings at the final checkpoint: OPIM+ >= OPIM0 and Borgs
+  // is essentially zero.
+  auto find = [&](const std::string& name) -> const std::vector<double>& {
+    for (const auto& [n2, v] : s.series) {
+      if (n2 == name) return v;
+    }
+    ADD_FAILURE() << name << " missing";
+    static std::vector<double> empty;
+    return empty;
+  };
+  EXPECT_GE(find("OPIM+").back(), find("OPIM0").back() - 1e-9);
+  EXPECT_LT(find("Borgs").back(), 0.01);
+}
+
+TEST(OpimFigureTest, TableRendering) {
+  Graph g = MakeTinyTestGraph(256, 4);
+  OpimFigureOptions opt;
+  opt.k = 3;
+  opt.base_checkpoint = 100;
+  opt.num_checkpoints = 2;
+  opt.reps = 1;
+  OpimFigureSeries s =
+      RunOpimFigure(g, DiffusionModel::kLinearThreshold, opt);
+  TablePrinter t = OpimFigureToTable(s);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 8u);  // rr_sets + 7 algorithms
+  EXPECT_NE(t.ToAlignedString().find("OPIM+"), std::string::npos);
+}
+
+TEST(ImFigureTest, RowsCoverSweep) {
+  Graph g = MakeTinyTestGraph(512, 5);
+  ImFigureOptions opt;
+  opt.k = 5;
+  opt.eps_list = {0.3, 0.2};
+  opt.mc_samples = 500;
+  opt.reps = 1;
+  opt.cap_rr_sets = 200000;
+  auto rows = RunImFigure(g, DiffusionModel::kIndependentCascade, opt);
+  EXPECT_EQ(rows.size(), 6u * 2u);  // 6 algorithms x 2 eps
+  for (const auto& row : rows) {
+    EXPECT_GT(row.spread, 0.0) << row.algorithm;
+    EXPECT_GT(row.rr_sets, 0.0) << row.algorithm;
+    EXPECT_GE(row.seconds, 0.0) << row.algorithm;
+  }
+  TablePrinter t = ImFigureToTable(rows);
+  EXPECT_EQ(t.num_rows(), rows.size());
+}
+
+TEST(ImFigureTest, SpreadsAgreeAcrossAlgorithms) {
+  Graph g = MakeTinyTestGraph(512, 6);
+  ImFigureOptions opt;
+  opt.k = 5;
+  opt.eps_list = {0.25};
+  opt.mc_samples = 4000;
+  opt.reps = 1;
+  auto rows = RunImFigure(g, DiffusionModel::kLinearThreshold, opt);
+  double lo = 1e300, hi = 0.0;
+  for (const auto& row : rows) {
+    lo = std::min(lo, row.spread);
+    hi = std::max(hi, row.spread);
+  }
+  EXPECT_GE(lo, 0.85 * hi);
+}
+
+}  // namespace
+}  // namespace opim

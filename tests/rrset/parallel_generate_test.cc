@@ -1,0 +1,73 @@
+#include "rrset/parallel_generate.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+
+namespace opim {
+namespace {
+
+class ParallelGenerateModelTest
+    : public ::testing::TestWithParam<DiffusionModel> {};
+
+TEST_P(ParallelGenerateModelTest, ProducesRequestedCount) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  RRCollection rr(g.num_nodes());
+  ParallelGenerate(g, GetParam(), &rr, 1000, /*seed=*/1, /*threads=*/4);
+  EXPECT_EQ(rr.num_sets(), 1000u);
+  EXPECT_GT(rr.total_size(), 1000u);  // roots alone give >= 1 node/set
+  EXPECT_GT(rr.total_edges_examined(), 0u);
+}
+
+TEST_P(ParallelGenerateModelTest, DeterministicForFixedSeedAndThreads) {
+  Graph g = GenerateBarabasiAlbert(200, 4);
+  RRCollection a(g.num_nodes()), b(g.num_nodes());
+  ParallelGenerate(g, GetParam(), &a, 500, 7, 3);
+  ParallelGenerate(g, GetParam(), &b, 500, 7, 3);
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  ASSERT_EQ(a.total_size(), b.total_size());
+  for (RRId id = 0; id < a.num_sets(); ++id) {
+    auto sa = a.Set(id), sb = b.Set(id);
+    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
+    for (size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+    EXPECT_EQ(a.SetCost(id), b.SetCost(id));
+  }
+}
+
+TEST_P(ParallelGenerateModelTest, StatisticallyEquivalentAcrossThreads) {
+  // Different thread counts give different streams but the same
+  // distribution: spread estimates of a fixed seed set must agree.
+  Graph g = GenerateErdosRenyi(150, 900);
+  RRCollection serial(g.num_nodes()), parallel4(g.num_nodes());
+  ParallelGenerate(g, GetParam(), &serial, 40000, 11, 1);
+  ParallelGenerate(g, GetParam(), &parallel4, 40000, 11, 4);
+  std::vector<NodeId> seeds = {0, 10, 20};
+  double a = serial.EstimateSpread(seeds);
+  double b = parallel4.EstimateSpread(seeds);
+  EXPECT_NEAR(a, b, 0.15 * std::max(a, 1.0));
+}
+
+TEST_P(ParallelGenerateModelTest, ZeroCountIsNoop) {
+  Graph g = GenerateBarabasiAlbert(50, 3);
+  RRCollection rr(g.num_nodes());
+  ParallelGenerate(g, GetParam(), &rr, 0, 1, 4);
+  EXPECT_EQ(rr.num_sets(), 0u);
+}
+
+TEST_P(ParallelGenerateModelTest, MoreThreadsThanSamples) {
+  Graph g = GenerateBarabasiAlbert(50, 3);
+  RRCollection rr(g.num_nodes());
+  ParallelGenerate(g, GetParam(), &rr, 3, 1, 16);
+  EXPECT_EQ(rr.num_sets(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, ParallelGenerateModelTest,
+                         ::testing::Values(
+                             DiffusionModel::kIndependentCascade,
+                             DiffusionModel::kLinearThreshold),
+                         [](const auto& info) {
+                           return DiffusionModelName(info.param);
+                         });
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,120 @@
+#include "rrset/rr_collection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace opim {
+namespace {
+
+TEST(RRCollectionTest, EmptyCollection) {
+  RRCollection rr(5);
+  EXPECT_EQ(rr.num_sets(), 0u);
+  EXPECT_EQ(rr.num_nodes(), 5u);
+  EXPECT_EQ(rr.total_size(), 0u);
+  EXPECT_EQ(rr.total_edges_examined(), 0u);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(rr.CoverageOf(seeds), 0u);
+  EXPECT_EQ(rr.EstimateSpread(seeds), 0.0);
+}
+
+TEST(RRCollectionTest, AddSetStoresNodesAndCost) {
+  RRCollection rr(5);
+  std::vector<NodeId> set1 = {0, 2, 4};
+  RRId id = rr.AddSet(set1, 7);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(rr.num_sets(), 1u);
+  EXPECT_EQ(rr.total_size(), 3u);
+  EXPECT_EQ(rr.total_edges_examined(), 7u);
+  auto s = rr.Set(0);
+  EXPECT_EQ(std::vector<NodeId>(s.begin(), s.end()), set1);
+}
+
+TEST(RRCollectionTest, InvertedIndexTracksMembership) {
+  RRCollection rr(4);
+  rr.AddSet(std::vector<NodeId>{0, 1}, 1);
+  rr.AddSet(std::vector<NodeId>{1, 2}, 1);
+  rr.AddSet(std::vector<NodeId>{1}, 1);
+  EXPECT_EQ(rr.SetsCovering(0).size(), 1u);
+  EXPECT_EQ(rr.SetsCovering(1).size(), 3u);
+  EXPECT_EQ(rr.SetsCovering(2).size(), 1u);
+  EXPECT_EQ(rr.SetsCovering(3).size(), 0u);
+  EXPECT_EQ(rr.SetsCovering(1)[2], 2u);  // ascending ids
+}
+
+TEST(RRCollectionTest, CoverageCountsEachSetOnce) {
+  RRCollection rr(4);
+  rr.AddSet(std::vector<NodeId>{0, 1, 2}, 1);  // covered by any of 0,1,2
+  rr.AddSet(std::vector<NodeId>{3}, 1);
+  std::vector<NodeId> seeds = {0, 1};  // both hit set 0
+  EXPECT_EQ(rr.CoverageOf(seeds), 1u);
+  std::vector<NodeId> all = {0, 3};
+  EXPECT_EQ(rr.CoverageOf(all), 2u);
+}
+
+TEST(RRCollectionTest, CoverageHandlesDuplicateSeeds) {
+  RRCollection rr(3);
+  rr.AddSet(std::vector<NodeId>{1}, 1);
+  std::vector<NodeId> seeds = {1, 1, 1};
+  EXPECT_EQ(rr.CoverageOf(seeds), 1u);
+}
+
+TEST(RRCollectionTest, RepeatedCoverageQueriesIndependent) {
+  RRCollection rr(3);
+  rr.AddSet(std::vector<NodeId>{0}, 1);
+  rr.AddSet(std::vector<NodeId>{1}, 1);
+  std::vector<NodeId> s0 = {0}, s1 = {1};
+  // The epoch-stamp scratch must reset logically between queries.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rr.CoverageOf(s0), 1u);
+    EXPECT_EQ(rr.CoverageOf(s1), 1u);
+  }
+}
+
+TEST(RRCollectionTest, CoverageAfterGrowth) {
+  RRCollection rr(3);
+  rr.AddSet(std::vector<NodeId>{0}, 1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(rr.CoverageOf(seeds), 1u);
+  rr.AddSet(std::vector<NodeId>{0, 1}, 1);
+  rr.AddSet(std::vector<NodeId>{2}, 1);
+  EXPECT_EQ(rr.CoverageOf(seeds), 2u);  // scratch grew with the sets
+}
+
+TEST(RRCollectionTest, EstimateSpreadScalesCoverage) {
+  RRCollection rr(10);
+  rr.AddSet(std::vector<NodeId>{0}, 1);
+  rr.AddSet(std::vector<NodeId>{1}, 1);
+  rr.AddSet(std::vector<NodeId>{0, 1}, 1);
+  rr.AddSet(std::vector<NodeId>{2}, 1);
+  std::vector<NodeId> seeds = {0};
+  // Λ = 2 of θ = 4 sets, n = 10 -> estimate 5.
+  EXPECT_DOUBLE_EQ(rr.EstimateSpread(seeds), 5.0);
+}
+
+TEST(RRCollectionTest, EmptySetAllowed) {
+  // An RR set is never empty in practice (it contains its root), but the
+  // container itself tolerates it.
+  RRCollection rr(2);
+  rr.AddSet(std::vector<NodeId>{}, 0);
+  EXPECT_EQ(rr.num_sets(), 1u);
+  EXPECT_EQ(rr.total_size(), 0u);
+  std::vector<NodeId> seeds = {0, 1};
+  EXPECT_EQ(rr.CoverageOf(seeds), 0u);
+}
+
+TEST(RRCollectionTest, ManySetsStressInvertedIndex) {
+  const uint32_t n = 50;
+  RRCollection rr(n);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    std::vector<NodeId> set = {i % n, (i * 7 + 1) % n};
+    rr.AddSet(set, 2);
+  }
+  // Sum of per-node cover list lengths equals total stored nodes.
+  uint64_t total = 0;
+  for (NodeId v = 0; v < n; ++v) total += rr.SetsCovering(v).size();
+  EXPECT_EQ(total, rr.total_size());
+}
+
+}  // namespace
+}  // namespace opim

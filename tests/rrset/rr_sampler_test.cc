@@ -1,0 +1,234 @@
+#include "rrset/rr_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+
+namespace opim {
+namespace {
+
+Graph CertainPath(uint32_t n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1, 1.0);
+  return b.Build();
+}
+
+class SamplerModelTest : public ::testing::TestWithParam<DiffusionModel> {};
+
+TEST_P(SamplerModelTest, RRSetContainsItsRoot) {
+  Graph g = GenerateBarabasiAlbert(100, 3);
+  auto sampler = MakeRRSampler(g, GetParam());
+  Rng rng(1);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 200; ++i) {
+    sampler->SampleInto(rng, &out);
+    ASSERT_FALSE(out.empty());
+    // The root is recorded first by both samplers.
+    EXPECT_LT(out[0], g.num_nodes());
+  }
+}
+
+TEST_P(SamplerModelTest, NodesAreDistinct) {
+  Graph g = GenerateErdosRenyi(80, 400);
+  auto sampler = MakeRRSampler(g, GetParam());
+  Rng rng(2);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 200; ++i) {
+    sampler->SampleInto(rng, &out);
+    std::vector<NodeId> sorted = out;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "duplicate node in RR set";
+  }
+}
+
+TEST_P(SamplerModelTest, IsolatedGraphGivesSingletons) {
+  GraphBuilder b(10);
+  Graph g = b.Build();
+  auto sampler = MakeRRSampler(g, GetParam());
+  Rng rng(3);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t cost = sampler->SampleInto(rng, &out);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(cost, 0u);
+  }
+}
+
+TEST_P(SamplerModelTest, CertainPathRRSetIsPrefix) {
+  // Reverse reachability on 0 -> 1 -> ... -> 9 with p = 1: the RR set of
+  // root v is exactly {0, ..., v} under both models.
+  Graph g = CertainPath(10);
+  auto sampler = MakeRRSampler(g, GetParam());
+  Rng rng(4);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 300; ++i) {
+    sampler->SampleInto(rng, &out);
+    NodeId root = out[0];
+    EXPECT_EQ(out.size(), root + 1u);
+    std::vector<NodeId> sorted = out;
+    std::sort(sorted.begin(), sorted.end());
+    for (NodeId v = 0; v <= root; ++v) EXPECT_EQ(sorted[v], v);
+  }
+}
+
+TEST_P(SamplerModelTest, CostEqualsTotalInDegreeOfMembers) {
+  Graph g = GenerateErdosRenyi(60, 300);
+  auto sampler = MakeRRSampler(g, GetParam());
+  Rng rng(5);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t cost = sampler->SampleInto(rng, &out);
+    uint64_t expected = 0;
+    for (NodeId v : out) expected += g.InDegree(v);
+    EXPECT_EQ(cost, expected);
+  }
+}
+
+TEST_P(SamplerModelTest, GenerateAppendsToCollection) {
+  Graph g = GenerateBarabasiAlbert(50, 3);
+  auto sampler = MakeRRSampler(g, GetParam());
+  Rng rng(6);
+  RRCollection rr(g.num_nodes());
+  sampler->Generate(&rr, 25, rng);
+  EXPECT_EQ(rr.num_sets(), 25u);
+  sampler->Generate(&rr, 10, rng);
+  EXPECT_EQ(rr.num_sets(), 35u);
+  EXPECT_GT(rr.total_edges_examined(), 0u);
+}
+
+TEST_P(SamplerModelTest, DeterministicForSeed) {
+  Graph g = GenerateBarabasiAlbert(100, 4);
+  auto s1 = MakeRRSampler(g, GetParam());
+  auto s2 = MakeRRSampler(g, GetParam());
+  Rng r1(77), r2(77);
+  std::vector<NodeId> o1, o2;
+  for (int i = 0; i < 50; ++i) {
+    s1->SampleInto(r1, &o1);
+    s2->SampleInto(r2, &o2);
+    EXPECT_EQ(o1, o2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, SamplerModelTest,
+                         ::testing::Values(
+                             DiffusionModel::kIndependentCascade,
+                             DiffusionModel::kLinearThreshold),
+                         [](const auto& info) {
+                           return DiffusionModelName(info.param);
+                         });
+
+TEST(IcSamplerTest, EdgeInclusionFrequencyMatchesProbability) {
+  // Two nodes, 0 -> 1 with p = 0.3. Conditioned on root = 1, the RR set
+  // contains 0 with probability exactly 0.3.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.3);
+  Graph g = b.Build();
+  IcRRSampler sampler(g);
+  Rng rng(31);
+  std::vector<NodeId> out;
+  int root1 = 0, included = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sampler.SampleInto(rng, &out);
+    if (out[0] != 1) continue;
+    ++root1;
+    included += (out.size() == 2);
+  }
+  ASSERT_GT(root1, 40000);
+  EXPECT_NEAR(static_cast<double>(included) / root1, 0.3, 0.01);
+}
+
+TEST(LtSamplerTest, WalkLengthIsGeometricOnConstantChain) {
+  // Long chain with constant in-weight p = 0.5: from a root deep in the
+  // chain, the walk continues with probability 0.5 per step, so
+  // E[|R|] = 1 + 1 (expected extra steps of Geometric(1/2)) = 2 for roots
+  // far from the source.
+  const uint32_t n = 4000;
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1, 0.5);
+  Graph g = b.Build();
+  LtRRSampler sampler(g);
+  Rng rng(21);
+  std::vector<NodeId> out;
+  double total = 0.0;
+  int counted = 0;
+  for (int i = 0; i < 60000; ++i) {
+    sampler.SampleInto(rng, &out);
+    if (out[0] < 100) continue;  // skip roots near the source boundary
+    total += static_cast<double>(out.size());
+    ++counted;
+  }
+  ASSERT_GT(counted, 10000);
+  EXPECT_NEAR(total / counted, 2.0, 0.05);
+}
+
+TEST(LtSamplerTest, RRSetIsAWalkPath) {
+  // Under LT the RR set is a single reverse walk: on a graph where each
+  // node has exactly one in-neighbor (a cycle), the set is a contiguous
+  // backward arc.
+  Graph g = GenerateCycle(12);  // WC weights: p = 1 on each edge
+  LtRRSampler sampler(g);
+  Rng rng(8);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 100; ++i) {
+    sampler.SampleInto(rng, &out);
+    for (size_t j = 1; j < out.size(); ++j) {
+      EXPECT_EQ(out[j], (out[j - 1] + 12 - 1) % 12) << "walk broke";
+    }
+  }
+}
+
+TEST(LtSamplerTest, CycleWalkTerminatesOnRevisit) {
+  // All in-weights are 1 on the WC cycle, so the walk never stops by coin
+  // flip; it must stop when it closes the cycle.
+  Graph g = GenerateCycle(7);
+  LtRRSampler sampler(g);
+  Rng rng(9);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 50; ++i) {
+    sampler.SampleInto(rng, &out);
+    EXPECT_EQ(out.size(), 7u);
+  }
+}
+
+// The fundamental RIS identity (Lemma 3.1): n * Pr[S ∩ R != ∅] == σ(S).
+// We verify the sampler against forward Monte-Carlo on a nontrivial graph.
+class RisUnbiasednessTest : public ::testing::TestWithParam<DiffusionModel> {
+};
+
+TEST_P(RisUnbiasednessTest, MatchesForwardSimulation) {
+  Graph g = GenerateErdosRenyi(150, 900);  // WC weights
+  const DiffusionModel model = GetParam();
+
+  auto sampler = MakeRRSampler(g, model);
+  Rng rng(10);
+  RRCollection rr(g.num_nodes());
+  sampler->Generate(&rr, 60000, rng);
+
+  SpreadEstimator estimator(g, model, 2);
+  // A few seed sets of different sizes and influence.
+  const std::vector<std::vector<NodeId>> seed_sets = {
+      {0}, {1, 2, 3}, {10, 20, 30, 40, 50}, {149}};
+  for (const auto& seeds : seed_sets) {
+    double ris = rr.EstimateSpread(seeds);
+    double mc = estimator.Estimate(seeds, 40000, 11);
+    EXPECT_NEAR(ris, mc, 0.15 * std::max(mc, 1.0))
+        << DiffusionModelName(model) << " seeds of size " << seeds.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, RisUnbiasednessTest,
+                         ::testing::Values(
+                             DiffusionModel::kIndependentCascade,
+                             DiffusionModel::kLinearThreshold),
+                         [](const auto& info) {
+                           return DiffusionModelName(info.param);
+                         });
+
+}  // namespace
+}  // namespace opim

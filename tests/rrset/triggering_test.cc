@@ -1,0 +1,170 @@
+#include "rrset/triggering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "gen/generators.h"
+#include "rrset/rr_collection.h"
+
+namespace opim {
+namespace {
+
+TEST(IcTriggeringTest, SamplesEdgesIndependently) {
+  // Node 2 has two in-edges with p = 1 and p = 0: T_2 = {0} always.
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 1.0);
+  b.AddEdge(1, 2, 0.0);
+  Graph g = b.Build();
+  IcTriggering dist(g);
+  Rng rng(1);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 100; ++i) {
+    out.clear();
+    uint64_t cost = dist.SampleTriggeringSet(2, rng, &out);
+    EXPECT_EQ(cost, 2u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0u);
+  }
+}
+
+TEST(LtTriggeringTest, AtMostOneMember) {
+  Graph g = GenerateErdosRenyi(50, 400);  // WC weights
+  LtTriggering dist(g);
+  Rng rng(2);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < 50; ++v) {
+    for (int i = 0; i < 20; ++i) {
+      out.clear();
+      dist.SampleTriggeringSet(v, rng, &out);
+      EXPECT_LE(out.size(), 1u);
+      if (!out.empty()) {
+        auto in = g.InNeighbors(v);
+        EXPECT_NE(std::find(in.begin(), in.end(), out[0]), in.end());
+      }
+    }
+  }
+}
+
+TEST(LtTriggeringTest, MemberFrequencyMatchesWeights) {
+  // v = 2 with in-edges p(0,2) = 0.6, p(1,2) = 0.2: T includes 0 with
+  // probability 0.6, 1 with 0.2, empty with 0.2.
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 0.6);
+  b.AddEdge(1, 2, 0.2);
+  Graph g = b.Build();
+  LtTriggering dist(g);
+  Rng rng(3);
+  std::vector<NodeId> out;
+  int count0 = 0, count1 = 0, empty = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    out.clear();
+    dist.SampleTriggeringSet(2, rng, &out);
+    if (out.empty()) {
+      ++empty;
+    } else if (out[0] == 0) {
+      ++count0;
+    } else {
+      ++count1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(count0) / samples, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(count1) / samples, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(empty) / samples, 0.2, 0.01);
+}
+
+class TriggeringEquivalenceTest
+    : public ::testing::TestWithParam<DiffusionModel> {};
+
+TEST_P(TriggeringEquivalenceTest, CascadeMeanMatchesDirectSimulation) {
+  // The live-edge (triggering) forward simulation must agree in
+  // expectation with the direct IC/LT simulators.
+  Graph g = GenerateBarabasiAlbert(120, 3);
+  const DiffusionModel model = GetParam();
+  std::shared_ptr<TriggeringDistribution> dist;
+  if (model == DiffusionModel::kIndependentCascade) {
+    dist = std::make_shared<IcTriggering>(g);
+  } else {
+    dist = std::make_shared<LtTriggering>(g);
+  }
+
+  std::vector<NodeId> seeds = {0, 1, 2};
+  const int runs = 30000;
+  Rng rng_a(4);
+  uint64_t total_triggering = 0;
+  for (int i = 0; i < runs; ++i) {
+    total_triggering += SimulateTriggeringCascade(*dist, seeds, rng_a);
+  }
+  SpreadEstimator est(g, model, 2);
+  double direct = est.Estimate(seeds, runs, 5);
+  double triggering = static_cast<double>(total_triggering) / runs;
+  EXPECT_NEAR(triggering, direct, 0.05 * std::max(direct, 1.0));
+}
+
+TEST_P(TriggeringEquivalenceTest, GenericRRSamplerMatchesSpecialized) {
+  // n·Pr[v in R] must agree between the generic triggering sampler and
+  // the specialized fast paths — compare spread estimates of seed sets.
+  Graph g = GenerateErdosRenyi(100, 600);
+  const DiffusionModel model = GetParam();
+  std::shared_ptr<TriggeringDistribution> dist;
+  if (model == DiffusionModel::kIndependentCascade) {
+    dist = std::make_shared<IcTriggering>(g);
+  } else {
+    dist = std::make_shared<LtTriggering>(g);
+  }
+
+  TriggeringRRSampler generic(dist);
+  auto specialized = MakeRRSampler(g, model);
+  Rng rng_g(6), rng_s(7);
+  RRCollection rr_g(g.num_nodes()), rr_s(g.num_nodes());
+  generic.Generate(&rr_g, 40000, rng_g);
+  specialized->Generate(&rr_s, 40000, rng_s);
+
+  const std::vector<std::vector<NodeId>> seed_sets = {{0}, {1, 2, 3, 4}};
+  for (const auto& seeds : seed_sets) {
+    double a = rr_g.EstimateSpread(seeds);
+    double b = rr_s.EstimateSpread(seeds);
+    EXPECT_NEAR(a, b, 0.15 * std::max(b, 1.0))
+        << DiffusionModelName(model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, TriggeringEquivalenceTest,
+                         ::testing::Values(
+                             DiffusionModel::kIndependentCascade,
+                             DiffusionModel::kLinearThreshold),
+                         [](const auto& info) {
+                           return DiffusionModelName(info.param);
+                         });
+
+TEST(TriggeringRRSamplerTest, CustomDistributionPluggable) {
+  // Proves the extension point: a "nobody influences anyone" model whose
+  // RR sets are always singletons.
+  class EmptyTriggering final : public TriggeringDistribution {
+   public:
+    explicit EmptyTriggering(const Graph& g) : graph_(g) {}
+    uint64_t SampleTriggeringSet(NodeId v, Rng&,
+                                 std::vector<NodeId>*) const override {
+      return graph_.InDegree(v);
+    }
+    const Graph& graph() const override { return graph_; }
+
+   private:
+    const Graph& graph_;
+  };
+
+  Graph g = GenerateBarabasiAlbert(50, 3);
+  auto dist = std::make_shared<EmptyTriggering>(g);
+  TriggeringRRSampler sampler(dist);
+  Rng rng(8);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 50; ++i) {
+    sampler.SampleInto(rng, &out);
+    EXPECT_EQ(out.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,122 @@
+#include "support/alias_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace opim {
+namespace {
+
+TEST(AliasSamplerTest, EmptyWeightsYieldEmptySampler) {
+  AliasSampler s{std::vector<double>{}};
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(AliasSamplerTest, AllZeroWeightsYieldEmptySampler) {
+  AliasSampler s{std::vector<double>{0.0, 0.0, 0.0}};
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(AliasSamplerTest, SingleCategoryAlwaysSampled) {
+  AliasSampler s{std::vector<double>{3.5}};
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightCategoryNeverSampled) {
+  AliasSampler s{std::vector<double>{1.0, 0.0, 1.0}};
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(s.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, UniformWeightsSampleUniformly) {
+  const int n = 5, samples = 100000;
+  AliasSampler s{std::vector<double>(n, 1.0)};
+  Rng rng(3);
+  std::vector<int> hist(n, 0);
+  for (int i = 0; i < samples; ++i) ++hist[s.Sample(rng)];
+  const double expected = static_cast<double>(samples) / n;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(hist[i], expected, 5 * std::sqrt(expected)) << "cat " << i;
+  }
+}
+
+TEST(AliasSamplerTest, SkewedWeightsMatchProportions) {
+  std::vector<double> w = {1.0, 2.0, 4.0, 8.0};
+  double total = 15.0;
+  AliasSampler s(w);
+  Rng rng(4);
+  const int samples = 200000;
+  std::vector<int> hist(w.size(), 0);
+  for (int i = 0; i < samples; ++i) ++hist[s.Sample(rng)];
+  for (size_t i = 0; i < w.size(); ++i) {
+    double expected = samples * w[i] / total;
+    EXPECT_NEAR(hist[i], expected, 5 * std::sqrt(expected)) << "cat " << i;
+  }
+}
+
+TEST(AliasSamplerTest, UnnormalizedWeightsWork) {
+  // Tiny absolute magnitudes; only ratios matter.
+  std::vector<double> w = {1e-9, 3e-9};
+  AliasSampler s(w);
+  Rng rng(5);
+  const int samples = 100000;
+  int ones = 0;
+  for (int i = 0; i < samples; ++i) ones += (s.Sample(rng) == 1u);
+  EXPECT_NEAR(static_cast<double>(ones) / samples, 0.75, 0.01);
+}
+
+TEST(AliasSamplerTest, RebuildReplacesDistribution) {
+  AliasSampler s{std::vector<double>{1.0, 0.0}};
+  Rng rng(6);
+  EXPECT_EQ(s.Sample(rng), 0u);
+  s.Build({0.0, 1.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, LargeDistributionAllCategoriesReachable) {
+  const int n = 1000;
+  std::vector<double> w(n, 1.0);
+  AliasSampler s(w);
+  Rng rng(7);
+  std::vector<bool> seen(n, false);
+  for (int i = 0; i < 50 * n; ++i) seen[s.Sample(rng)] = true;
+  int missing = 0;
+  for (bool b : seen) missing += !b;
+  EXPECT_EQ(missing, 0);
+}
+
+/// Property sweep: for several distribution shapes, empirical frequencies
+/// track the normalized weights.
+class AliasSamplerDistributionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasSamplerDistributionTest, EmpiricalMatchesTheoretical) {
+  const std::vector<double>& w = GetParam();
+  double total = 0.0;
+  for (double x : w) total += x;
+  AliasSampler s(w);
+  Rng rng(42);
+  const int samples = 150000;
+  std::vector<int> hist(w.size(), 0);
+  for (int i = 0; i < samples; ++i) ++hist[s.Sample(rng)];
+  for (size_t i = 0; i < w.size(); ++i) {
+    double p = w[i] / total;
+    double expected = samples * p;
+    double tol = 5 * std::sqrt(samples * p * (1 - p)) + 1;
+    EXPECT_NEAR(hist[i], expected, tol) << "cat " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AliasSamplerDistributionTest,
+    ::testing::Values(std::vector<double>{0.5, 0.5},
+                      std::vector<double>{0.9, 0.1},
+                      std::vector<double>{1, 1, 1, 1, 1, 1, 1, 1},
+                      std::vector<double>{10, 1, 0.1, 0.01},
+                      std::vector<double>{0, 1, 0, 2, 0, 3}));
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,85 @@
+#include "support/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace opim {
+namespace {
+
+TEST(MathUtilTest, LogFactorialSmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(MathUtilTest, LogBinomialMatchesDirectComputation) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 3), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-6);
+}
+
+TEST(MathUtilTest, LogBinomialBoundaries) {
+  EXPECT_EQ(LogBinomial(10, 0), 0.0);
+  EXPECT_EQ(LogBinomial(10, 10), 0.0);
+  EXPECT_EQ(LogBinomial(10, 15), 0.0);  // clamped out-of-range
+}
+
+TEST(MathUtilTest, LogBinomialSymmetry) {
+  EXPECT_NEAR(LogBinomial(100, 30), LogBinomial(100, 70), 1e-8);
+}
+
+TEST(MathUtilTest, LogBinomialHugeInputsFinite) {
+  double v = LogBinomial(42000000, 50);  // Twitter-scale C(n, k)
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+  // C(n,k) <= n^k, so log <= k log n.
+  EXPECT_LE(v, 50 * std::log(42000000.0));
+}
+
+TEST(MathUtilTest, OneMinusInvEConstant) {
+  EXPECT_NEAR(kOneMinusInvE, 1.0 - 1.0 / std::exp(1.0), 1e-15);
+}
+
+TEST(MathUtilTest, CeilToU64) {
+  EXPECT_EQ(CeilToU64(-1.0), 0u);
+  EXPECT_EQ(CeilToU64(0.0), 0u);
+  EXPECT_EQ(CeilToU64(0.1), 1u);
+  EXPECT_EQ(CeilToU64(1.0), 1u);
+  EXPECT_EQ(CeilToU64(1.5), 2u);
+  EXPECT_EQ(CeilToU64(1e18), 1000000000000000000ULL);
+}
+
+TEST(MathUtilTest, CeilToU64SaturatesAtMax) {
+  EXPECT_EQ(CeilToU64(1e30), UINT64_MAX);
+}
+
+TEST(MathUtilTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+  EXPECT_EQ(CeilLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+}
+
+TEST(MathUtilTest, SquaredSqrtSum) {
+  // (sqrt(4) + sqrt(9))^2 = 25.
+  EXPECT_NEAR(SquaredSqrtSum(4.0, 9.0), 25.0, 1e-12);
+  EXPECT_NEAR(SquaredSqrtSum(0.0, 0.0), 0.0, 1e-12);
+  // Negative inputs clamp to 0.
+  EXPECT_NEAR(SquaredSqrtSum(-1.0, 4.0), 4.0, 1e-12);
+}
+
+TEST(MathUtilTest, SquaredSqrtDiffClamped) {
+  // (sqrt(9) - sqrt(4))^2 = 1.
+  EXPECT_NEAR(SquaredSqrtDiffClamped(9.0, 4.0), 1.0, 1e-12);
+  // sqrt(u) < sqrt(v) clamps to 0 rather than going positive again.
+  EXPECT_EQ(SquaredSqrtDiffClamped(4.0, 9.0), 0.0);
+  EXPECT_EQ(SquaredSqrtDiffClamped(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace opim

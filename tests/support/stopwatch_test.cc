@@ -1,0 +1,45 @@
+#include "support/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace opim {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double ms = sw.ElapsedMillis();
+  EXPECT_GE(ms, 18.0);
+  EXPECT_LT(ms, 2000.0);  // sane upper bound even on a loaded machine
+}
+
+TEST(StopwatchTest, SecondsAndMillisAgree) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double s = sw.ElapsedSeconds();
+  double ms = sw.ElapsedMillis();
+  // Taken an instant apart; ratio must be ~1000.
+  EXPECT_NEAR(ms / s, 1000.0, 50.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMillis(), 15.0);
+}
+
+TEST(StopwatchTest, MonotoneNonDecreasing) {
+  Stopwatch sw;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    double now = sw.ElapsedSeconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,87 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace opim {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // no tasks; must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MultipleWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (cycle + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  // One worker executes in submission order.
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  const uint64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](uint64_t i) { hits[i].fetch_add(1); });
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): destructor must still let tasks finish.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,99 @@
+// End-to-end smoke tests of the opim_cli binary: generate, inspect,
+// convert, run, evaluate — the full user workflow, driven through the
+// actual executable. Located via the OPIM_CLI_PATH compile definition.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace opim {
+namespace {
+
+/// Runs a command, returning (exit code, captured stdout).
+std::pair<int, std::string> RunCommand(const std::string& cmd) {
+  std::array<char, 4096> buffer;
+  std::string output;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return {-1, ""};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  int rc = pclose(pipe);
+  return {rc, output};
+}
+
+std::string Cli() { return OPIM_CLI_PATH; }
+
+std::string TmpFile(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliSmokeTest, GenStatsRoundTrip) {
+  std::string bin = TmpFile("cli_smoke.bin");
+  auto [rc1, out1] = RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                         bin);
+  ASSERT_EQ(rc1, 0) << out1;
+  EXPECT_NE(out1.find("n=512"), std::string::npos) << out1;
+
+  auto [rc2, out2] = RunCommand(Cli() + " stats --graph=" + bin);
+  ASSERT_EQ(rc2, 0) << out2;
+  EXPECT_NE(out2.find("nodes          512"), std::string::npos) << out2;
+  EXPECT_NE(out2.find("LT-feasible"), std::string::npos) << out2;
+  std::remove(bin.c_str());
+}
+
+TEST(CliSmokeTest, RunOpimCAndEvaluate) {
+  std::string bin = TmpFile("cli_run.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=livejournal-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  auto [rc, out] = RunCommand(Cli() + " run --graph=" + bin +
+                       " --algo=opim-c+ --k=3 --eps=0.3 --mc=500");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("alpha="), std::string::npos) << out;
+  EXPECT_NE(out.find("expected_spread="), std::string::npos) << out;
+
+  auto [rc2, out2] =
+      RunCommand(Cli() + " evaluate --graph=" + bin + " --mc=500 0 1 2");
+  ASSERT_EQ(rc2, 0) << out2;
+  EXPECT_NE(out2.find("ci95"), std::string::npos) << out2;
+  std::remove(bin.c_str());
+}
+
+TEST(CliSmokeTest, ConvertWccTextToBinary) {
+  std::string txt = TmpFile("cli_conv.txt");
+  {
+    FILE* f = fopen(txt.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    // Two components: {0,1,2} and {3,4}.
+    fputs("0 1\n1 2\n3 4\n", f);
+    fclose(f);
+  }
+  std::string bin = TmpFile("cli_conv.bin");
+  auto [rc, out] = RunCommand(Cli() + " convert --in=" + txt + " --out=" + bin +
+                       " --wcc=true");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("kept 3 of 5"), std::string::npos) << out;
+  auto [rc2, out2] = RunCommand(Cli() + " stats --graph=" + bin);
+  ASSERT_EQ(rc2, 0);
+  EXPECT_NE(out2.find("nodes          3"), std::string::npos) << out2;
+  std::remove(txt.c_str());
+  std::remove(bin.c_str());
+}
+
+TEST(CliSmokeTest, UnknownCommandFails) {
+  auto [rc, out] = RunCommand(Cli() + " frobnicate");
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST(CliSmokeTest, MissingGraphIsCleanError) {
+  auto [rc, out] = RunCommand(Cli() + " stats --graph=/nonexistent/x.bin");
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,70 @@
+// Smoke tests for every example binary: each must run to completion at
+// toy sizes and print its headline output. Guards the deliverable most
+// users touch first.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace opim {
+namespace {
+
+std::pair<int, std::string> RunCommand(const std::string& cmd) {
+  std::array<char, 4096> buffer;
+  std::string output;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return {-1, ""};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  return {pclose(pipe), output};
+}
+
+TEST(ExamplesSmokeTest, Quickstart) {
+  auto [rc, out] =
+      RunCommand(std::string(OPIM_EXAMPLE_DIR) + "/quickstart --n=512 --k=3");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("OPIM-C:"), std::string::npos) << out;
+  EXPECT_NE(out.find("estimated expected spread"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, OnlineSession) {
+  auto [rc, out] = RunCommand(std::string(OPIM_EXAMPLE_DIR) +
+                              "/online_session --n=512 --k=5 --target=0.4 "
+                              "--batch=1000 --rounds=30");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("OPIM+"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, ViralMarketing) {
+  auto [rc, out] = RunCommand(std::string(OPIM_EXAMPLE_DIR) +
+                              "/viral_marketing --scale=9 --eps=0.3");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("marginal"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, ModelComparison) {
+  auto [rc, out] = RunCommand(std::string(OPIM_EXAMPLE_DIR) +
+                              "/model_comparison --n=512 --k=4 --eps=0.3");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("seed overlap"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, CustomModel) {
+  auto [rc, out] = RunCommand(std::string(OPIM_EXAMPLE_DIR) +
+                              "/custom_model --n=512 --k=4 --rr=2000");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("certified alpha"), std::string::npos);
+}
+
+TEST(ExamplesSmokeTest, TargetedCampaign) {
+  auto [rc, out] = RunCommand(std::string(OPIM_EXAMPLE_DIR) +
+                              "/targeted_campaign --n=1024 --k=5 --eps=0.3");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("campaign value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opim

@@ -1,0 +1,301 @@
+// opim_cli — command-line front end for the opim library.
+//
+// Subcommands:
+//   gen      --dataset=<name> --scale=<e> --out=<path>         make a
+//            synthetic dataset and save it (binary if *.bin, else text)
+//   convert  --in=<edgelist> --out=<path> [--undirected] [--wcc]
+//            any -> any; --wcc keeps the largest weakly-connected
+//            component (the conventional SNAP preprocessing)
+//   stats    --graph=<path>                                    Table-2 row
+//   run      --graph=<path> --algo=<name> --k=<k> [--eps=0.1]
+//            [--model=IC|LT] [--delta=1/n] [--mc=10000]        one IM run
+//   evaluate --graph=<path> [--mc=10000] <seed ids...>         MC spread
+//            of an explicit seed set, with a 95% CI
+//   online   --graph=<path> --k=<k> [--batch=10000]
+//            [--rounds=20] [--target=0.9] [--model=IC|LT]      OPIM session
+//
+// Algorithms for `run`: opim-c+ (default), opim-c0, opim-c', imm, tim,
+// ssa-fix, dssa-fix, mc-greedy, degree, degree-discount, pagerank,
+// two-hop, irie.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/dssa_fix.h"
+#include "baselines/heuristics.h"
+#include "baselines/imm.h"
+#include "baselines/mc_greedy.h"
+#include "baselines/ssa_fix.h"
+#include "baselines/tim.h"
+#include "core/online_maximizer.h"
+#include "core/opim_c.h"
+#include "diffusion/cascade.h"
+#include "graph/graph_binary.h"
+#include "graph/graph_io.h"
+#include "graph/transform.h"
+#include "harness/datasets.h"
+#include "harness/flags.h"
+#include "support/stopwatch.h"
+
+namespace opim::cli {
+
+namespace {
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Result<Graph> LoadAny(const std::string& path, bool undirected) {
+  if (HasSuffix(path, ".bin")) return LoadBinaryGraph(path);
+  EdgeListOptions opt;
+  opt.undirected = undirected;
+  return LoadEdgeList(path, opt);
+}
+
+Status SaveAny(const Graph& g, const std::string& path) {
+  if (HasSuffix(path, ".bin")) return SaveBinaryGraph(g, path);
+  return SaveEdgeList(g, path);
+}
+
+DiffusionModel ModelFromFlags(const Flags& flags) {
+  return flags.GetString("model", "IC") == "LT"
+             ? DiffusionModel::kLinearThreshold
+             : DiffusionModel::kIndependentCascade;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string name = flags.GetString("dataset", "pokec-sim");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+  auto g = MakeDataset(name, static_cast<uint32_t>(flags.GetUint("scale", 13)),
+                       flags.GetUint("seed", 1));
+  if (!g.ok()) return Fail(g.status());
+  Status st = SaveAny(g.ValueOrDie(), out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s: n=%u m=%llu\n", out.c_str(),
+              g.ValueOrDie().num_nodes(),
+              static_cast<unsigned long long>(g.ValueOrDie().num_edges()));
+  return 0;
+}
+
+int CmdConvert(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  const std::string out = flags.GetString("out", "");
+  if (in.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("--in and --out are required"));
+  }
+  auto g = LoadAny(in, flags.GetBool("undirected", false));
+  if (!g.ok()) return Fail(g.status());
+  Graph graph = std::move(g).ValueOrDie();
+  if (flags.GetBool("wcc", false)) {
+    // The conventional preprocessing step for SNAP data: keep only the
+    // largest weakly-connected component.
+    uint32_t before = graph.num_nodes();
+    graph = LargestWeaklyConnectedComponent(graph);
+    std::printf("wcc: kept %u of %u nodes\n", graph.num_nodes(), before);
+  }
+  Status st = SaveAny(graph, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("converted %s -> %s\n", in.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto g = LoadAny(flags.GetString("graph", ""),
+                   flags.GetBool("undirected", false));
+  if (!g.ok()) return Fail(g.status());
+  GraphStats s = ComputeStats(g.ValueOrDie());
+  std::printf("nodes          %u\n", s.num_nodes);
+  std::printf("edges          %llu\n",
+              static_cast<unsigned long long>(s.num_edges));
+  std::printf("avg_degree     %.3f\n", s.average_degree);
+  std::printf("max_in_degree  %llu\n",
+              static_cast<unsigned long long>(s.max_in_degree));
+  std::printf("max_out_degree %llu\n",
+              static_cast<unsigned long long>(s.max_out_degree));
+  std::printf("sources        %u\nsinks          %u\n", s.num_sources,
+              s.num_sinks);
+  std::printf("max_in_weight  %.6f %s\n", g.ValueOrDie().MaxInWeightSum(),
+              g.ValueOrDie().MaxInWeightSum() <= 1.0 + 1e-9
+                  ? "(LT-feasible)"
+                  : "(NOT LT-feasible)");
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  auto graph_or = LoadAny(flags.GetString("graph", ""),
+                          flags.GetBool("undirected", false));
+  if (!graph_or.ok()) return Fail(graph_or.status());
+  const Graph& g = graph_or.ValueOrDie();
+  const DiffusionModel model = ModelFromFlags(flags);
+  const uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 50));
+  const double eps = flags.GetDouble("eps", 0.1);
+  const double delta = flags.GetDouble("delta", 1.0 / g.num_nodes());
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const std::string algo = flags.GetString("algo", "opim-c+");
+
+  Stopwatch sw;
+  std::vector<NodeId> seeds;
+  uint64_t rr_sets = 0;
+  if (algo == "opim-c+" || algo == "opim-c0" || algo == "opim-c'") {
+    OpimCOptions o;
+    o.seed = seed;
+    o.bound = algo == "opim-c0"   ? BoundKind::kBasic
+              : algo == "opim-c'" ? BoundKind::kLeskovec
+                                  : BoundKind::kImproved;
+    OpimCResult r = RunOpimC(g, model, k, eps, delta, o);
+    seeds = std::move(r.seeds);
+    rr_sets = r.num_rr_sets;
+    std::printf("alpha=%.4f iterations=%u\n", r.alpha, r.iterations);
+  } else if (algo == "imm") {
+    ImResult r = RunImm(g, model, k, eps, delta, {seed, 0});
+    seeds = std::move(r.seeds);
+    rr_sets = r.num_rr_sets;
+  } else if (algo == "tim") {
+    TimOptions o;
+    o.seed = seed;
+    ImResult r = RunTim(g, model, k, eps, delta, o);
+    seeds = std::move(r.seeds);
+    rr_sets = r.num_rr_sets;
+  } else if (algo == "ssa-fix") {
+    ImResult r = RunSsaFix(g, model, k, eps, delta, {seed, 0});
+    seeds = std::move(r.seeds);
+    rr_sets = r.num_rr_sets;
+  } else if (algo == "dssa-fix") {
+    ImResult r = RunDssaFix(g, model, k, eps, delta, {seed, 0});
+    seeds = std::move(r.seeds);
+    rr_sets = r.num_rr_sets;
+  } else if (algo == "mc-greedy") {
+    seeds = SelectMcGreedy(g, model, k, flags.GetUint("mc-greedy-samples", 1000),
+                           seed);
+  } else if (algo == "degree") {
+    seeds = SelectByDegree(g, k);
+  } else if (algo == "degree-discount") {
+    seeds = SelectByDegreeDiscount(g, k, flags.GetDouble("dd-p", 0.01));
+  } else if (algo == "pagerank") {
+    seeds = SelectByPageRank(g, k);
+  } else if (algo == "two-hop") {
+    seeds = SelectByTwoHop(g, k);
+  } else if (algo == "irie") {
+    seeds = SelectByIrie(g, k);
+  } else {
+    return Fail(Status::InvalidArgument("unknown --algo: " + algo));
+  }
+  const double elapsed = sw.ElapsedSeconds();
+
+  std::printf("algorithm=%s model=%s k=%u eps=%g delta=%g\n", algo.c_str(),
+              DiffusionModelName(model), k, eps, delta);
+  std::printf("time_seconds=%.3f rr_sets=%llu\n", elapsed,
+              static_cast<unsigned long long>(rr_sets));
+  std::printf("seeds:");
+  for (NodeId v : seeds) std::printf(" %u", v);
+  std::printf("\n");
+
+  const uint64_t mc = flags.GetUint("mc", 10000);
+  if (mc > 0) {
+    SpreadEstimator est(g, model);
+    std::printf("expected_spread=%.2f (over %llu Monte-Carlo runs)\n",
+                est.Estimate(seeds, mc, seed),
+                static_cast<unsigned long long>(mc));
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  auto graph_or = LoadAny(flags.GetString("graph", ""),
+                          flags.GetBool("undirected", false));
+  if (!graph_or.ok()) return Fail(graph_or.status());
+  const Graph& g = graph_or.ValueOrDie();
+  const DiffusionModel model = ModelFromFlags(flags);
+
+  // Seeds come as positional node ids.
+  std::vector<NodeId> seeds;
+  for (const std::string& arg : flags.positional()) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(arg.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v >= g.num_nodes()) {
+      return Fail(Status::InvalidArgument("bad seed id: " + arg));
+    }
+    seeds.push_back(static_cast<NodeId>(v));
+  }
+  if (seeds.empty()) {
+    return Fail(Status::InvalidArgument(
+        "usage: opim_cli evaluate --graph=<path> <seed ids...>"));
+  }
+
+  const uint64_t mc = flags.GetUint("mc", 10000);
+  SpreadEstimator est(g, model);
+  auto r = est.EstimateWithError(seeds, mc, flags.GetUint("seed", 1));
+  std::printf("model=%s seeds=%zu mc=%llu\n", DiffusionModelName(model),
+              seeds.size(), static_cast<unsigned long long>(mc));
+  std::printf("expected_spread=%.3f ci95=+-%.3f\n", r.mean,
+              1.96 * r.stderr_);
+  return 0;
+}
+
+int CmdOnline(const Flags& flags) {
+  auto graph_or = LoadAny(flags.GetString("graph", ""),
+                          flags.GetBool("undirected", false));
+  if (!graph_or.ok()) return Fail(graph_or.status());
+  const Graph& g = graph_or.ValueOrDie();
+  const DiffusionModel model = ModelFromFlags(flags);
+  const uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 50));
+  const double delta = flags.GetDouble("delta", 1.0 / g.num_nodes());
+  const uint64_t batch = flags.GetUint("batch", 10000);
+  const uint32_t rounds = static_cast<uint32_t>(flags.GetUint("rounds", 20));
+  const double target = flags.GetDouble("target", 0.9);
+  const bool sequential = flags.GetBool("sequential", false);
+
+  OnlineMaximizer om(g, model, k, delta, flags.GetUint("seed", 1));
+  std::printf("%10s  %8s  %8s  %8s\n", "rr_sets", "OPIM0", "OPIM+", "OPIM'");
+  for (uint32_t r = 0; r < rounds; ++r) {
+    om.Advance(batch);
+    if (sequential) {
+      OnlineSnapshot snap = om.QuerySequential(BoundKind::kImproved);
+      std::printf("%10llu  %8s  %8.4f  %8s   (sequential, all-rounds "
+                  "validity)\n",
+                  static_cast<unsigned long long>(om.num_rr_sets()), "-",
+                  snap.alpha, "-");
+      if (snap.alpha >= target) return 0;
+    } else {
+      OnlineSnapshotAll snap = om.QueryAll();
+      std::printf("%10llu  %8.4f  %8.4f  %8.4f\n",
+                  static_cast<unsigned long long>(snap.theta_total),
+                  snap.alpha_basic, snap.alpha_improved,
+                  snap.alpha_leskovec);
+      if (snap.alpha_improved >= target) return 0;
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(
+        stderr,
+        "usage: opim_cli <gen|convert|stats|run|evaluate|online> [flags]\n"
+        "see the header comment of tools/opim_cli.cc for details\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc - 1, argv + 1);
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "convert") return CmdConvert(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "run") return CmdRun(flags);
+  if (cmd == "evaluate") return CmdEvaluate(flags);
+  if (cmd == "online") return CmdOnline(flags);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace opim::cli
+
+int main(int argc, char** argv) { return opim::cli::Main(argc, argv); }
