@@ -9,6 +9,9 @@
 
 #include "diffusion/cascade.h"
 #include "gen/generators.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 #include "select/greedy.h"
@@ -148,6 +151,68 @@ void BM_CascadeLT(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CascadeLT);
+
+// --- Telemetry primitives (docs/observability.md overhead budget) ---
+
+void BM_TelemetryCounterAdd(benchmark::State& state) {
+  Counter* counter =
+      MetricsRegistry::Default().FindOrCreateCounter("bench.counter_add");
+  for (auto _ : state) {
+    counter->Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterAdd)->Threads(1)->Threads(4);
+
+void BM_TelemetryHistogramRecord(benchmark::State& state) {
+  Histogram* hist =
+      MetricsRegistry::Default().FindOrCreateHistogram("bench.hist_record");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    hist->Record(v);
+    v = (v * 2862933555777941757ULL + 3037000493ULL) >> 40;  // vary buckets
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
+
+void BM_TelemetrySnapshot(benchmark::State& state) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 64; ++i) {
+    registry.FindOrCreateCounter("bench.c" + std::to_string(i))->Add(i);
+    registry.FindOrCreateHistogram("bench.h" + std::to_string(i))
+        ->Record(static_cast<uint64_t>(i) * 17);
+  }
+  for (auto _ : state) {
+    MetricsSnapshot snap = registry.Snapshot();
+    benchmark::DoNotOptimize(snap.counters.data());
+  }
+}
+BENCHMARK(BM_TelemetrySnapshot);
+
+void BM_TelemetryScopedTimer(benchmark::State& state) {
+  Histogram* hist =
+      MetricsRegistry::Default().FindOrCreateHistogram("bench.scoped_timer");
+  for (auto _ : state) {
+    ScopedTimer timer(hist);
+    benchmark::DoNotOptimize(&timer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryScopedTimer);
+
+void BM_TelemetryLogFiltered(benchmark::State& state) {
+  // Default runtime level is kWarn, so kDebug messages are dropped without
+  // evaluating the stream operands — this measures the filter check alone.
+  SetLogLevel(LogLevel::kWarn);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    OPIM_LOG(kDebug) << "never emitted " << ++x;
+  }
+  benchmark::DoNotOptimize(x);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryLogFiltered);
 
 }  // namespace
 }  // namespace opim

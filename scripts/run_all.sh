@@ -20,6 +20,13 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee "$OUT/test_output.txt"
 
+# The full suite must also pass with telemetry compiled out — golden tests
+# pin outputs, so this proves instrumentation is observe-only.
+cmake -B build-notm -G Ninja -DOPIM_TELEMETRY=OFF
+cmake --build build-notm
+ctest --test-dir build-notm --output-on-failure 2>&1 \
+  | tee "$OUT/test_output_notelemetry.txt"
+
 for b in build/bench/*; do
   name="$(basename "$b")"
   echo "=== $name ==="

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.h"
 #include "support/math_util.h"
 
 namespace opim {
@@ -21,6 +22,7 @@ const char* BoundKindName(BoundKind kind) {
 
 double SigmaLower(uint64_t lambda2, uint64_t theta2, double scale,
                   double delta2) {
+  OPIM_TM_COUNTER_ADD("opim.bounds.eval_lower", 1);
   OPIM_CHECK_GT(theta2, 0u);
   OPIM_CHECK(delta2 > 0.0 && delta2 < 1.0);
   const double a = std::log(1.0 / delta2);
@@ -70,12 +72,15 @@ double SigmaUpper(BoundKind kind, const GreedyResult& greedy, uint64_t theta1,
                   double scale, double delta1) {
   switch (kind) {
     case BoundKind::kBasic:
+      OPIM_TM_COUNTER_ADD("opim.bounds.eval_basic", 1);
       return SigmaUpperBasic(greedy.coverage, theta1, scale, delta1);
     case BoundKind::kImproved:
+      OPIM_TM_COUNTER_ADD("opim.bounds.eval_improved", 1);
       return SigmaUpperFromLambda(
           static_cast<double>(LambdaUpperFromTrace(greedy)), theta1, scale,
           delta1);
     case BoundKind::kLeskovec:
+      OPIM_TM_COUNTER_ADD("opim.bounds.eval_leskovec", 1);
       return SigmaUpperFromLambda(
           static_cast<double>(LambdaUpperLeskovec(greedy)), theta1, scale,
           delta1);

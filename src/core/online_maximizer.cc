@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.h"
 #include "rrset/parallel_generate.h"
 
 namespace opim {
@@ -50,6 +51,7 @@ OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
 
 void OnlineMaximizer::AdvanceParallel(uint64_t count,
                                       unsigned num_threads) {
+  OPIM_TM_SCOPED_TIMER("opim.online.advance_us");
   const uint64_t to_r1 = (count + next_to_r1_) / 2;
   // Batch seeds derive from the shared RNG so successive calls stay
   // decorrelated and the whole sequence remains reproducible.
@@ -63,12 +65,23 @@ void OnlineMaximizer::AdvanceParallel(uint64_t count,
 }
 
 void OnlineMaximizer::Advance(uint64_t count) {
+  OPIM_TM_SCOPED_TIMER("opim.online.advance_us");
+  const uint64_t alias_before = sampler_->alias_draws();
+  uint64_t nodes_total = 0;
+  uint64_t edges_total = 0;
   std::vector<NodeId> scratch;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t cost = sampler_->SampleInto(rng_, &scratch);
+    nodes_total += scratch.size();
+    edges_total += cost;
     (next_to_r1_ ? r1_ : r2_).AddSet(scratch, cost);
     next_to_r1_ = !next_to_r1_;
   }
+  OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", count);
+  OPIM_TM_COUNTER_ADD("opim.rrset.nodes_total", nodes_total);
+  OPIM_TM_COUNTER_ADD("opim.rrset.edges_examined", edges_total);
+  OPIM_TM_COUNTER_ADD("opim.rrset.alias_draws",
+                      sampler_->alias_draws() - alias_before);
 }
 
 OnlineSnapshot OnlineMaximizer::Query(BoundKind kind) const {
@@ -86,6 +99,8 @@ OnlineSnapshot OnlineMaximizer::QuerySequential(BoundKind kind) {
 
 OnlineSnapshot OnlineMaximizer::QueryWithDelta(BoundKind kind,
                                                double delta_each) const {
+  OPIM_TM_SCOPED_TIMER("opim.online.query_us");
+  OPIM_TM_COUNTER_ADD("opim.online.queries", 1);
   OPIM_CHECK_MSG(r1_.num_sets() > 0 && r2_.num_sets() > 0,
                  "Query before any RR sets were generated; call Advance()");
   const double delta1 = delta_each;
@@ -127,6 +142,8 @@ OnlineSnapshot OnlineMaximizer::RunUntilTarget(BoundKind kind,
 }
 
 OnlineSnapshotAll OnlineMaximizer::QueryAll() const {
+  OPIM_TM_SCOPED_TIMER("opim.online.query_us");
+  OPIM_TM_COUNTER_ADD("opim.online.queries", 1);
   OPIM_CHECK_MSG(r1_.num_sets() > 0 && r2_.num_sets() > 0,
                  "QueryAll before any RR sets were generated; call Advance()");
   const double delta1 = delta_ / 2.0;

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/log.h"
+#include "obs/telemetry.h"
 #include "rrset/parallel_generate.h"
 #include "rrset/rr_collection.h"
 #include "select/greedy.h"
 #include "support/math_util.h"
 #include "support/random.h"
+#include "support/stopwatch.h"
+#include "support/thread_pool.h"
 
 namespace opim {
 
@@ -68,14 +72,26 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   const double delta_iter = delta / (3.0 * i_max);  // δ1 = δ2 = δ/(3·i_max)
   const double target = 1.0 - 1.0 / std::exp(1.0) - eps;
 
+  const unsigned num_threads =
+      ThreadPool::ResolveThreadCount(options.num_threads);
+  OPIM_TM_COUNTER_ADD("opim.opimc.runs", 1);
+  OPIM_LOG(kInfo) << "opim-c: n=" << n << " k=" << k << " eps=" << eps
+                  << " delta=" << delta << " theta0=" << theta0
+                  << " i_max=" << i_max << " threads=" << num_threads;
+
   // Generation goes through ParallelGenerate even in the serial case so
   // the RR stream depends only on (seed, num_threads); each batch gets a
-  // distinct derived seed.
+  // distinct derived seed. `pending_generate_seconds` accumulates the wall
+  // time of every generate() since the last iteration record, so the θ0
+  // fill and each doubling land on the iteration that consumes them.
   uint64_t batch_counter = 0;
+  double pending_generate_seconds = 0.0;
   auto generate = [&](RRCollection* rr, uint64_t count) {
+    Stopwatch watch;
     uint64_t state = options.seed ^ (0x6f70634bULL + ++batch_counter);
-    ParallelGenerate(g, model, rr, count, SplitMix64(state),
-                     options.num_threads, options.node_weights);
+    ParallelGenerate(g, model, rr, count, SplitMix64(state), num_threads,
+                     options.node_weights);
+    pending_generate_seconds += watch.ElapsedSeconds();
   };
   RRCollection r1(n), r2(n);
   generate(&r1, theta0);
@@ -83,10 +99,16 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
 
   OpimCResult result;
   result.i_max = i_max;
+  result.num_threads = num_threads;
   const bool needs_trace = options.bound != BoundKind::kBasic;
 
   for (uint32_t i = 1; i <= i_max; ++i) {
+    OPIM_TM_COUNTER_ADD("opim.opimc.iterations", 1);
+    Stopwatch phase_watch;
     GreedyResult greedy = SelectGreedy(r1, k, needs_trace);
+    const double greedy_seconds = phase_watch.ElapsedSeconds();
+
+    phase_watch.Restart();
     const uint64_t lambda2 = r2.CoverageOf(greedy.seeds);
 
     OpimCIteration iter;
@@ -96,6 +118,20 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     iter.sigma_upper =
         SigmaUpper(options.bound, greedy, r1.num_sets(), scale, delta_iter);
     iter.alpha = ApproxRatio(iter.sigma_lower, iter.sigma_upper);
+    iter.generate_seconds = pending_generate_seconds;
+    pending_generate_seconds = 0.0;
+    iter.greedy_seconds = greedy_seconds;
+    iter.bounds_seconds = phase_watch.ElapsedSeconds();
+    OPIM_TM_HISTOGRAM_RECORD("opim.opimc.phase.generate_us",
+                             iter.generate_seconds * 1e6);
+    OPIM_TM_HISTOGRAM_RECORD("opim.opimc.phase.greedy_us",
+                             iter.greedy_seconds * 1e6);
+    OPIM_TM_HISTOGRAM_RECORD("opim.opimc.phase.bounds_us",
+                             iter.bounds_seconds * 1e6);
+    OPIM_LOG(kDebug) << "opim-c: iter=" << i << " theta1=" << iter.theta1
+                     << " alpha=" << iter.alpha
+                     << " sigma_l=" << iter.sigma_lower
+                     << " sigma_u=" << iter.sigma_upper;
     result.trace.push_back(iter);
     result.iterations = i;
 
@@ -112,6 +148,9 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   result.num_rr_sets =
       static_cast<uint64_t>(r1.num_sets()) + r2.num_sets();
   result.total_rr_size = r1.total_size() + r2.total_size();
+  OPIM_LOG(kInfo) << "opim-c: done alpha=" << result.alpha
+                  << " iterations=" << result.iterations
+                  << " rr_sets=" << result.num_rr_sets;
   return result;
 }
 

@@ -40,12 +40,20 @@ struct OpimCOptions {
   std::vector<double> node_weights;
 };
 
-/// Per-iteration record, for tests and diagnostics.
+/// Per-iteration record, for tests and diagnostics. The *_seconds phase
+/// breakdown attributes wall time to the iteration that consumed it: RR-set
+/// generation (including the initial θ0 fill and the doubling at the end of
+/// the previous iteration), greedy selection on R1, and the bound
+/// computations (Λ2 coverage + σ_l/σ_u/α). Timings are diagnostic only —
+/// they never influence the algorithm and are not deterministic.
 struct OpimCIteration {
   uint64_t theta1 = 0;       // |R1| this iteration
   double alpha = 0.0;        // guarantee computed this iteration
   double sigma_lower = 0.0;
   double sigma_upper = 0.0;
+  double generate_seconds = 0.0;
+  double greedy_seconds = 0.0;
+  double bounds_seconds = 0.0;
 };
 
 /// Output of OpimC.
@@ -63,6 +71,9 @@ struct OpimCResult {
   uint32_t iterations = 0;
   /// The i_max bound computed from Eqs. (16)/(17).
   uint32_t i_max = 0;
+  /// The thread count actually used (OpimCOptions::num_threads with 0
+  /// resolved to the hardware default).
+  unsigned num_threads = 1;
   /// Trace of every executed iteration.
   std::vector<OpimCIteration> trace;
 };

@@ -152,12 +152,15 @@ std::vector<ImFigureRow> RunImFigure(const Graph& g, DiffusionModel model,
         row.seconds += out.seconds;
         row.rr_sets += out.rr_sets;
         row.extrapolated = row.extrapolated || out.extrapolated;
+        Stopwatch eval_watch;
         row.spread += estimator.Estimate(out.seeds, options.mc_samples,
                                          options.seed + rep);
+        row.eval_seconds += eval_watch.ElapsedSeconds();
       }
       row.seconds /= options.reps;
       row.rr_sets /= options.reps;
       row.spread /= options.reps;
+      row.eval_seconds /= options.reps;
       rows.push_back(std::move(row));
     }
   }
@@ -165,13 +168,14 @@ std::vector<ImFigureRow> RunImFigure(const Graph& g, DiffusionModel model,
 }
 
 TablePrinter ImFigureToTable(const std::vector<ImFigureRow>& rows) {
-  TablePrinter table(
-      {"algorithm", "eps", "spread", "seconds", "rr_sets", "extrapolated"});
+  TablePrinter table({"algorithm", "eps", "spread", "seconds", "rr_sets",
+                      "eval_s", "extrapolated"});
   for (const ImFigureRow& row : rows) {
     table.AddRow({row.algorithm, TablePrinter::Cell(row.eps, 3),
                   TablePrinter::Cell(row.spread, 6),
                   TablePrinter::Cell(row.seconds, 4),
                   TablePrinter::Cell(row.rr_sets, 6),
+                  TablePrinter::Cell(row.eval_seconds, 4),
                   row.extrapolated ? "yes" : "no"});
   }
   return table;

@@ -54,6 +54,9 @@ struct ImFigureRow {
   double seconds = 0.0;
   /// Mean RR sets generated (the demanded count when capped).
   double rr_sets = 0.0;
+  /// Mean seconds spent in the Monte-Carlo spread evaluation (diagnostic;
+  /// not part of the algorithm's running time).
+  double eval_seconds = 0.0;
   /// True if any rep hit the cap and the time is extrapolated.
   bool extrapolated = false;
 };

@@ -6,6 +6,7 @@
 #include "baselines/opim_adoption.h"
 #include "baselines/ssa_fix.h"
 #include "core/online_maximizer.h"
+#include "support/stopwatch.h"
 
 namespace opim {
 
@@ -45,6 +46,8 @@ OpimFigureSeries RunOpimFigure(const Graph& g, DiffusionModel model,
 
   std::vector<std::vector<double>> sums(
       kNumAlgos, std::vector<double>(num_cp, 0.0));
+  std::vector<double> advance_sums(num_cp, 0.0);
+  std::vector<double> query_sums(num_cp, 0.0);
 
   for (uint32_t rep = 0; rep < options.reps; ++rep) {
     const uint64_t rep_seed = options.seed + 7919ULL * rep;
@@ -57,11 +60,15 @@ OpimFigureSeries RunOpimFigure(const Graph& g, DiffusionModel model,
     uint64_t generated = 0;
     for (size_t c = 0; c < num_cp; ++c) {
       const uint64_t target = out.checkpoints[c];
+      Stopwatch watch;
       om.Advance(target - generated);
+      advance_sums[c] += watch.ElapsedSeconds();
       borgs.Advance(target - generated);
       generated = target;
 
+      watch.Restart();
       OnlineSnapshotAll snap = om.QueryAll();
+      query_sums[c] += watch.ElapsedSeconds();
       sums[kOpim0][c] += snap.alpha_basic;
       sums[kOpimPlus][c] += snap.alpha_improved;
       sums[kOpimPrime][c] += snap.alpha_leskovec;
@@ -109,18 +116,35 @@ OpimFigureSeries RunOpimFigure(const Graph& g, DiffusionModel model,
     }
     out.series.emplace_back(kAlgoNames[a], std::move(means));
   }
+  out.advance_seconds.resize(num_cp);
+  out.query_seconds.resize(num_cp);
+  for (size_t c = 0; c < num_cp; ++c) {
+    out.advance_seconds[c] = advance_sums[c] / options.reps;
+    out.query_seconds[c] = query_sums[c] / options.reps;
+  }
   return out;
 }
 
 TablePrinter OpimFigureToTable(const OpimFigureSeries& series) {
+  const bool with_times =
+      series.advance_seconds.size() == series.checkpoints.size() &&
+      series.query_seconds.size() == series.checkpoints.size();
   std::vector<std::string> headers = {"rr_sets"};
   for (const auto& [name, values] : series.series) headers.push_back(name);
+  if (with_times) {
+    headers.push_back("advance_s");
+    headers.push_back("query_s");
+  }
   TablePrinter table(std::move(headers));
   for (size_t c = 0; c < series.checkpoints.size(); ++c) {
     std::vector<std::string> row = {
         TablePrinter::Cell(series.checkpoints[c])};
     for (const auto& [name, values] : series.series) {
       row.push_back(TablePrinter::Cell(values[c], 4));
+    }
+    if (with_times) {
+      row.push_back(TablePrinter::Cell(series.advance_seconds[c], 4));
+      row.push_back(TablePrinter::Cell(series.query_seconds[c], 4));
     }
     table.AddRow(std::move(row));
   }

@@ -40,11 +40,17 @@ struct OpimFigureOptions {
   uint64_t seed = 1;
 };
 
-/// One figure panel: α per algorithm per checkpoint.
+/// One figure panel: α per algorithm per checkpoint, plus mean wall time
+/// spent in the shared-stream Advance/QueryAll phases per checkpoint
+/// (averaged over reps; diagnostic only, not deterministic).
 struct OpimFigureSeries {
   std::vector<uint64_t> checkpoints;
   /// (algorithm name, mean α at each checkpoint).
   std::vector<std::pair<std::string, std::vector<double>>> series;
+  /// Mean seconds spent generating RR sets up to each checkpoint.
+  std::vector<double> advance_seconds;
+  /// Mean seconds spent in QueryAll at each checkpoint.
+  std::vector<double> query_seconds;
 };
 
 /// Runs the seven-algorithm comparison.

@@ -1,0 +1,53 @@
+// Minimal streaming JSON writer for the telemetry run reports.
+//
+// Emits syntactically valid RFC 8259 JSON: string escaping, comma
+// placement and nesting are handled here so call sites only state
+// structure. Non-finite doubles serialize as null (JSON has no NaN/Inf).
+// This is a writer only — the library never parses JSON.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opim {
+
+/// Streaming writer: BeginObject/Key/Value/EndObject calls append to an
+/// internal buffer, retrieved with str(). Misnesting is a programming
+/// error and trips OPIM_CHECK.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  /// The document so far. Valid JSON once every Begin has been Ended.
+  const std::string& str() const { return out_; }
+
+  /// Escapes `s` for inclusion in a JSON string literal (no quotes added).
+  static std::string Escape(std::string_view s);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: whether it already holds an element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace opim

@@ -1,0 +1,97 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/stopwatch.h"
+
+namespace opim {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Seconds since the first logging call (process-relative timestamps).
+double ElapsedSinceStart() {
+  static const Stopwatch* const start = new Stopwatch();
+  return start->ElapsedSeconds();
+}
+
+/// The path's basename, so log lines stay short.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "off" || lower == "none") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+bool LogLevelEnabled(LogLevel severity) {
+  return static_cast<int>(severity) >=
+         g_log_level.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel severity, const char* file, int line) {
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[opim %c %9.3f %s:%d] ",
+                LogLevelName(severity)[0], ElapsedSinceStart(),
+                Basename(file), line);
+  stream_ << prefix;
+}
+
+LogMessage::~LogMessage() {
+  stream_ << '\n';
+  // One fputs per message keeps concurrent lines whole.
+  std::fputs(stream_.str().c_str(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace internal
+}  // namespace opim

@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace opim {
+
+namespace {
+
+template <typename Sample>
+const Sample* FindByName(const std::vector<Sample>& samples,
+                         std::string_view name) {
+  // Snapshots are sorted by name (map iteration order), so binary search.
+  auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const Sample& s, std::string_view n) { return s.name < n; });
+  if (it == samples.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+uint64_t HistogramSample::ApproxPercentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  uint64_t seen = 0;
+  for (const Bucket& b : buckets) {
+    seen += b.count;
+    if (seen > rank || seen == count) return b.upper;
+  }
+  return buckets.empty() ? 0 : buckets.back().upper;
+}
+
+const CounterSample* MetricsSnapshot::FindCounter(std::string_view name) const {
+  return FindByName(counters, name);
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(std::string_view name) const {
+  return FindByName(gauges, name);
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  return FindByName(histograms, name);
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  AppendTo(w);
+  return w.str();
+}
+
+void MetricsSnapshot::AppendTo(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const CounterSample& c : counters) w.Key(c.name).Value(c.value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const GaugeSample& g : gauges) w.Key(g.name).Value(g.value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const HistogramSample& h : histograms) {
+    w.Key(h.name).BeginObject();
+    w.Key("count").Value(h.count);
+    w.Key("sum").Value(h.sum);
+    w.Key("mean").Value(h.Mean());
+    w.Key("p50").Value(h.ApproxPercentile(0.5));
+    w.Key("p99").Value(h.ApproxPercentile(0.99));
+    w.Key("buckets").BeginArray();
+    for (const HistogramSample::Bucket& b : h.buckets) {
+      w.BeginObject();
+      w.Key("lower").Value(b.lower);
+      w.Key("upper").Value(b.upper);
+      w.Key("count").Value(b.count);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* const registry = new MetricsRegistry(true);
+  return *registry;
+}
+
+MetricsRegistry& MetricsRegistry::Null() {
+  static MetricsRegistry* const registry = new MetricsRegistry(false);
+  return *registry;
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(std::string_view name) {
+  if (!enabled_) return &null_counter_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(std::string_view name) {
+  if (!enabled_) return &null_gauge_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(std::string_view name) {
+  if (!enabled_) return &null_histogram_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  if (!enabled_) return snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.sum = hist->Sum();
+    for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+      const uint64_t c = hist->BucketCount(b);
+      if (c == 0) continue;
+      sample.count += c;
+      sample.buckets.push_back(
+          {Histogram::BucketLower(b), Histogram::BucketUpper(b), c});
+    }
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetValues() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace opim

@@ -1,0 +1,258 @@
+// Low-overhead metrics primitives for the telemetry subsystem.
+//
+// A MetricsRegistry owns named Counters, Gauges and Histograms. Hot paths
+// hold raw pointers obtained once via FindOrCreate* (metric objects are
+// never deallocated while their registry lives, so cached pointers stay
+// valid) and record with relaxed atomics:
+//
+//   * Counter — monotonically increasing u64, sharded across cache lines
+//     by thread so concurrent increments never contend; shards are summed
+//     on read.
+//   * Gauge — a plain signed value (Set/Add), for "last observed" numbers
+//     like the resolved thread count.
+//   * Histogram — power-of-two buckets (bucket b counts values with
+//     bit_width b, i.e. [2^(b-1), 2^b - 1]), plus a running sum. Used for
+//     latency distributions in microseconds.
+//
+// Snapshot() copies everything into a plain MetricsSnapshot, so readers
+// never block writers and a captured snapshot is immune to later updates.
+// A registry constructed disabled (MetricsRegistry::Null()) hands out
+// shared sink metrics and reports an empty snapshot — the "null registry"
+// runtime gate; compile-time gating is in obs/telemetry.h.
+//
+// Metrics are observe-only by contract: nothing in the library may read a
+// metric to make an algorithmic decision, which keeps fixed-seed runs
+// byte-identical with telemetry on or off.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/macros.h"
+
+namespace opim {
+
+class JsonWriter;
+
+/// Monotonic counter with per-thread shard striping. Add() is safe from
+/// any thread and wait-free; Value() sums the shards (approximate only
+/// while writers are mid-flight, exact once they are quiesced).
+class Counter {
+ public:
+  static constexpr unsigned kNumShards = 16;
+
+  Counter() = default;
+  OPIM_DISALLOW_COPY(Counter);
+
+  /// Adds `delta` to this thread's shard.
+  void Add(uint64_t delta = 1) noexcept {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards.
+  uint64_t Value() const noexcept {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every shard (test/benchmark support; not atomic vs writers).
+  void Reset() noexcept {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// Stable per-thread shard slot: threads take round-robin slots on first
+  /// use, so up to kNumShards concurrent writers never share a cache line.
+  static unsigned ShardIndex() noexcept {
+    static std::atomic<unsigned> next_slot{0};
+    thread_local const unsigned slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+    return slot;
+  }
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+/// Last-observed signed value. Single atomic; gauges are written rarely.
+class Gauge {
+ public:
+  Gauge() = default;
+  OPIM_DISALLOW_COPY(Gauge);
+
+  void Set(int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two-bucket histogram over uint64 samples. Record() is two
+/// relaxed atomic adds; bucket b (0..64) holds values whose bit_width is
+/// b, i.e. bucket 0 = {0} and bucket b = [2^(b-1), 2^b - 1].
+class Histogram {
+ public:
+  static constexpr unsigned kNumBuckets = 65;
+
+  Histogram() = default;
+  OPIM_DISALLOW_COPY(Histogram);
+
+  void Record(uint64_t value) noexcept {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Bucket a value falls into: its bit width.
+  static unsigned BucketIndex(uint64_t value) noexcept {
+    return static_cast<unsigned>(std::bit_width(value));
+  }
+  /// Inclusive [lower, upper] range of bucket `b`.
+  static uint64_t BucketLower(unsigned b) noexcept {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+  static uint64_t BucketUpper(unsigned b) noexcept {
+    return b >= 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1;
+  }
+
+  uint64_t Count() const noexcept {
+    uint64_t c = 0;
+    for (const auto& b : buckets_) c += b.load(std::memory_order_relaxed);
+    return c;
+  }
+  uint64_t Sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  uint64_t BucketCount(unsigned b) const noexcept {
+    OPIM_CHECK_LT(b, kNumBuckets);
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  void Reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One counter in a snapshot.
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// One gauge in a snapshot.
+struct GaugeSample {
+  std::string name;
+  int64_t value = 0;
+};
+
+/// One histogram in a snapshot; only non-empty buckets are kept.
+struct HistogramSample {
+  struct Bucket {
+    uint64_t lower = 0;   // inclusive
+    uint64_t upper = 0;   // inclusive
+    uint64_t count = 0;
+  };
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<Bucket> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
+  uint64_t ApproxPercentile(double p) const;
+};
+
+/// Point-in-time copy of a registry, sorted by metric name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Lookup helpers for tests and report assembly; nullptr when absent.
+  const CounterSample* FindCounter(std::string_view name) const;
+  const GaugeSample* FindGauge(std::string_view name) const;
+  const HistogramSample* FindHistogram(std::string_view name) const;
+
+  /// Serializes as a JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} (see docs/observability.md for the schema).
+  std::string ToJson() const;
+
+  /// Writes the same object into an in-progress document (after a Key()
+  /// or as an array/top-level value).
+  void AppendTo(JsonWriter& w) const;
+};
+
+/// Owner of named metrics. Registration (FindOrCreate*) takes a mutex and
+/// is expected to happen once per call site (cache the pointer); recording
+/// through the returned objects is lock-free. Metric objects live as long
+/// as the registry.
+class MetricsRegistry {
+ public:
+  /// `enabled` = false builds a null registry: FindOrCreate* hands out
+  /// shared sink metrics and Snapshot() is empty.
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+  OPIM_DISALLOW_COPY(MetricsRegistry);
+
+  /// The process-wide registry all OPIM_TM_* instrumentation records to.
+  static MetricsRegistry& Default();
+  /// A shared always-disabled registry (runtime off switch for callers
+  /// that thread a registry through explicitly).
+  static MetricsRegistry& Null();
+
+  Counter* FindOrCreateCounter(std::string_view name);
+  Gauge* FindOrCreateGauge(std::string_view name);
+  Histogram* FindOrCreateHistogram(std::string_view name);
+
+  /// Copies every metric into a plain snapshot (empty when disabled).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric in place. Previously handed-out
+  /// pointers stay valid — this resets values, not identities.
+  void ResetValues();
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  const bool enabled_;
+  mutable std::mutex mu_;
+  // Node-based maps: insertion never moves existing metric objects.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Sinks handed out by a disabled registry.
+  Counter null_counter_;
+  Gauge null_gauge_;
+  Histogram null_histogram_;
+};
+
+}  // namespace opim

@@ -1,0 +1,83 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace opim {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").Value("opim.run_report.v1");
+
+  w.Key("info").BeginObject();
+  for (const auto& [key, value] : info_) w.Key(key).Value(value);
+  w.EndObject();
+
+  w.Key("results").BeginObject();
+  for (const auto& [key, value] : results_) w.Key(key).Value(value);
+  w.EndObject();
+
+  w.Key("iterations").BeginArray();
+  for (const Row& row : iterations_) {
+    w.BeginObject();
+    for (const auto& [column, value] : row.values) w.Key(column).Value(value);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("metrics");
+  metrics_.AppendTo(w);
+
+  w.EndObject();
+  return w.str();
+}
+
+std::string RunReport::IterationsToCsv() const {
+  std::string out;
+  if (iterations_.empty()) return out;
+  const Row& first = iterations_.front();
+  for (size_t i = 0; i < first.values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += first.values[i].first;
+  }
+  out += '\n';
+  char buf[40];
+  for (const Row& row : iterations_) {
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      if (i > 0) out += ',';
+      std::snprintf(buf, sizeof(buf), "%.17g", row.values[i].second);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status RunReport::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+Status RunReport::WriteIterationsCsv(const std::string& path) const {
+  return WriteFile(path, IterationsToCsv());
+}
+
+}  // namespace opim

@@ -1,0 +1,80 @@
+// RunReport: the machine-readable record of one algorithm run, emitted by
+// `opim_cli run/online --metrics-json <path>` and consumable by the
+// BENCH_*.json trajectory tooling.
+//
+// A report has four sections (docs/observability.md documents the schema
+// and how each key maps to a paper quantity):
+//
+//   info        string key/values (algorithm, model, graph, seed, ...)
+//   results     numeric outcomes (alpha, rr_sets, time_seconds, ...)
+//   iterations  one row per doubling iteration / online round with the
+//               per-phase wall times (generate/greedy/bounds)
+//   metrics     a MetricsSnapshot of the default registry
+//
+// Serialization: ToJson() (schema "opim.run_report.v1"), plus a CSV view
+// of the iteration rows for spreadsheet-style regression tracking.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/status.h"
+
+namespace opim {
+
+/// Assembles and serializes one run's telemetry record.
+class RunReport {
+ public:
+  /// One iteration/round row: ordered (column, value) pairs. Every row in
+  /// a report should use the same columns in the same order.
+  struct Row {
+    std::vector<std::pair<std::string, double>> values;
+
+    Row& Set(std::string column, double value) {
+      values.emplace_back(std::move(column), value);
+      return *this;
+    }
+  };
+
+  void AddInfo(std::string key, std::string value) {
+    info_.emplace_back(std::move(key), std::move(value));
+  }
+  void AddResult(std::string key, double value) {
+    results_.emplace_back(std::move(key), value);
+  }
+  /// Appends an empty iteration row; fill it with Row::Set.
+  Row& AddIteration() { return iterations_.emplace_back(); }
+  void SetMetrics(MetricsSnapshot snapshot) {
+    metrics_ = std::move(snapshot);
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& info() const {
+    return info_;
+  }
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+  const std::vector<Row>& iterations() const { return iterations_; }
+  const MetricsSnapshot& metrics() const { return metrics_; }
+
+  /// The full report as a JSON document.
+  std::string ToJson() const;
+
+  /// The iteration rows as CSV (header from the first row's columns).
+  std::string IterationsToCsv() const;
+
+  /// Writes ToJson() / IterationsToCsv() to `path`.
+  Status WriteJson(const std::string& path) const;
+  Status WriteIterationsCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> info_;
+  std::vector<std::pair<std::string, double>> results_;
+  std::vector<Row> iterations_;
+  MetricsSnapshot metrics_;
+};
+
+}  // namespace opim

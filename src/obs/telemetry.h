@@ -1,0 +1,96 @@
+// Compile-time gate for all hot-path instrumentation.
+//
+// The build defines OPIM_TELEMETRY_ENABLED (1/0) from the CMake option
+// OPIM_TELEMETRY (default ON). With the gate off, every OPIM_TM_* macro
+// expands to a no-op that only name-uses its arguments — the counters,
+// histograms and timers vanish from the binary, which is what
+// scripts/check_telemetry_overhead.sh verifies.
+//
+// All macros record into MetricsRegistry::Default(). The metric handle is
+// resolved once per call site (function-local static) so the steady-state
+// cost of OPIM_TM_COUNTER_ADD is a single relaxed fetch_add on a
+// thread-private cache line.
+//
+// Argument expressions must be free of side effects: the disabled
+// expansions evaluate them as `(void)(expr)` (so locals that exist only
+// to feed telemetry do not trip -Wunused), relying on the optimizer to
+// discard the dead computation.
+
+#pragma once
+
+#ifndef OPIM_TELEMETRY_ENABLED
+#define OPIM_TELEMETRY_ENABLED 1
+#endif
+
+#if OPIM_TELEMETRY_ENABLED
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+#define OPIM_TM_CONCAT_INNER(a, b) a##b
+#define OPIM_TM_CONCAT(a, b) OPIM_TM_CONCAT_INNER(a, b)
+
+/// Adds `delta` to the counter named `name` in the default registry.
+#define OPIM_TM_COUNTER_ADD(name, delta)                                  \
+  do {                                                                    \
+    static ::opim::Counter* const opim_tm_counter =                       \
+        ::opim::MetricsRegistry::Default().FindOrCreateCounter(name);     \
+    opim_tm_counter->Add(static_cast<uint64_t>(delta));                   \
+  } while (0)
+
+/// Records `value` into the histogram named `name`.
+#define OPIM_TM_HISTOGRAM_RECORD(name, value)                             \
+  do {                                                                    \
+    static ::opim::Histogram* const opim_tm_hist =                        \
+        ::opim::MetricsRegistry::Default().FindOrCreateHistogram(name);   \
+    opim_tm_hist->Record(static_cast<uint64_t>(value));                   \
+  } while (0)
+
+/// Sets the gauge named `name` to `value`.
+#define OPIM_TM_GAUGE_SET(name, value)                                    \
+  do {                                                                    \
+    static ::opim::Gauge* const opim_tm_gauge =                           \
+        ::opim::MetricsRegistry::Default().FindOrCreateGauge(name);       \
+    opim_tm_gauge->Set(static_cast<int64_t>(value));                      \
+  } while (0)
+
+/// Declares a ScopedTimer recording this scope's wall time, in
+/// microseconds, into the histogram named `name`.
+#define OPIM_TM_SCOPED_TIMER(name)                                        \
+  ::opim::ScopedTimer OPIM_TM_CONCAT(opim_tm_scoped_timer_, __LINE__)(    \
+      []() -> ::opim::Histogram* {                                        \
+        static ::opim::Histogram* const h =                               \
+            ::opim::MetricsRegistry::Default().FindOrCreateHistogram(     \
+                name);                                                    \
+        return h;                                                         \
+      }())
+
+/// Executes `stmt` only in telemetry builds.
+#define OPIM_TM_STMT(stmt) \
+  do {                     \
+    stmt;                  \
+  } while (0)
+
+#else  // !OPIM_TELEMETRY_ENABLED
+
+#define OPIM_TM_COUNTER_ADD(name, delta) \
+  do {                                   \
+    (void)(name);                        \
+    (void)(delta);                       \
+  } while (0)
+#define OPIM_TM_HISTOGRAM_RECORD(name, value) \
+  do {                                        \
+    (void)(name);                             \
+    (void)(value);                            \
+  } while (0)
+#define OPIM_TM_GAUGE_SET(name, value) \
+  do {                                 \
+    (void)(name);                      \
+    (void)(value);                     \
+  } while (0)
+#define OPIM_TM_SCOPED_TIMER(name) ((void)(name))
+#define OPIM_TM_STMT(stmt) \
+  do {                     \
+  } while (0)
+
+#endif  // OPIM_TELEMETRY_ENABLED

@@ -1,0 +1,55 @@
+#include "obs/timer.h"
+
+#include <algorithm>
+
+namespace opim {
+
+size_t PhaseTimer::FindOrAdd(std::string_view phase) {
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].first == phase) return i;
+  }
+  phases_.emplace_back(std::string(phase), 0.0);
+  return phases_.size() - 1;
+}
+
+void PhaseTimer::Start(std::string_view phase) {
+  Stop();
+  current_ = FindOrAdd(phase);
+  watch_.Restart();
+}
+
+void PhaseTimer::Stop() {
+  if (current_ == kNone) return;
+  phases_[current_].second += watch_.ElapsedSeconds();
+  current_ = kNone;
+}
+
+double PhaseTimer::Seconds(std::string_view phase) const {
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].first == phase) {
+      double total = phases_[i].second;
+      if (i == current_) total += watch_.ElapsedSeconds();
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+double PhaseTimer::TotalSeconds() const {
+  double total = 0.0;
+  for (const auto& [name, seconds] : phases_) total += seconds;
+  return total;
+}
+
+void PhaseTimer::PublishTo(MetricsRegistry& registry,
+                           std::string_view prefix) const {
+  for (const auto& [name, seconds] : phases_) {
+    std::string metric;
+    metric.reserve(prefix.size() + name.size() + 3);
+    metric.append(prefix).append(name).append("_us");
+    registry.FindOrCreateHistogram(metric)->Record(
+        static_cast<uint64_t>(seconds * 1e6));
+  }
+}
+
+}  // namespace opim

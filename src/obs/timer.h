@@ -1,0 +1,86 @@
+// Scoped and phase timers built on support/Stopwatch, feeding Histograms.
+//
+//   * ScopedTimer — RAII: records the scope's wall time, in microseconds,
+//     into a Histogram on destruction (nullptr histogram = measure only).
+//   * PhaseTimer — a run-scoped accumulator of named, non-overlapping
+//     phases ("generate", "greedy", "bounds", ...): Start(p) closes the
+//     current phase and opens p; per-phase totals come back in first-use
+//     order and can be published into a registry as histograms.
+//
+// Timers observe, never steer: elapsed times must not influence any
+// algorithmic choice (see obs/metrics.h).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/stopwatch.h"
+
+namespace opim {
+
+/// Records the lifetime of a scope into `histogram` (in microseconds).
+class ScopedTimer {
+ public:
+  /// `histogram` may be nullptr to time without recording.
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(ElapsedMicros());
+  }
+  OPIM_DISALLOW_COPY(ScopedTimer);
+
+  /// Microseconds since construction (monotone non-decreasing).
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(watch_.ElapsedSeconds() * 1e6);
+  }
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  Stopwatch watch_;
+  Histogram* histogram_;
+};
+
+/// Wall-time accumulator over a sequence of named phases.
+class PhaseTimer {
+ public:
+  /// Closes the current phase (if any) and starts accumulating `phase`.
+  /// Re-entering a name resumes its running total.
+  void Start(std::string_view phase);
+
+  /// Closes the current phase; further time is unattributed until the
+  /// next Start().
+  void Stop();
+
+  /// Accumulated seconds for `phase` (0 for an unknown name). Includes
+  /// the in-flight segment if `phase` is currently open.
+  double Seconds(std::string_view phase) const;
+
+  /// (phase, seconds) in first-start order; excludes any in-flight
+  /// segment (call Stop() first for final numbers).
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+  /// Sum over all closed phases.
+  double TotalSeconds() const;
+
+  /// Records each phase total into `registry` as a histogram named
+  /// "<prefix><phase>_us", one sample per phase, in microseconds.
+  void PublishTo(MetricsRegistry& registry, std::string_view prefix) const;
+
+ private:
+  /// Returns the index of `phase` in phases_, appending it if new.
+  size_t FindOrAdd(std::string_view phase);
+
+  std::vector<std::pair<std::string, double>> phases_;
+  Stopwatch watch_;
+  // Index of the open phase in phases_, or npos when stopped.
+  size_t current_ = kNone;
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+};
+
+}  // namespace opim

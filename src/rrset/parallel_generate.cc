@@ -4,8 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "rrset/rr_sampler.h"
 #include "support/random.h"
+#include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
 namespace opim {
@@ -15,7 +17,8 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
                       uint64_t seed, unsigned num_threads,
                       std::span<const double> root_weights) {
   if (count == 0) return;
-  if (num_threads == 0) num_threads = ThreadPool::DefaultThreadCount();
+  OPIM_TM_SCOPED_TIMER("opim.rrset.generate_us");
+  num_threads = ThreadPool::ResolveThreadCount(num_threads);
   const unsigned shards =
       static_cast<unsigned>(std::min<uint64_t>(count, num_threads));
 
@@ -24,10 +27,13 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
   struct ShardBuffer {
     std::vector<NodeId> pool;
     std::vector<std::pair<uint32_t, uint64_t>> sets;  // (size, cost)
+    uint64_t edges_examined = 0;
+    uint64_t alias_draws = 0;
   };
   std::vector<ShardBuffer> buffers(shards);
 
   auto run_shard = [&](unsigned s) {
+    Stopwatch shard_watch;
     auto sampler = MakeRRSampler(g, model, root_weights);
     Rng rng(seed, 0x70617267ULL + s);  // "parg" + shard
     const uint64_t lo = count * s / shards;
@@ -38,7 +44,11 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
       uint64_t cost = sampler->SampleInto(rng, &scratch);
       buf.sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
       buf.pool.insert(buf.pool.end(), scratch.begin(), scratch.end());
+      buf.edges_examined += cost;
     }
+    buf.alias_draws = sampler->alias_draws();
+    OPIM_TM_HISTOGRAM_RECORD("opim.rrset.shard_us",
+                             shard_watch.ElapsedSeconds() * 1e6);
   };
 
   if (shards == 1) {
@@ -49,8 +59,17 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
       pool.Submit([&, s] { run_shard(s); });
     }
     pool.Wait();
+    OPIM_TM_STMT({
+      const ThreadPoolStats stats = pool.Stats();
+      OPIM_TM_COUNTER_ADD("opim.pool.tasks_run", stats.tasks_run);
+      OPIM_TM_COUNTER_ADD("opim.pool.queue_wait_us", stats.queue_wait_us);
+      OPIM_TM_COUNTER_ADD("opim.pool.idle_wait_us", stats.idle_wait_us);
+    });
   }
 
+  uint64_t nodes_total = 0;
+  uint64_t edges_total = 0;
+  uint64_t alias_total = 0;
   for (const ShardBuffer& buf : buffers) {
     size_t offset = 0;
     for (const auto& [size, cost] : buf.sets) {
@@ -58,7 +77,14 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
           std::span<const NodeId>(buf.pool.data() + offset, size), cost);
       offset += size;
     }
+    nodes_total += buf.pool.size();
+    edges_total += buf.edges_examined;
+    alias_total += buf.alias_draws;
   }
+  OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", count);
+  OPIM_TM_COUNTER_ADD("opim.rrset.nodes_total", nodes_total);
+  OPIM_TM_COUNTER_ADD("opim.rrset.edges_examined", edges_total);
+  OPIM_TM_COUNTER_ADD("opim.rrset.alias_draws", alias_total);
 }
 
 }  // namespace opim

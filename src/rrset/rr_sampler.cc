@@ -1,5 +1,7 @@
 #include "rrset/rr_sampler.h"
 
+#include "obs/telemetry.h"
+
 namespace opim {
 
 void RRSampler::Generate(RRCollection* collection, uint64_t count, Rng& rng) {
@@ -44,6 +46,7 @@ uint64_t IcRRSampler::SampleInto(Rng& rng, std::vector<NodeId>* out) {
   }
 
   NodeId root = PickRoot(graph_, root_sampler_, rng);
+  OPIM_TM_STMT(alias_draws_ += root_sampler_.empty() ? 0 : 1);
   visited_epoch_[root] = epoch_;
   out->push_back(root);
   queue_.clear();
@@ -93,6 +96,7 @@ uint64_t LtRRSampler::SampleInto(Rng& rng, std::vector<NodeId>* out) {
   }
 
   NodeId u = PickRoot(graph_, root_sampler_, rng);
+  OPIM_TM_STMT(alias_draws_ += root_sampler_.empty() ? 0 : 1);
   uint64_t edges_examined = 0;
   for (;;) {
     if (visited_epoch_[u] == epoch_) break;  // walk closed a cycle
@@ -103,6 +107,7 @@ uint64_t LtRRSampler::SampleInto(Rng& rng, std::vector<NodeId>* out) {
     if (stay <= 0.0 || in_alias_[u].empty()) break;  // no in-neighbors
     if (rng.UniformDouble() >= stay) break;          // walk stops at u
     uint32_t pick = in_alias_[u].Sample(rng);
+    OPIM_TM_STMT(++alias_draws_);
     u = graph_.InNeighbors(u)[pick];
   }
   return edges_examined;

@@ -44,6 +44,13 @@ class RRSampler {
 
   /// The graph being sampled.
   virtual const Graph& graph() const = 0;
+
+  /// Lifetime count of alias-table draws (weighted roots + LT walk steps).
+  /// Only maintained in telemetry builds; reads 0 otherwise.
+  uint64_t alias_draws() const { return alias_draws_; }
+
+ protected:
+  uint64_t alias_draws_ = 0;
 };
 
 /// IC-model sampler: stochastic reverse BFS.

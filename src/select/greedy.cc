@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/telemetry.h"
+
 namespace opim {
 
 namespace {
@@ -38,6 +40,8 @@ void FillWithUnselected(uint32_t n, uint32_t k,
 
 GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
                           bool with_trace) {
+  OPIM_TM_SCOPED_TIMER("opim.select.greedy_us");
+  OPIM_TM_COUNTER_ADD("opim.select.greedy_runs", 1);
   const uint32_t n = collection.num_nodes();
   const uint32_t theta = collection.num_sets();
   k = std::min(k, n);
@@ -59,6 +63,7 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
   }
 
   uint64_t coverage = 0;
+  uint64_t cover_updates = 0;  // decrements applied to `counts`
   for (uint32_t i = 0; i < k; ++i) {
     if (with_trace) {
       result.coverage_at.push_back(coverage);
@@ -83,6 +88,7 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
     for (RRId id : collection.SetsCovering(best)) {
       if (covered[id]) continue;
       covered[id] = 1;
+      cover_updates += collection.Set(id).size();
       for (NodeId w : collection.Set(id)) --counts[w];
     }
     OPIM_CHECK_EQ(counts[best], 0u);
@@ -100,12 +106,14 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
     }
   }
 
+  OPIM_TM_COUNTER_ADD("opim.select.cover_updates", cover_updates);
   FillWithUnselected(n, k, selected, &result.seeds);
   result.coverage = coverage;
   return result;
 }
 
 GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k) {
+  OPIM_TM_SCOPED_TIMER("opim.select.celf_us");
   const uint32_t n = collection.num_nodes();
   const uint32_t theta = collection.num_sets();
   k = std::min(k, n);
@@ -140,15 +148,19 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k) {
 
   uint64_t coverage = 0;
   uint32_t round = 0;
+  uint64_t pops = 0;
+  uint64_t rescans = 0;
   while (result.seeds.size() < k && !queue.empty()) {
     Entry top = queue.top();
     queue.pop();
+    ++pops;
     if (selected[top.node]) continue;
     if (top.round != round) {
       // Stale: recompute (submodularity guarantees it only shrinks).
       top.gain = fresh_gain(top.node);
       top.round = round;
       queue.push(top);
+      ++rescans;
       continue;
     }
     if (top.gain == 0) break;  // coverage saturated
@@ -158,6 +170,8 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k) {
     for (RRId id : collection.SetsCovering(top.node)) covered[id] = 1;
     ++round;
   }
+  OPIM_TM_COUNTER_ADD("opim.select.celf_pops", pops);
+  OPIM_TM_COUNTER_ADD("opim.select.celf_rescans", rescans);
 
   FillWithUnselected(n, k, selected, &result.seeds);
   result.coverage = coverage;

@@ -5,6 +5,19 @@
 
 namespace opim {
 
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+namespace {
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+#endif
+
 ThreadPool::ThreadPool(unsigned num_threads) {
   OPIM_CHECK_GE(num_threads, 1u);
   workers_.reserve(num_threads);
@@ -26,7 +39,12 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     OPIM_CHECK_MSG(!shutting_down_, "Submit after shutdown");
-    tasks_.push(std::move(task));
+    QueuedTask queued;
+    queued.fn = std::move(task);
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+    queued.enqueued = std::chrono::steady_clock::now();
+#endif
+    tasks_.push(std::move(queued));
     ++in_flight_;
   }
   task_ready_.notify_one();
@@ -39,6 +57,10 @@ void ThreadPool::Wait() {
 
 unsigned ThreadPool::DefaultThreadCount() {
   return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned ThreadPool::ResolveThreadCount(unsigned requested) {
+  return requested == 0 ? DefaultThreadCount() : requested;
 }
 
 void ThreadPool::ParallelFor(uint64_t n,
@@ -59,21 +81,36 @@ void ThreadPool::ParallelFor(uint64_t n,
   Wait();
 }
 
+ThreadPoolStats ThreadPool::Stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+      const auto idle_start = std::chrono::steady_clock::now();
+#endif
       task_ready_.wait(lock,
                        [this] { return shutting_down_ || !tasks_.empty(); });
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+      stats_.idle_wait_us += MicrosSince(idle_start);
+#endif
       if (tasks_.empty()) {
         if (shutting_down_) return;
         continue;
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      ++stats_.tasks_run;
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+      stats_.queue_wait_us += MicrosSince(task.enqueued);
+#endif
     }
-    task();
+    task.fn();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -14,6 +15,18 @@
 #include "support/macros.h"
 
 namespace opim {
+
+/// Lifetime counters for a ThreadPool. `queue_wait_us` / `idle_wait_us` are
+/// only maintained when the build compiles telemetry in
+/// (OPIM_TELEMETRY_ENABLED); `tasks_run` is always exact.
+struct ThreadPoolStats {
+  /// Tasks dequeued and executed by workers.
+  uint64_t tasks_run = 0;
+  /// Total microseconds tasks spent queued before a worker picked them up.
+  uint64_t queue_wait_us = 0;
+  /// Total microseconds workers spent blocked waiting for work.
+  uint64_t idle_wait_us = 0;
+};
 
 /// Fixed-size worker pool executing std::function<void()> tasks.
 /// Submit work with Submit(); Wait() blocks until all submitted tasks have
@@ -38,20 +51,36 @@ class ThreadPool {
   /// A reasonable default: hardware concurrency, at least 1.
   static unsigned DefaultThreadCount();
 
+  /// Canonical "0 means auto" thread-count resolution shared by OPIM-C, the
+  /// parallel RR generator, and the CLI: 0 -> DefaultThreadCount(), anything
+  /// else is taken literally.
+  static unsigned ResolveThreadCount(unsigned requested);
+
   /// Runs `fn(i)` for i in [0, n) across the pool and waits. `fn` must be
   /// safe to invoke concurrently for distinct i.
   void ParallelFor(uint64_t n, const std::function<void(uint64_t)>& fn);
 
+  /// Snapshot of lifetime counters (consistent under the pool mutex).
+  ThreadPoolStats Stats() const;
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+    std::chrono::steady_clock::time_point enqueued;
+#endif
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  std::queue<QueuedTask> tasks_;
+  mutable std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   uint64_t in_flight_ = 0;
   bool shutting_down_ = false;
+  ThreadPoolStats stats_;
 };
 
 }  // namespace opim

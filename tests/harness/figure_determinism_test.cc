@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "core/opim_c.h"
 #include "harness/datasets.h"
 #include "harness/im_figure.h"
 #include "harness/opim_figure.h"
+#include "obs/metrics.h"
 
 namespace opim {
 namespace {
@@ -68,6 +70,51 @@ TEST(FigureDeterminismTest, ImFigureSpreadReproducible) {
     EXPECT_DOUBLE_EQ(a[i].spread, b[i].spread) << a[i].algorithm;
     EXPECT_DOUBLE_EQ(a[i].rr_sets, b[i].rr_sets) << a[i].algorithm;
   }
+}
+
+TEST(FigureDeterminismTest, TelemetryStateDoesNotSteerResults) {
+  // Metrics are observe-only by contract (obs/metrics.h): a run executed
+  // with a cold telemetry registry and one executed after the registry has
+  // accumulated a lot of state must produce identical seeds, α values and
+  // RR-set counts. The phase timings differ — that's the point — but
+  // nothing the algorithm returns may.
+  Graph g = MakeTinyTestGraph(384, 2);
+  OpimFigureOptions opt;
+  opt.k = 4;
+  opt.base_checkpoint = 200;
+  opt.num_checkpoints = 3;
+  opt.reps = 1;
+  opt.seed = 99;
+  OpimFigureSeries a = RunOpimFigure(g, DiffusionModel::kIndependentCascade, opt);
+  // Pollute the registry between runs (simulates a long-lived process).
+  MetricsRegistry::Default()
+      .FindOrCreateCounter("opim.rrset.sets_generated")
+      ->Add(123456789);
+  MetricsRegistry::Default()
+      .FindOrCreateHistogram("opim.select.greedy_us")
+      ->Record(1u << 20);
+  OpimFigureSeries b = RunOpimFigure(g, DiffusionModel::kIndependentCascade, opt);
+  ASSERT_EQ(a.checkpoints, b.checkpoints);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    for (size_t c = 0; c < a.series[i].second.size(); ++c) {
+      EXPECT_DOUBLE_EQ(a.series[i].second[c], b.series[i].second[c])
+          << a.series[i].first << " checkpoint " << c;
+    }
+  }
+
+  OpimCOptions copt;
+  copt.seed = 99;
+  OpimCResult r1 = RunOpimC(g, DiffusionModel::kIndependentCascade, 4, 0.3,
+                            0.01, copt);
+  MetricsRegistry::Default().ResetValues();  // opposite direction: clearing
+  OpimCResult r2 = RunOpimC(g, DiffusionModel::kIndependentCascade, 4, 0.3,
+                            0.01, copt);
+  EXPECT_EQ(r1.seeds, r2.seeds);
+  EXPECT_DOUBLE_EQ(r1.alpha, r2.alpha);
+  EXPECT_EQ(r1.num_rr_sets, r2.num_rr_sets);
+  EXPECT_EQ(r1.total_rr_size, r2.total_rr_size);
+  EXPECT_EQ(r1.iterations, r2.iterations);
 }
 
 TEST(FigureDeterminismTest, IncludeTimAddsARowGroup) {

@@ -134,8 +134,14 @@ TEST(OpimFigureTest, TableRendering) {
       RunOpimFigure(g, DiffusionModel::kLinearThreshold, opt);
   TablePrinter t = OpimFigureToTable(s);
   EXPECT_EQ(t.num_rows(), 2u);
-  EXPECT_EQ(t.num_columns(), 8u);  // rr_sets + 7 algorithms
+  // rr_sets + 7 algorithms + advance_s + query_s
+  EXPECT_EQ(t.num_columns(), 10u);
   EXPECT_NE(t.ToAlignedString().find("OPIM+"), std::string::npos);
+  EXPECT_NE(t.ToAlignedString().find("advance_s"), std::string::npos);
+  ASSERT_EQ(s.advance_seconds.size(), s.checkpoints.size());
+  ASSERT_EQ(s.query_seconds.size(), s.checkpoints.size());
+  for (double v : s.advance_seconds) EXPECT_GE(v, 0.0);
+  for (double v : s.query_seconds) EXPECT_GE(v, 0.0);
 }
 
 TEST(ImFigureTest, RowsCoverSweep) {
@@ -152,6 +158,7 @@ TEST(ImFigureTest, RowsCoverSweep) {
     EXPECT_GT(row.spread, 0.0) << row.algorithm;
     EXPECT_GT(row.rr_sets, 0.0) << row.algorithm;
     EXPECT_GE(row.seconds, 0.0) << row.algorithm;
+    EXPECT_GE(row.eval_seconds, 0.0) << row.algorithm;
   }
   TablePrinter t = ImFigureToTable(rows);
   EXPECT_EQ(t.num_rows(), rows.size());

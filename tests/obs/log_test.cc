@@ -1,0 +1,99 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace opim {
+namespace {
+
+/// Restores the global log level after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST_F(LogTest, ParseLogLevelRejectsUnknown) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LogTest, RuntimeFilter) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kError));
+
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kError));
+
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kDebug));
+}
+
+TEST_F(LogTest, FilteredMessagesDoNotEvaluateOperands) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto side_effect = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  OPIM_LOG(kDebug) << side_effect();
+  OPIM_LOG(kInfo) << side_effect();
+  OPIM_LOG(kWarn) << side_effect();
+  EXPECT_EQ(evaluations, 0);
+  OPIM_LOG(kError) << "to stderr: " << side_effect();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, EmittedMessageGoesToStderr) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  OPIM_LOG(kInfo) << "hello telemetry " << 42;
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello telemetry 42"), std::string::npos) << err;
+  EXPECT_NE(err.find("[opim I"), std::string::npos) << err;
+  EXPECT_NE(err.find("log_test.cc"), std::string::npos) << err;
+}
+
+TEST_F(LogTest, FilteredMessageEmitsNothing) {
+  SetLogLevel(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  OPIM_LOG(kInfo) << "should not appear";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace opim

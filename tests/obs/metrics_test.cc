@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace opim {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, AddDeltaAndReset) {
+  Counter counter;
+  counter.Add(5);
+  counter.Add(7);
+  EXPECT_EQ(counter.Value(), 12u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(42);
+  EXPECT_EQ(gauge.Value(), 42);
+  gauge.Add(-50);
+  EXPECT_EQ(gauge.Value(), -8);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket b holds values with bit_width b: bucket 0 = {0},
+  // bucket b = [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), 64u);
+
+  for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLower(b)), b) << b;
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpper(b)), b) << b;
+  }
+  EXPECT_EQ(Histogram::BucketLower(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpper(0), 0u);
+  EXPECT_EQ(Histogram::BucketLower(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpper(1), 1u);
+  EXPECT_EQ(Histogram::BucketLower(10), 512u);
+  EXPECT_EQ(Histogram::BucketUpper(10), 1023u);
+}
+
+TEST(HistogramTest, RecordCountsAndSum) {
+  Histogram hist;
+  hist.Record(0);
+  hist.Record(1);
+  hist.Record(5);
+  hist.Record(6);
+  hist.Record(1000);
+  EXPECT_EQ(hist.Count(), 5u);
+  EXPECT_EQ(hist.Sum(), 1012u);
+  EXPECT_EQ(hist.BucketCount(0), 1u);  // {0}
+  EXPECT_EQ(hist.BucketCount(1), 1u);  // {1}
+  EXPECT_EQ(hist.BucketCount(3), 2u);  // [4, 7]
+  EXPECT_EQ(hist.BucketCount(10), 1u);  // [512, 1023]
+}
+
+TEST(RegistryTest, SameNameSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.FindOrCreateCounter("x");
+  Counter* b = registry.FindOrCreateCounter("x");
+  Counter* c = registry.FindOrCreateCounter("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.FindOrCreateHistogram("x"),
+            registry.FindOrCreateHistogram("x"));
+  EXPECT_EQ(registry.FindOrCreateGauge("x"), registry.FindOrCreateGauge("x"));
+}
+
+TEST(RegistryTest, SnapshotIsolation) {
+  MetricsRegistry registry;
+  Counter* counter = registry.FindOrCreateCounter("c");
+  counter->Add(3);
+  MetricsSnapshot snap = registry.Snapshot();
+  counter->Add(100);  // must not affect the captured snapshot
+
+  const CounterSample* sample = snap.FindCounter("c");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 3u);
+  EXPECT_EQ(snap.FindCounter("missing"), nullptr);
+
+  MetricsSnapshot snap2 = registry.Snapshot();
+  EXPECT_EQ(snap2.FindCounter("c")->value, 103u);
+}
+
+TEST(RegistryTest, SnapshotSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("b")->Add(2);
+  registry.FindOrCreateCounter("a")->Add(1);
+  registry.FindOrCreateGauge("g")->Set(-5);
+  registry.FindOrCreateHistogram("h")->Record(9);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[1].name, "b");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, -5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].sum, 9u);
+  ASSERT_EQ(snap.histograms[0].buckets.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets[0].lower, 8u);
+  EXPECT_EQ(snap.histograms[0].buckets[0].upper, 15u);
+}
+
+TEST(RegistryTest, NullRegistryIsSink) {
+  MetricsRegistry& null = MetricsRegistry::Null();
+  EXPECT_FALSE(null.enabled());
+  Counter* a = null.FindOrCreateCounter("anything");
+  Counter* b = null.FindOrCreateCounter("else");
+  EXPECT_EQ(a, b);  // shared sink
+  a->Add(17);
+  MetricsSnapshot snap = null.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(RegistryTest, ResetValuesKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.FindOrCreateCounter("c");
+  Histogram* hist = registry.FindOrCreateHistogram("h");
+  counter->Add(10);
+  hist->Record(4);
+  registry.ResetValues();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->Count(), 0u);
+  EXPECT_EQ(registry.FindOrCreateCounter("c"), counter);
+  counter->Add(2);
+  EXPECT_EQ(registry.Snapshot().FindCounter("c")->value, 2u);
+}
+
+TEST(HistogramSampleTest, MeanAndApproxPercentile) {
+  Histogram hist;
+  for (uint64_t v = 0; v < 100; ++v) hist.Record(v);
+  MetricsRegistry registry;
+  // Build a sample via a registry snapshot for realism.
+  Histogram* h = registry.FindOrCreateHistogram("h");
+  for (uint64_t v = 0; v < 100; ++v) h->Record(v);
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSample* sample = snap.FindHistogram("h");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_DOUBLE_EQ(sample->Mean(), 49.5);
+  // p50 of 0..99 lands in bucket [32, 63]; p100 in [64, 127].
+  EXPECT_EQ(sample->ApproxPercentile(0.5), 63u);
+  EXPECT_EQ(sample->ApproxPercentile(1.0), 127u);
+  EXPECT_EQ(sample->ApproxPercentile(0.0), 0u);
+}
+
+TEST(SnapshotTest, ToJsonContainsMetrics) {
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("my.counter")->Add(7);
+  registry.FindOrCreateHistogram("my.hist")->Record(100);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"my.counter\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"my.hist\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace opim

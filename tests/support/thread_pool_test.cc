@@ -83,5 +83,28 @@ TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
 }
 
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  // 0 = auto: resolves to the hardware default; anything else is literal.
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0),
+            ThreadPool::DefaultThreadCount());
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(5), 5u);
+}
+
+TEST(ThreadPoolTest, StatsCountTasksRun) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.Stats().tasks_run, 0u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 37; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(pool.Stats().tasks_run, 37u);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(pool.Stats().tasks_run, 38u);
+}
+
 }  // namespace
 }  // namespace opim

@@ -83,6 +83,118 @@ TEST(CliSmokeTest, ConvertWccTextToBinary) {
   std::remove(bin.c_str());
 }
 
+std::string ReadFile(const std::string& path) {
+  std::string content;
+  std::array<char, 4096> buffer;
+  FILE* f = fopen(path.c_str(), "r");
+  if (f == nullptr) return content;
+  size_t got = 0;
+  while ((got = fread(buffer.data(), 1, buffer.size(), f)) > 0) {
+    content.append(buffer.data(), got);
+  }
+  fclose(f);
+  return content;
+}
+
+TEST(CliSmokeTest, RunWritesMetricsJsonReport) {
+  std::string bin = TmpFile("cli_metrics.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  std::string json = TmpFile("cli_metrics.json");
+  std::string csv = TmpFile("cli_metrics.csv");
+  auto [rc, out] = RunCommand(
+      Cli() + " run --graph=" + bin +
+      " --algo=opim-c+ --k=3 --eps=0.3 --threads=2 --metrics-json=" + json +
+      " --metrics-csv=" + csv);
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("metrics_json=" + json), std::string::npos) << out;
+
+  const std::string report = ReadFile(json);
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.front(), '{');
+  EXPECT_EQ(report.back(), '}');
+  // Schema + key run results.
+  EXPECT_NE(report.find("\"opim.run_report.v1\""), std::string::npos);
+  EXPECT_NE(report.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(report.find("\"threads_resolved\":2"), std::string::npos);
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+  // Engine counters from the instrumented hot paths (absent, by design,
+  // when telemetry is compiled out).
+  EXPECT_NE(report.find("\"opim.rrset.sets_generated\""), std::string::npos);
+  EXPECT_NE(report.find("\"opim.rrset.edges_examined\""), std::string::npos);
+  EXPECT_NE(report.find("\"opim.select.cover_updates\""), std::string::npos);
+  EXPECT_NE(report.find("\"opim.pool.tasks_run\""), std::string::npos);
+  EXPECT_NE(report.find("\"opim.opimc.phase.generate_us\""), std::string::npos);
+#endif
+  // Per-iteration rows are part of the report proper, not the metrics
+  // snapshot, so they survive -DOPIM_TELEMETRY=OFF.
+  EXPECT_NE(report.find("\"generate_seconds\""), std::string::npos);
+
+  const std::string rows = ReadFile(csv);
+  EXPECT_NE(rows.find("iteration,theta1,sigma_lower,sigma_upper,alpha"),
+            std::string::npos) << rows;
+
+  std::remove(bin.c_str());
+  std::remove(json.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliSmokeTest, OnlineWritesMetricsJsonReport) {
+  std::string bin = TmpFile("cli_online_metrics.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  std::string json = TmpFile("cli_online_metrics.json");
+  auto [rc, out] = RunCommand(Cli() + " online --graph=" + bin +
+                       " --k=3 --rounds=3 --batch=256 --metrics-json=" + json);
+  ASSERT_EQ(rc, 0) << out;
+  const std::string report = ReadFile(json);
+  EXPECT_NE(report.find("\"opim.run_report.v1\""), std::string::npos);
+  EXPECT_NE(report.find("\"advance_seconds\""), std::string::npos);
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+  EXPECT_NE(report.find("\"opim.online.queries\""), std::string::npos);
+#endif
+  std::remove(bin.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(CliSmokeTest, TelemetryFlagsDoNotPerturbResults) {
+  // Same seed, with and without telemetry outputs / verbose logging:
+  // the algorithmic stdout lines (seeds, alpha, ...) must be identical.
+  std::string bin = TmpFile("cli_determinism.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  const std::string base = Cli() + " run --graph=" + bin +
+                           " --algo=opim-c+ --k=3 --eps=0.3 --seed=7";
+  auto [rc1, plain] = RunCommand(base);
+  ASSERT_EQ(rc1, 0) << plain;
+
+  std::string json = TmpFile("cli_determinism.json");
+  auto [rc2, instrumented] =
+      RunCommand(base + " --log-level=debug --metrics-json=" + json);
+  ASSERT_EQ(rc2, 0) << instrumented;
+
+  // Compare the algorithmic lines; the instrumented run adds log lines
+  // (stderr merged into stdout) and a metrics_json= line on top.
+  for (const char* key : {"seeds:", "alpha=", "rr_sets=", "iterations="}) {
+    size_t pos = plain.find(key);
+    ASSERT_NE(pos, std::string::npos) << key << "\n" << plain;
+    std::string line = plain.substr(pos, plain.find('\n', pos) - pos);
+    EXPECT_NE(instrumented.find(line), std::string::npos)
+        << "line diverged: " << line << "\n" << instrumented;
+  }
+  std::remove(bin.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(CliSmokeTest, BadLogLevelIsCleanError) {
+  auto [rc, out] = RunCommand(Cli() + " run --log-level=shout");
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
 TEST(CliSmokeTest, UnknownCommandFails) {
   auto [rc, out] = RunCommand(Cli() + " frobnicate");
   EXPECT_NE(rc, 0);

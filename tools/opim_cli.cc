@@ -8,11 +8,21 @@
 //            component (the conventional SNAP preprocessing)
 //   stats    --graph=<path>                                    Table-2 row
 //   run      --graph=<path> --algo=<name> --k=<k> [--eps=0.1]
-//            [--model=IC|LT] [--delta=1/n] [--mc=10000]        one IM run
+//            [--model=IC|LT] [--delta=1/n] [--mc=10000]
+//            [--threads=1] [--metrics-json=<path>]
+//            [--metrics-csv=<path>]                            one IM run
 //   evaluate --graph=<path> [--mc=10000] <seed ids...>         MC spread
 //            of an explicit seed set, with a 95% CI
 //   online   --graph=<path> --k=<k> [--batch=10000]
-//            [--rounds=20] [--target=0.9] [--model=IC|LT]      OPIM session
+//            [--rounds=20] [--target=0.9] [--model=IC|LT]
+//            [--threads=0] [--metrics-json=<path>]             OPIM session
+//
+// Global flags: --log-level=debug|info|warn|error|off (default warn).
+//
+// --metrics-json writes a RunReport (schema "opim.run_report.v1"): run
+// info, numeric results, per-iteration/round phase timings, and a full
+// MetricsSnapshot of the telemetry registry. --metrics-csv writes just the
+// iteration rows as CSV. See docs/observability.md.
 //
 // Algorithms for `run`: opim-c+ (default), opim-c0, opim-c', imm, tim,
 // ssa-fix, dssa-fix, mc-greedy, degree, degree-discount, pagerank,
@@ -35,7 +45,11 @@
 #include "graph/transform.h"
 #include "harness/datasets.h"
 #include "harness/flags.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "support/stopwatch.h"
+#include "support/thread_pool.h"
 
 namespace opim::cli {
 
@@ -67,6 +81,25 @@ DiffusionModel ModelFromFlags(const Flags& flags) {
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// Snapshots the telemetry registry into `report` and writes the JSON/CSV
+/// outputs requested by --metrics-json / --metrics-csv. Prints the JSON
+/// path on success so scripts can pick it up.
+Status WriteReportOutputs(RunReport* report, const std::string& json_path,
+                          const std::string& csv_path) {
+  report->SetMetrics(MetricsRegistry::Default().Snapshot());
+  if (!json_path.empty()) {
+    Status st = report->WriteJson(json_path);
+    if (!st.ok()) return st;
+    std::printf("metrics_json=%s\n", json_path.c_str());
+  }
+  if (!csv_path.empty()) {
+    Status st = report->WriteIterationsCsv(csv_path);
+    if (!st.ok()) return st;
+    std::printf("metrics_csv=%s\n", csv_path.c_str());
+  }
+  return Status::OK();
 }
 
 int CmdGen(const Flags& flags) {
@@ -139,6 +172,23 @@ int CmdRun(const Flags& flags) {
   const double delta = flags.GetDouble("delta", 1.0 / g.num_nodes());
   const uint64_t seed = flags.GetUint("seed", 1);
   const std::string algo = flags.GetString("algo", "opim-c+");
+  const unsigned threads =
+      static_cast<unsigned>(flags.GetUint("threads", 1));
+
+  RunReport report;
+  report.AddInfo("command", "run");
+  report.AddInfo("algorithm", algo);
+  report.AddInfo("model", DiffusionModelName(model));
+  report.AddInfo("graph", flags.GetString("graph", ""));
+  report.AddResult("nodes", g.num_nodes());
+  report.AddResult("edges", static_cast<double>(g.num_edges()));
+  report.AddResult("k", k);
+  report.AddResult("eps", eps);
+  report.AddResult("delta", delta);
+  report.AddResult("seed", static_cast<double>(seed));
+  report.AddResult("threads_requested", threads);
+  report.AddResult("threads_resolved",
+                   ThreadPool::ResolveThreadCount(threads));
 
   Stopwatch sw;
   std::vector<NodeId> seeds;
@@ -146,6 +196,7 @@ int CmdRun(const Flags& flags) {
   if (algo == "opim-c+" || algo == "opim-c0" || algo == "opim-c'") {
     OpimCOptions o;
     o.seed = seed;
+    o.num_threads = threads;
     o.bound = algo == "opim-c0"   ? BoundKind::kBasic
               : algo == "opim-c'" ? BoundKind::kLeskovec
                                   : BoundKind::kImproved;
@@ -153,6 +204,22 @@ int CmdRun(const Flags& flags) {
     seeds = std::move(r.seeds);
     rr_sets = r.num_rr_sets;
     std::printf("alpha=%.4f iterations=%u\n", r.alpha, r.iterations);
+    report.AddResult("alpha", r.alpha);
+    report.AddResult("iterations", r.iterations);
+    report.AddResult("i_max", r.i_max);
+    report.AddResult("total_rr_size", static_cast<double>(r.total_rr_size));
+    for (size_t i = 0; i < r.trace.size(); ++i) {
+      const OpimCIteration& it = r.trace[i];
+      report.AddIteration()
+          .Set("iteration", static_cast<double>(i + 1))
+          .Set("theta1", static_cast<double>(it.theta1))
+          .Set("sigma_lower", it.sigma_lower)
+          .Set("sigma_upper", it.sigma_upper)
+          .Set("alpha", it.alpha)
+          .Set("generate_seconds", it.generate_seconds)
+          .Set("greedy_seconds", it.greedy_seconds)
+          .Set("bounds_seconds", it.bounds_seconds);
+    }
   } else if (algo == "imm") {
     ImResult r = RunImm(g, model, k, eps, delta, {seed, 0});
     seeds = std::move(r.seeds);
@@ -196,14 +263,22 @@ int CmdRun(const Flags& flags) {
   std::printf("seeds:");
   for (NodeId v : seeds) std::printf(" %u", v);
   std::printf("\n");
+  report.AddResult("time_seconds", elapsed);
+  report.AddResult("rr_sets", static_cast<double>(rr_sets));
+  report.AddResult("num_seeds", static_cast<double>(seeds.size()));
 
   const uint64_t mc = flags.GetUint("mc", 10000);
   if (mc > 0) {
     SpreadEstimator est(g, model);
+    const double spread = est.Estimate(seeds, mc, seed);
     std::printf("expected_spread=%.2f (over %llu Monte-Carlo runs)\n",
-                est.Estimate(seeds, mc, seed),
-                static_cast<unsigned long long>(mc));
+                spread, static_cast<unsigned long long>(mc));
+    report.AddResult("expected_spread", spread);
   }
+  Status report_st =
+      WriteReportOutputs(&report, flags.GetString("metrics-json", ""),
+                         flags.GetString("metrics-csv", ""));
+  if (!report_st.ok()) return Fail(report_st);
   return 0;
 }
 
@@ -251,27 +326,76 @@ int CmdOnline(const Flags& flags) {
   const uint32_t rounds = static_cast<uint32_t>(flags.GetUint("rounds", 20));
   const double target = flags.GetDouble("target", 0.9);
   const bool sequential = flags.GetBool("sequential", false);
+  const unsigned threads =
+      static_cast<unsigned>(flags.GetUint("threads", 0));
+  const uint64_t seed = flags.GetUint("seed", 1);
 
-  OnlineMaximizer om(g, model, k, delta, flags.GetUint("seed", 1));
+  RunReport report;
+  report.AddInfo("command", "online");
+  report.AddInfo("model", DiffusionModelName(model));
+  report.AddInfo("graph", flags.GetString("graph", ""));
+  report.AddResult("nodes", g.num_nodes());
+  report.AddResult("edges", static_cast<double>(g.num_edges()));
+  report.AddResult("k", k);
+  report.AddResult("delta", delta);
+  report.AddResult("seed", static_cast<double>(seed));
+  report.AddResult("batch", static_cast<double>(batch));
+  report.AddResult("threads_requested", threads);
+
+  // --threads=0 keeps the serial single-sampler stream; any other value
+  // switches to the deterministic parallel generator (a different but
+  // equally reproducible stream, keyed on the thread count).
+  OnlineMaximizer om(g, model, k, delta, seed);
+  auto advance = [&](uint64_t count) {
+    if (threads == 0) {
+      om.Advance(count);
+    } else {
+      om.AdvanceParallel(count, threads);
+    }
+  };
+  double last_alpha = 0.0;
   std::printf("%10s  %8s  %8s  %8s\n", "rr_sets", "OPIM0", "OPIM+", "OPIM'");
   for (uint32_t r = 0; r < rounds; ++r) {
-    om.Advance(batch);
+    Stopwatch watch;
+    advance(batch);
+    const double advance_seconds = watch.ElapsedSeconds();
+    watch.Restart();
+    RunReport::Row& row = report.AddIteration();
+    row.Set("round", r + 1);
+    bool reached = false;
     if (sequential) {
       OnlineSnapshot snap = om.QuerySequential(BoundKind::kImproved);
       std::printf("%10llu  %8s  %8.4f  %8s   (sequential, all-rounds "
                   "validity)\n",
                   static_cast<unsigned long long>(om.num_rr_sets()), "-",
                   snap.alpha, "-");
-      if (snap.alpha >= target) return 0;
+      row.Set("rr_sets", static_cast<double>(om.num_rr_sets()))
+          .Set("alpha", snap.alpha);
+      last_alpha = snap.alpha;
+      reached = snap.alpha >= target;
     } else {
       OnlineSnapshotAll snap = om.QueryAll();
       std::printf("%10llu  %8.4f  %8.4f  %8.4f\n",
                   static_cast<unsigned long long>(snap.theta_total),
                   snap.alpha_basic, snap.alpha_improved,
                   snap.alpha_leskovec);
-      if (snap.alpha_improved >= target) return 0;
+      row.Set("rr_sets", static_cast<double>(snap.theta_total))
+          .Set("alpha_basic", snap.alpha_basic)
+          .Set("alpha_improved", snap.alpha_improved)
+          .Set("alpha_leskovec", snap.alpha_leskovec);
+      last_alpha = snap.alpha_improved;
+      reached = snap.alpha_improved >= target;
     }
+    row.Set("advance_seconds", advance_seconds)
+        .Set("query_seconds", watch.ElapsedSeconds());
+    if (reached) break;
   }
+  report.AddResult("rr_sets", static_cast<double>(om.num_rr_sets()));
+  report.AddResult("alpha", last_alpha);
+  Status report_st = WriteReportOutputs(
+      &report, flags.GetString("metrics-json", ""),
+      flags.GetString("metrics-csv", ""));
+  if (!report_st.ok()) return Fail(report_st);
   return 0;
 }
 
@@ -285,6 +409,14 @@ int Main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   Flags flags(argc - 1, argv + 1);
+  const std::string log_level = flags.GetString("log-level", "");
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      return Fail(Status::InvalidArgument("bad --log-level: " + log_level));
+    }
+    SetLogLevel(level);
+  }
   if (cmd == "gen") return CmdGen(flags);
   if (cmd == "convert") return CmdConvert(flags);
   if (cmd == "stats") return CmdStats(flags);
