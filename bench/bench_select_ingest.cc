@@ -1,0 +1,261 @@
+// Perf baseline for the RR-set engine hot paths: batch ingestion into an
+// RRCollection, greedy / CELF seed selection (with and without the §5
+// trace), and bound assembly. Emits one JSON object with median-of-R
+// timings so scripts/run_perf_baseline.sh can track before/after numbers
+// (BENCH_select_ingest.json).
+//
+//   ./build/bench/bench_select_ingest [--smoke] [--n=N] [--theta=T]
+//       [--k=K] [--reps=R] [--label=NAME] [--out=FILE]
+//
+// Sampling is excluded from the ingest timing: RR sets are materialized
+// once up front and replayed into a fresh collection per rep, so the
+// number isolates storage + inverted-index build cost exactly as
+// ParallelGenerate pays it.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bounds/bounds.h"
+#include "gen/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "rrset/parallel_generate.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "select/greedy.h"
+#include "support/random.h"
+#include "support/stopwatch.h"
+
+namespace opim {
+namespace {
+
+struct Config {
+  uint32_t n = 100000;
+  uint32_t edges_per_node = 10;
+  uint64_t theta = 200000;
+  uint32_t k = 50;
+  int reps = 5;
+  std::string label = "run";
+  std::string out;  // empty = stdout only
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *value = arg + len;
+  return true;
+}
+
+Config ParseArgs(int argc, char** argv) {
+  Config cfg;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.n = 2000;
+      cfg.edges_per_node = 5;
+      cfg.theta = 4000;
+      cfg.k = 8;
+      cfg.reps = 2;
+    } else if (ParseFlag(argv[i], "--n=", &v)) {
+      cfg.n = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--theta=", &v)) {
+      cfg.theta = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--k=", &v)) {
+      cfg.k = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--reps=", &v)) {
+      cfg.reps = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--label=", &v)) {
+      cfg.label = v;
+    } else if (ParseFlag(argv[i], "--out=", &v)) {
+      cfg.out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+/// Median of the collected per-rep timings, in microseconds.
+double MedianUs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2] * 1e6;
+}
+
+/// Times `fn` cfg.reps times and returns the median wall time in us.
+template <typename Fn>
+double TimeMedianUs(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.ElapsedSeconds());
+  }
+  return MedianUs(std::move(samples));
+}
+
+int Run(const Config& cfg) {
+  std::fprintf(stderr,
+               "bench_select_ingest: n=%u theta=%llu k=%u reps=%d label=%s\n",
+               cfg.n, static_cast<unsigned long long>(cfg.theta), cfg.k,
+               cfg.reps, cfg.label.c_str());
+
+  Graph g = GenerateBarabasiAlbert(cfg.n, cfg.edges_per_node);
+
+  // Materialize the RR-set stream once (sampling excluded from timings):
+  // one flat node pool plus per-set (size, cost), the exact shape the
+  // generator's shard buffers have.
+  std::vector<NodeId> pool;
+  std::vector<std::pair<uint32_t, uint64_t>> sets;
+  sets.reserve(cfg.theta);
+  {
+    IcRRSampler sampler(g);
+    Rng rng(7);
+    std::vector<NodeId> scratch;
+    for (uint64_t i = 0; i < cfg.theta; ++i) {
+      uint64_t cost = sampler.SampleInto(rng, &scratch);
+      sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
+      pool.insert(pool.end(), scratch.begin(), scratch.end());
+    }
+  }
+  std::fprintf(stderr, "bench_select_ingest: pool=%zu nodes\n", pool.size());
+
+  // --- Ingestion: replay the stream into a fresh collection via the
+  // engine's batch path, ending with a built inverted index. The batch is
+  // copied outside the timed region (AddBatch consumes its shards), so the
+  // timing covers exactly what ParallelGenerate pays per batch.
+  uint64_t ingest_sink = 0;
+  double ingest_us = 0.0;
+  {
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(cfg.reps));
+    for (int r = 0; r < cfg.reps; ++r) {
+      std::vector<RRBatch> shards(1);
+      shards[0].pool = pool;
+      shards[0].sets = sets;
+      RRCollection fresh(cfg.n);
+      Stopwatch watch;
+      fresh.AddBatch(std::move(shards));
+      ingest_sink += fresh.SetsCovering(0).size();
+      samples.push_back(watch.ElapsedSeconds());
+    }
+    ingest_us = MedianUs(std::move(samples));
+  }
+
+  // One persistent collection for the selection/bounds timings.
+  RRCollection rr(cfg.n);
+  {
+    std::vector<RRBatch> shards(1);
+    shards[0].pool = pool;
+    shards[0].sets = sets;
+    rr.AddBatch(std::move(shards));
+  }
+
+  uint64_t select_sink = 0;
+  const double greedy_us = TimeMedianUs(cfg.reps, [&] {
+    select_sink += SelectGreedy(rr, cfg.k).coverage;
+  });
+  const double greedy_trace_us = TimeMedianUs(cfg.reps, [&] {
+    select_sink += SelectGreedy(rr, cfg.k, /*with_trace=*/true).coverage;
+  });
+  const double celf_us = TimeMedianUs(cfg.reps, [&] {
+    select_sink += SelectGreedyCelf(rr, cfg.k).coverage;
+  });
+  const double celf_trace_us = TimeMedianUs(cfg.reps, [&] {
+    select_sink += SelectGreedyCelf(rr, cfg.k, /*with_trace=*/true).coverage;
+  });
+
+  // --- Bounds: trace-bound assembly from a cached greedy trace.
+  GreedyResult traced = SelectGreedy(rr, cfg.k, /*with_trace=*/true);
+  double bounds_sink = 0.0;
+  const double bounds_us = TimeMedianUs(cfg.reps, [&] {
+    for (int it = 0; it < 100; ++it) {
+      bounds_sink +=
+          SigmaUpper(BoundKind::kImproved, traced, rr.num_sets(), cfg.n, 0.01);
+      bounds_sink +=
+          SigmaUpper(BoundKind::kBasic, traced, rr.num_sets(), cfg.n, 0.01);
+    }
+  });
+
+  // --- End-to-end engine path: sample + ingest via ParallelGenerate.
+  uint64_t generate_sink = 0;
+  const double generate_us = TimeMedianUs(cfg.reps, [&] {
+    RRCollection tmp(cfg.n);
+    ParallelGenerate(g, DiffusionModel::kIndependentCascade, &tmp, cfg.theta,
+                     /*seed=*/11, /*num_threads=*/1);
+    generate_sink += tmp.total_size();
+  });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("label").Value(cfg.label);
+  w.Key("config").BeginObject();
+  w.Key("n").Value(static_cast<uint64_t>(cfg.n));
+  w.Key("edges_per_node").Value(static_cast<uint64_t>(cfg.edges_per_node));
+  w.Key("theta").Value(cfg.theta);
+  w.Key("k").Value(static_cast<uint64_t>(cfg.k));
+  w.Key("reps").Value(static_cast<int64_t>(cfg.reps));
+  w.Key("pool_nodes").Value(static_cast<uint64_t>(pool.size()));
+  w.EndObject();
+  w.Key("timings_us").BeginObject();
+  w.Key("ingest").Value(ingest_us);
+  w.Key("select_greedy").Value(greedy_us);
+  w.Key("select_greedy_trace").Value(greedy_trace_us);
+  w.Key("select_celf").Value(celf_us);
+  w.Key("select_celf_trace").Value(celf_trace_us);
+  w.Key("bounds_x100").Value(bounds_us);
+  w.Key("generate_ingest").Value(generate_us);
+  w.EndObject();
+  // The telemetry the acceptance criteria reference: per-phase counters
+  // and timer sums recorded by the engine itself during the runs above.
+  w.Key("telemetry").BeginObject();
+  MetricsSnapshot snap = MetricsRegistry::Default().Snapshot();
+  w.Key("counters").BeginObject();
+  for (const CounterSample& c : snap.counters) {
+    if (c.name.rfind("opim.select.", 0) == 0 ||
+        c.name.rfind("opim.rrset.", 0) == 0 ||
+        c.name.rfind("opim.pool.", 0) == 0) {
+      w.Key(c.name).Value(c.value);
+    }
+  }
+  w.EndObject();
+  w.Key("timer_sums_us").BeginObject();
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.name.rfind("opim.select.", 0) == 0 ||
+        h.name.rfind("opim.rrset.", 0) == 0) {
+      w.Key(h.name).Value(h.sum);
+    }
+  }
+  w.EndObject();
+  w.EndObject();
+  // Sinks: keep the optimizer from dropping timed work.
+  w.Key("checksum")
+      .Value(ingest_sink + select_sink + generate_sink +
+             static_cast<uint64_t>(bounds_sink));
+  w.EndObject();
+
+  std::printf("%s\n", w.str().c_str());
+  if (!cfg.out.empty()) {
+    std::FILE* f = std::fopen(cfg.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", cfg.out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", w.str().c_str());
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace opim
+
+int main(int argc, char** argv) {
+  return opim::Run(opim::ParseArgs(argc, argv));
+}

@@ -29,6 +29,11 @@ ctest --test-dir build-notm --output-on-failure 2>&1 \
 
 for b in build/bench/*; do
   name="$(basename "$b")"
+  # The RR-set engine perf baseline has its own driver (run below against
+  # both telemetry configurations).
+  if [[ "$name" == bench_select_ingest ]]; then
+    continue
+  fi
   echo "=== $name ==="
   # Figure benches accept --full and --csv; the others ignore unknown
   # flags, and google-benchmark binaries get no extra flags.
@@ -38,5 +43,15 @@ for b in build/bench/*; do
     "$b" $FULL --csv="$OUT/$name" | tee "$OUT/$name.txt"
   fi
 done
+
+# Perf-baseline smoke against both telemetry configurations: with
+# telemetry the JSON carries engine counters/timers, without it the
+# counters section is empty but timings must still be produced.
+echo "=== bench_select_ingest (smoke, telemetry on) ==="
+scripts/run_perf_baseline.sh --smoke --build-dir build \
+  | tee "$OUT/bench_select_ingest_smoke.json"
+echo "=== bench_select_ingest (smoke, telemetry off) ==="
+scripts/run_perf_baseline.sh --smoke --build-dir build-notm \
+  | tee "$OUT/bench_select_ingest_smoke_notelemetry.json"
 
 echo "All outputs in $OUT/"

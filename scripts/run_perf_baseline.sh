@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# RR-set engine perf baseline: runs bench_select_ingest (median-of-5 wall
+# timings for batch ingestion, greedy/CELF selection with and without the
+# §5 trace, bound assembly, and the end-to-end generate+ingest path) and
+# records the run under its label in BENCH_select_ingest.json.
+#
+#   scripts/run_perf_baseline.sh [--smoke] [--label NAME] [--build-dir DIR]
+#                                [--json FILE]
+#
+#   --smoke       tiny config (~1 s) for CI wiring; the JSON artifact is
+#                 left untouched, output goes to stdout only
+#   --label NAME  label for this run (default "after"); a full run
+#                 replaces the entry with the same label in the artifact
+#   --build-dir   build tree containing bench/bench_select_ingest
+#                 (default: build)
+#   --json FILE   artifact to update (default: BENCH_select_ingest.json)
+#
+# The artifact keeps one run object per label plus, when both "before"
+# and "after" are present, a derived speedup block comparing the engine's
+# selection path (SelectGreedy+trace before vs SelectGreedyCelf+trace
+# after) and the batch-ingestion path. See docs/performance.md.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+LABEL=after
+BUILD=build
+JSON=BENCH_select_ingest.json
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --label) LABEL="$2"; shift ;;
+    --build-dir) BUILD="$2"; shift ;;
+    --json) JSON="$2"; shift ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+BIN="$BUILD/bench/bench_select_ingest"
+if [[ ! -x "$BIN" ]]; then
+  cmake --build "$BUILD" --target bench_select_ingest
+fi
+
+if [[ "$SMOKE" -eq 1 ]]; then
+  exec "$BIN" --smoke "--label=$LABEL-smoke"
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$JSON.tmp"' EXIT
+"$BIN" "--label=$LABEL" "--out=$TMP"
+
+if [[ -f "$JSON" ]]; then
+  jq --slurpfile run "$TMP" \
+     '.runs = ([.runs[] | select(.label != $run[0].label)] + $run)' \
+     "$JSON" > "$JSON.tmp"
+else
+  jq -n --slurpfile run "$TMP" \
+     '{benchmark: "bench_select_ingest", runs: $run}' > "$JSON.tmp"
+fi
+
+# Derived speedups once a before/after pair exists: "selection" is the
+# phase RunOpimC pays (trace-producing selection), "ingest" the batch
+# ingestion + index build, "generate_ingest" the end-to-end engine path.
+jq 'if ([.runs[].label] | contains(["before", "after"])) then
+      ((.runs[] | select(.label == "before")).timings_us) as $b
+      | ((.runs[] | select(.label == "after")).timings_us) as $a
+      | .speedup_after_vs_before = {
+          ingest: (($b.ingest / $a.ingest) * 100 | round / 100),
+          selection_trace:
+            (($b.select_greedy_trace / $a.select_celf_trace) * 100
+             | round / 100),
+          generate_ingest:
+            (($b.generate_ingest / $a.generate_ingest) * 100 | round / 100)
+        }
+    else . end' "$JSON.tmp" > "$JSON"
+rm -f "$JSON.tmp"
+echo "updated $JSON (label=$LABEL)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "obs/log.h"
 #include "obs/telemetry.h"
@@ -79,6 +80,12 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
                   << " delta=" << delta << " theta0=" << theta0
                   << " i_max=" << i_max << " threads=" << num_threads;
 
+  // One pool for the whole run: every generate call and every ingestion
+  // batch's index rebuild reuses the same workers instead of spawning and
+  // joining a fresh pool per doubling. Serial runs skip the pool entirely.
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
   // Generation goes through ParallelGenerate even in the serial case so
   // the RR stream depends only on (seed, num_threads); each batch gets a
   // distinct derived seed. `pending_generate_seconds` accumulates the wall
@@ -90,7 +97,7 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     Stopwatch watch;
     uint64_t state = options.seed ^ (0x6f70634bULL + ++batch_counter);
     ParallelGenerate(g, model, rr, count, SplitMix64(state), num_threads,
-                     options.node_weights);
+                     options.node_weights, pool.get());
     pending_generate_seconds += watch.ElapsedSeconds();
   };
   RRCollection r1(n), r2(n);
@@ -105,7 +112,7 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   for (uint32_t i = 1; i <= i_max; ++i) {
     OPIM_TM_COUNTER_ADD("opim.opimc.iterations", 1);
     Stopwatch phase_watch;
-    GreedyResult greedy = SelectGreedy(r1, k, needs_trace);
+    GreedyResult greedy = SelectGreedyCelf(r1, k, needs_trace);
     const double greedy_seconds = phase_watch.ElapsedSeconds();
 
     phase_watch.Restart();
@@ -148,6 +155,17 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   result.num_rr_sets =
       static_cast<uint64_t>(r1.num_sets()) + r2.num_sets();
   result.total_rr_size = r1.total_size() + r2.total_size();
+  OPIM_TM_STMT({
+    // Lifetime stats of the run-owned pool, reported once: tasks_run
+    // growing across doublings under a single pool is the observable
+    // signature of worker reuse (no per-call pool churn).
+    if (pool != nullptr) {
+      const ThreadPoolStats stats = pool->Stats();
+      OPIM_TM_COUNTER_ADD("opim.pool.tasks_run", stats.tasks_run);
+      OPIM_TM_COUNTER_ADD("opim.pool.queue_wait_us", stats.queue_wait_us);
+      OPIM_TM_COUNTER_ADD("opim.pool.idle_wait_us", stats.idle_wait_us);
+    }
+  });
   OPIM_LOG(kInfo) << "opim-c: done alpha=" << result.alpha
                   << " iterations=" << result.iterations
                   << " rr_sets=" << result.num_rr_sets;

@@ -1,6 +1,7 @@
 #include "rrset/parallel_generate.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -15,22 +16,19 @@ namespace opim {
 void ParallelGenerate(const Graph& g, DiffusionModel model,
                       RRCollection* collection, uint64_t count,
                       uint64_t seed, unsigned num_threads,
-                      std::span<const double> root_weights) {
+                      std::span<const double> root_weights, ThreadPool* pool) {
   if (count == 0) return;
   OPIM_TM_SCOPED_TIMER("opim.rrset.generate_us");
-  num_threads = ThreadPool::ResolveThreadCount(num_threads);
+  num_threads = pool != nullptr ? pool->num_threads()
+                                : ThreadPool::ResolveThreadCount(num_threads);
   const unsigned shards =
       static_cast<unsigned>(std::min<uint64_t>(count, num_threads));
 
-  // Per-shard buffers: flat node pool + per-set (length, cost) so append
-  // order is exactly shard-major, sample-minor.
-  struct ShardBuffer {
-    std::vector<NodeId> pool;
-    std::vector<std::pair<uint32_t, uint64_t>> sets;  // (size, cost)
-    uint64_t edges_examined = 0;
-    uint64_t alias_draws = 0;
-  };
-  std::vector<ShardBuffer> buffers(shards);
+  // Per-shard RRBatch buffers, filled so the append order is exactly
+  // shard-major, sample-minor; AddBatch moves the node pools wholesale.
+  std::vector<RRBatch> buffers(shards);
+  std::vector<uint64_t> shard_edges(shards, 0);
+  std::vector<uint64_t> shard_alias(shards, 0);
 
   auto run_shard = [&](unsigned s) {
     Stopwatch shard_watch;
@@ -39,52 +37,60 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
     const uint64_t lo = count * s / shards;
     const uint64_t hi = count * (s + 1) / shards;
     std::vector<NodeId> scratch;
-    ShardBuffer& buf = buffers[s];
+    RRBatch& buf = buffers[s];
     for (uint64_t i = lo; i < hi; ++i) {
       uint64_t cost = sampler->SampleInto(rng, &scratch);
       buf.sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
       buf.pool.insert(buf.pool.end(), scratch.begin(), scratch.end());
-      buf.edges_examined += cost;
+      shard_edges[s] += cost;
     }
-    buf.alias_draws = sampler->alias_draws();
+    shard_alias[s] = sampler->alias_draws();
     OPIM_TM_HISTOGRAM_RECORD("opim.rrset.shard_us",
                              shard_watch.ElapsedSeconds() * 1e6);
   };
 
+  // A temporary pool is only created when the caller did not supply one
+  // (and more than one shard exists); it also serves the index rebuild
+  // inside AddBatch, then reports its stats before destruction.
+  std::unique_ptr<ThreadPool> local_pool;
   if (shards == 1) {
     run_shard(0);
   } else {
-    ThreadPool pool(shards);
-    for (unsigned s = 0; s < shards; ++s) {
-      pool.Submit([&, s] { run_shard(s); });
+    if (pool == nullptr) {
+      local_pool = std::make_unique<ThreadPool>(shards);
+      pool = local_pool.get();
     }
-    pool.Wait();
-    OPIM_TM_STMT({
-      const ThreadPoolStats stats = pool.Stats();
-      OPIM_TM_COUNTER_ADD("opim.pool.tasks_run", stats.tasks_run);
-      OPIM_TM_COUNTER_ADD("opim.pool.queue_wait_us", stats.queue_wait_us);
-      OPIM_TM_COUNTER_ADD("opim.pool.idle_wait_us", stats.idle_wait_us);
-    });
+    for (unsigned s = 0; s < shards; ++s) {
+      pool->Submit([&, s] { run_shard(s); });
+    }
+    pool->Wait();
   }
 
   uint64_t nodes_total = 0;
   uint64_t edges_total = 0;
   uint64_t alias_total = 0;
-  for (const ShardBuffer& buf : buffers) {
-    size_t offset = 0;
-    for (const auto& [size, cost] : buf.sets) {
-      collection->AddSet(
-          std::span<const NodeId>(buf.pool.data() + offset, size), cost);
-      offset += size;
-    }
-    nodes_total += buf.pool.size();
-    edges_total += buf.edges_examined;
-    alias_total += buf.alias_draws;
+  for (unsigned s = 0; s < shards; ++s) {
+    nodes_total += buffers[s].pool.size();
+    edges_total += shard_edges[s];
+    alias_total += shard_alias[s];
   }
+  collection->AddBatch(std::move(buffers), pool);
+
   OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", count);
   OPIM_TM_COUNTER_ADD("opim.rrset.nodes_total", nodes_total);
   OPIM_TM_COUNTER_ADD("opim.rrset.edges_examined", edges_total);
   OPIM_TM_COUNTER_ADD("opim.rrset.alias_draws", alias_total);
+  OPIM_TM_STMT({
+    // Caller-owned pools accumulate lifetime stats the caller reports once
+    // (e.g. RunOpimC after its final doubling); report here only for the
+    // pool this call created and is about to destroy.
+    if (local_pool != nullptr) {
+      const ThreadPoolStats stats = local_pool->Stats();
+      OPIM_TM_COUNTER_ADD("opim.pool.tasks_run", stats.tasks_run);
+      OPIM_TM_COUNTER_ADD("opim.pool.queue_wait_us", stats.queue_wait_us);
+      OPIM_TM_COUNTER_ADD("opim.pool.idle_wait_us", stats.idle_wait_us);
+    }
+  });
 }
 
 }  // namespace opim

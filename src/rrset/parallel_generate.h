@@ -2,10 +2,16 @@
 //
 // RR sets are independent samples, so generation parallelizes trivially:
 // each worker owns a private sampler and an RNG stream derived from
-// (seed, shard), fills a local buffer, and the buffers are appended to the
-// collection in shard order — so the result is deterministic for a fixed
-// (seed, num_threads) pair, and single-threaded generation with the same
-// derivation reproduces num_threads = 1 exactly.
+// (seed, shard), fills a local RRBatch, and the batches are ingested in
+// shard order via RRCollection::AddBatch — so the result is deterministic
+// for a fixed (seed, num_threads) pair, and single-threaded generation
+// with the same derivation reproduces num_threads = 1 exactly.
+//
+// Callers that generate repeatedly (OPIM-C's doublings) should construct
+// one ThreadPool and pass it to every call: the workers and their stacks
+// are reused across generations and the same pool parallelizes the
+// inverted-index rebuild of each ingestion batch. Without a pool, a
+// temporary pool is created per call (the original behavior).
 //
 // The samplers' per-sample scratch (epoch arrays, alias tables) is why the
 // RRSampler class itself is not thread-safe; this helper is the supported
@@ -22,13 +28,19 @@
 
 namespace opim {
 
+class ThreadPool;
+
 /// Samples `count` RR sets under `model` and appends them to `collection`.
 /// Deterministic in (seed, num_threads); num_threads = 0 picks the
 /// hardware default. Non-empty `root_weights` selects weighted-spread
-/// sampling (see IcRRSampler).
+/// sampling (see IcRRSampler). When `pool` is non-null it supplies the
+/// workers (its size overrides `num_threads`, so the RR stream is
+/// deterministic in (seed, pool->num_threads())) and no pool is
+/// constructed internally.
 void ParallelGenerate(const Graph& g, DiffusionModel model,
                       RRCollection* collection, uint64_t count,
                       uint64_t seed, unsigned num_threads = 0,
-                      std::span<const double> root_weights = {});
+                      std::span<const double> root_weights = {},
+                      ThreadPool* pool = nullptr);
 
 }  // namespace opim

@@ -1,22 +1,146 @@
 #include "rrset/rr_collection.h"
 
+#include <algorithm>
+
+#include "obs/telemetry.h"
+#include "support/thread_pool.h"
+
 namespace opim {
 
+namespace {
+
+/// Below this pool size a serial rebuild beats the fan-out overhead.
+constexpr uint64_t kParallelRebuildMinNodes = 1u << 16;
+
+}  // namespace
+
 RRCollection::RRCollection(uint32_t num_nodes)
-    : offsets_(1, 0), covers_(num_nodes) {}
+    : num_nodes_(num_nodes), offsets_(1, 0), cover_offsets_(num_nodes + 1, 0) {}
 
 RRId RRCollection::AddSet(std::span<const NodeId> nodes,
                           uint64_t edges_examined) {
   const RRId id = num_sets();
   for (NodeId v : nodes) {
-    OPIM_CHECK_LT(v, num_nodes());
-    pool_.push_back(v);
-    covers_[v].push_back(id);
+    OPIM_CHECK_LT(v, num_nodes_);
   }
+  pool_.insert(pool_.end(), nodes.begin(), nodes.end());
   offsets_.push_back(pool_.size());
   set_cost_.push_back(edges_examined);
   total_edges_examined_ += edges_examined;
+  if (!nodes.empty()) index_dirty_ = true;
   return id;
+}
+
+void RRCollection::AddBatch(std::vector<RRBatch> shards, ThreadPool* pool) {
+  OPIM_TM_SCOPED_TIMER("opim.rrset.ingest_us");
+  uint64_t add_nodes = 0;
+  uint64_t add_sets = 0;
+  for (const RRBatch& shard : shards) {
+    add_nodes += shard.pool.size();
+    add_sets += shard.sets.size();
+#if OPIM_DEBUG_CHECKS
+    for (NodeId v : shard.pool) OPIM_DCHECK_LT(v, num_nodes_);
+    uint64_t shard_nodes = 0;
+    for (const auto& [size, cost] : shard.sets) shard_nodes += size;
+    OPIM_DCHECK_EQ(shard_nodes, shard.pool.size());
+#endif
+  }
+  if (add_sets == 0) return;
+
+  if (pool_.empty() && shards.size() == 1) {
+    pool_ = std::move(shards[0].pool);
+  } else {
+    pool_.reserve(pool_.size() + add_nodes);
+    for (RRBatch& shard : shards) {
+      pool_.insert(pool_.end(), shard.pool.begin(), shard.pool.end());
+    }
+  }
+  offsets_.reserve(offsets_.size() + add_sets);
+  set_cost_.reserve(set_cost_.size() + add_sets);
+  uint64_t offset = offsets_.back();
+  for (const RRBatch& shard : shards) {
+    for (const auto& [size, cost] : shard.sets) {
+      offset += size;
+      offsets_.push_back(offset);
+      set_cost_.push_back(cost);
+      total_edges_examined_ += cost;
+    }
+  }
+  OPIM_CHECK_EQ(offsets_.back(), pool_.size());
+  RebuildIndex(pool);
+}
+
+void RRCollection::RebuildIndex(ThreadPool* pool) const {
+  OPIM_TM_SCOPED_TIMER("opim.rrset.index_rebuild_us");
+  OPIM_TM_COUNTER_ADD("opim.rrset.index_rebuilds", 1);
+  index_dirty_ = false;
+  const uint32_t n = num_nodes_;
+  const uint64_t sets = num_sets();
+  cover_ids_.resize(pool_.size());
+
+  const unsigned workers = pool != nullptr ? pool->num_threads() : 1;
+  if (workers <= 1 || pool_.size() < kParallelRebuildMinNodes) {
+    // Serial two-pass counting sort: count into cover_offsets_[v + 1],
+    // prefix-sum, then place ids in ascending set order per node.
+    std::fill(cover_offsets_.begin(), cover_offsets_.end(), 0);
+    for (NodeId v : pool_) ++cover_offsets_[v + 1];
+    for (uint32_t v = 0; v < n; ++v) cover_offsets_[v + 1] += cover_offsets_[v];
+    std::vector<uint64_t> cursor(cover_offsets_.begin(),
+                                 cover_offsets_.end() - 1);
+    for (uint64_t id = 0; id < sets; ++id) {
+      for (uint64_t e = offsets_[id]; e < offsets_[id + 1]; ++e) {
+        cover_ids_[cursor[pool_[e]]++] = static_cast<RRId>(id);
+      }
+    }
+    return;
+  }
+
+  // Parallel counting sort over contiguous set ranges ("chunks"): per-chunk
+  // node counts, a serial combine that turns them into per-chunk write
+  // cursors, and a parallel placement pass. Chunks are ordered by set id
+  // and cursors start at each chunk's global position, so every node's id
+  // list comes out ascending — identical to the serial result.
+  const unsigned chunks = workers;
+  std::vector<uint64_t> chunk_set_end(chunks);
+  for (unsigned c = 0; c < chunks; ++c) {
+    if (c + 1 == chunks) {
+      chunk_set_end[c] = sets;
+    } else {
+      // Split by pool position for balance, snapped to a set boundary.
+      const uint64_t target = pool_.size() * (c + 1) / chunks;
+      chunk_set_end[c] =
+          std::upper_bound(offsets_.begin(), offsets_.end(), target) -
+          offsets_.begin() - 1;
+    }
+  }
+  std::vector<std::vector<uint64_t>> chunk_counts(chunks);
+  pool->ParallelFor(chunks, [&](uint64_t c) {
+    std::vector<uint64_t>& counts = chunk_counts[c];
+    counts.assign(n, 0);
+    const uint64_t lo = c == 0 ? 0 : chunk_set_end[c - 1];
+    for (uint64_t e = offsets_[lo]; e < offsets_[chunk_set_end[c]]; ++e) {
+      ++counts[pool_[e]];
+    }
+  });
+  uint64_t acc = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    cover_offsets_[v] = acc;
+    for (unsigned c = 0; c < chunks; ++c) {
+      const uint64_t count = chunk_counts[c][v];
+      chunk_counts[c][v] = acc;  // becomes chunk c's write cursor for v
+      acc += count;
+    }
+  }
+  cover_offsets_[n] = acc;
+  pool->ParallelFor(chunks, [&](uint64_t c) {
+    std::vector<uint64_t>& cursor = chunk_counts[c];
+    const uint64_t lo = c == 0 ? 0 : chunk_set_end[c - 1];
+    for (uint64_t id = lo; id < chunk_set_end[c]; ++id) {
+      for (uint64_t e = offsets_[id]; e < offsets_[id + 1]; ++e) {
+        cover_ids_[cursor[pool_[e]]++] = static_cast<RRId>(id);
+      }
+    }
+  });
 }
 
 uint64_t RRCollection::CoverageOf(std::span<const NodeId> seeds) const {

@@ -6,21 +6,45 @@
 //   * coverage Λ(S): how many RR sets in R intersect a seed set S, and
 //   * greedy max-coverage (via the inverted index; see select/).
 // Storage is append-only: sets are concatenated into one flat pool with an
-// offsets array (CSR-of-sets), and each node keeps the list of RR-set ids
-// that contain it.
+// offsets array (CSR-of-sets). The inverted node -> RR-id index is itself
+// CSR (cover_offsets_ + cover_ids_, ids ascending per node), rebuilt by a
+// counting-sort pass instead of being maintained per insert — one flat
+// array instead of n independently growing vectors, so greedy's inner
+// loops stream through contiguous memory.
+//
+// Index validity contract: AddBatch leaves the index built (in parallel
+// when given a ThreadPool). AddSet defers the rebuild; the first
+// SetsCovering after single-set appends rebuilds serially. Interleaving
+// AddSet with reads is therefore valid but pays one O(Σ|R|) rebuild per
+// flip from writing to reading — the engine paths (ParallelGenerate /
+// select/) always ingest whole batches. The lazy rebuild also means the
+// first post-append read is not safe to race with other readers.
 
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace opim {
 
+class ThreadPool;
+
 /// Index of an RR set within a collection.
 using RRId = uint32_t;
+
+/// One producer shard of sampled RR sets, in append order: `pool` is the
+/// concatenation of the sets' nodes and `sets` holds each set's (size,
+/// traversal cost). This is exactly the per-worker buffer shape of
+/// ParallelGenerate, so ingestion can move the node pools instead of
+/// copying set-by-set.
+struct RRBatch {
+  std::vector<NodeId> pool;
+  std::vector<std::pair<uint32_t, uint64_t>> sets;  // (size, edges examined)
+};
 
 /// Append-only collection of RR sets over a graph with n nodes.
 class RRCollection {
@@ -30,25 +54,37 @@ class RRCollection {
 
   /// Appends one RR set (list of distinct nodes). `edges_examined` is the
   /// traversal cost the sampler paid (the paper's γ accounting, §3.2).
-  /// Returns the new set's id.
+  /// Returns the new set's id. The inverted index rebuild is deferred to
+  /// the next SetsCovering (see the contract above); bulk producers should
+  /// use AddBatch.
   RRId AddSet(std::span<const NodeId> nodes, uint64_t edges_examined);
+
+  /// Appends every set of every shard, in shard order, moving the shard
+  /// node pools instead of copying set-by-set, then rebuilds the inverted
+  /// index (counting sort, parallelized over `pool` when provided). The
+  /// index is valid on return. Per-node range validation is debug-only on
+  /// this path (OPIM_DCHECK).
+  void AddBatch(std::vector<RRBatch> shards, ThreadPool* pool = nullptr);
 
   /// Number of RR sets θ.
   uint32_t num_sets() const { return static_cast<uint32_t>(offsets_.size() - 1); }
 
   /// Number of nodes n of the underlying graph.
-  uint32_t num_nodes() const { return static_cast<uint32_t>(covers_.size()); }
+  uint32_t num_nodes() const { return num_nodes_; }
 
   /// Nodes of RR set `id`.
   std::span<const NodeId> Set(RRId id) const {
-    OPIM_CHECK_LT(id, num_sets());
+    OPIM_DCHECK_LT(id, num_sets());
     return {pool_.data() + offsets_[id], pool_.data() + offsets_[id + 1]};
   }
 
-  /// Ids of the RR sets containing `v` (ascending).
+  /// Ids of the RR sets containing `v` (ascending). Rebuilds the inverted
+  /// index first if single-set appends left it stale.
   std::span<const RRId> SetsCovering(NodeId v) const {
-    OPIM_CHECK_LT(v, num_nodes());
-    return covers_[v];
+    OPIM_DCHECK_LT(v, num_nodes_);
+    if (index_dirty_) RebuildIndex(nullptr);
+    return {cover_ids_.data() + cover_offsets_[v],
+            cover_ids_.data() + cover_offsets_[v + 1]};
   }
 
   /// Total nodes across all sets, Σ_R |R|. The query-time complexity of the
@@ -61,7 +97,7 @@ class RRCollection {
   /// Traversal cost ("width" in TIM's terminology: total in-degree of the
   /// set's members) of one RR set.
   uint64_t SetCost(RRId id) const {
-    OPIM_CHECK_LT(id, num_sets());
+    OPIM_DCHECK_LT(id, num_sets());
     return set_cost_[id];
   }
 
@@ -74,11 +110,20 @@ class RRCollection {
   double EstimateSpread(std::span<const NodeId> seeds) const;
 
  private:
+  /// Counting-sort rebuild of (cover_offsets_, cover_ids_) from the set
+  /// pool; parallelized across set ranges when `pool` has > 1 worker.
+  /// Deterministic: the result is identical for any worker count.
+  void RebuildIndex(ThreadPool* pool) const;
+
+  uint32_t num_nodes_ = 0;
   std::vector<NodeId> pool_;
-  std::vector<uint64_t> offsets_;          // num_sets + 1
-  std::vector<std::vector<RRId>> covers_;  // node -> RR ids
-  std::vector<uint64_t> set_cost_;         // per-set traversal cost
+  std::vector<uint64_t> offsets_;   // num_sets + 1
+  std::vector<uint64_t> set_cost_;  // per-set traversal cost
   uint64_t total_edges_examined_ = 0;
+  // CSR inverted index; rebuilt lazily (mutable) after AddSet appends.
+  mutable std::vector<uint64_t> cover_offsets_;  // num_nodes + 1
+  mutable std::vector<RRId> cover_ids_;
+  mutable bool index_dirty_ = false;
   // Scratch for CoverageOf: stamp per RR set, grown lazily.
   mutable std::vector<uint32_t> mark_epoch_;
   mutable uint32_t epoch_ = 0;

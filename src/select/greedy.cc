@@ -9,21 +9,32 @@ namespace opim {
 
 namespace {
 
-/// Sum of the k largest values in `counts` (copied; O(n) via nth_element).
-uint64_t TopKSum(const std::vector<uint64_t>& counts, uint32_t k,
-                 std::vector<uint64_t>* scratch) {
-  if (k == 0 || counts.empty()) return 0;
-  *scratch = counts;
+/// Sum of the k largest values of `scratch` (consumed: partially sorted).
+/// Zeros never contribute, so callers pass only nonzero entries.
+uint64_t TopKSumOf(std::vector<uint64_t>* scratch, uint32_t k) {
+  if (k == 0 || scratch->empty()) return 0;
+  uint64_t total = 0;
   if (k >= scratch->size()) {
-    uint64_t total = 0;
     for (uint64_t c : *scratch) total += c;
     return total;
   }
   std::nth_element(scratch->begin(), scratch->begin() + (k - 1),
                    scratch->end(), std::greater<uint64_t>());
-  uint64_t total = 0;
   for (uint32_t i = 0; i < k; ++i) total += (*scratch)[i];
   return total;
+}
+
+/// Sum of the k largest values in `counts`: copies only the nonzero
+/// entries into `scratch` (partial copy — the pre-rework version copied
+/// the whole n-sized vector per pick) and partial-sorts those.
+uint64_t TopKSum(const std::vector<uint64_t>& counts, uint32_t k,
+                 std::vector<uint64_t>* scratch) {
+  if (k == 0 || counts.empty()) return 0;
+  scratch->clear();
+  for (uint64_t c : counts) {
+    if (c > 0) scratch->push_back(c);
+  }
+  return TopKSumOf(scratch, k);
 }
 
 /// Appends the smallest-id nodes not yet selected until `seeds` has k
@@ -35,6 +46,19 @@ void FillWithUnselected(uint32_t n, uint32_t k,
     if (!selected[v]) seeds->push_back(v);
   }
 }
+
+/// Lazy-forward queue entry: a (possibly stale) upper bound on a node's
+/// marginal gain. Smaller node id wins ties so CELF's pick order matches
+/// SelectGreedy's smallest-id-argmax rule exactly.
+struct CelfEntry {
+  uint64_t gain;
+  NodeId node;
+  uint32_t round;  // selection round the gain was computed in
+  bool operator<(const CelfEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return node > other.node;
+  }
+};
 
 }  // namespace
 
@@ -91,7 +115,7 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
       cover_updates += collection.Set(id).size();
       for (NodeId w : collection.Set(id)) --counts[w];
     }
-    OPIM_CHECK_EQ(counts[best], 0u);
+    OPIM_DCHECK_EQ(counts[best], 0u);
   }
 
   if (with_trace) {
@@ -112,8 +136,10 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
   return result;
 }
 
-GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k) {
+GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
+                              bool with_trace) {
   OPIM_TM_SCOPED_TIMER("opim.select.celf_us");
+  OPIM_TM_COUNTER_ADD("opim.select.celf_runs", 1);
   const uint32_t n = collection.num_nodes();
   const uint32_t theta = collection.num_sets();
   k = std::min(k, n);
@@ -123,56 +149,140 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k) {
   std::vector<char> covered(theta, 0);
   std::vector<char> selected(n, 0);
 
-  // Lazy-forward queue of (stale upper bound on marginal gain, node).
-  // Smaller node id wins ties so the output matches SelectGreedy.
-  struct Entry {
-    uint64_t gain;
-    NodeId node;
-    uint32_t round;  // selection round the gain was computed in
-    bool operator<(const Entry& other) const {
-      if (gain != other.gain) return gain < other.gain;
-      return node > other.node;
-    }
-  };
-  std::priority_queue<Entry> queue;
-  for (NodeId v = 0; v < n; ++v) {
-    uint64_t g = collection.SetsCovering(v).size();
-    queue.push({g, v, 0});
-  }
-
-  auto fresh_gain = [&](NodeId v) {
-    uint64_t g = 0;
-    for (RRId id : collection.SetsCovering(v)) g += !covered[id];
-    return g;
-  };
-
   uint64_t coverage = 0;
   uint32_t round = 0;
   uint64_t pops = 0;
   uint64_t rescans = 0;
-  while (result.seeds.size() < k && !queue.empty()) {
-    Entry top = queue.top();
-    queue.pop();
-    ++pops;
-    if (selected[top.node]) continue;
-    if (top.round != round) {
-      // Stale: recompute (submodularity guarantees it only shrinks).
-      top.gain = fresh_gain(top.node);
-      top.round = round;
-      queue.push(top);
-      ++rescans;
-      continue;
+
+  if (!with_trace) {
+    // Classic CELF: no marginal bookkeeping at all — gains are recomputed
+    // on demand from the covered[] bitmap.
+    std::priority_queue<CelfEntry> queue;
+    for (NodeId v = 0; v < n; ++v) {
+      uint64_t g = collection.SetsCovering(v).size();
+      queue.push({g, v, 0});
     }
-    if (top.gain == 0) break;  // coverage saturated
-    selected[top.node] = 1;
-    result.seeds.push_back(top.node);
-    coverage += top.gain;
-    for (RRId id : collection.SetsCovering(top.node)) covered[id] = 1;
+    auto fresh_gain = [&](NodeId v) {
+      uint64_t g = 0;
+      for (RRId id : collection.SetsCovering(v)) g += !covered[id];
+      return g;
+    };
+    while (result.seeds.size() < k && !queue.empty()) {
+      CelfEntry top = queue.top();
+      queue.pop();
+      ++pops;
+      if (selected[top.node]) continue;
+      if (top.round != round) {
+        // Stale: recompute (submodularity guarantees it only shrinks).
+        top.gain = fresh_gain(top.node);
+        top.round = round;
+        queue.push(top);
+        ++rescans;
+        continue;
+      }
+      if (top.gain == 0) break;  // coverage saturated
+      selected[top.node] = 1;
+      result.seeds.push_back(top.node);
+      coverage += top.gain;
+      for (RRId id : collection.SetsCovering(top.node)) covered[id] = 1;
+      ++round;
+    }
+    OPIM_TM_COUNTER_ADD("opim.select.celf_pops", pops);
+    OPIM_TM_COUNTER_ADD("opim.select.celf_rescans", rescans);
+    FillWithUnselected(n, k, selected, &result.seeds);
+    result.coverage = coverage;
+    return result;
+  }
+
+  // Trace mode (what OPIM⁺'s Eq. (10) bound consumes): maintain the exact
+  // marginals Λ(v | S_i*) like SelectGreedy — a stale queue entry then
+  // refreshes with an O(1) lookup — plus a bucket histogram over the
+  // marginal values. Every update is a decrement, so it moves one node
+  // down one bucket in O(1), and each prefix's top-k marginal sum is a
+  // walk down the histogram from the current maximum: the only sum the
+  // bound needs is Σ value·|bucket| over the k largest entries, so no
+  // per-pick O(n) scan, copy, or nth_element happens at all.
+  std::vector<uint64_t> counts(n, 0);
+  uint64_t max_count = 0;
+  std::priority_queue<CelfEntry> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    const uint64_t g = collection.SetsCovering(v).size();
+    counts[v] = g;
+    if (g > 0) queue.push({g, v, 0});
+    max_count = std::max(max_count, g);
+  }
+  std::vector<uint32_t> hist(max_count + 1, 0);  // hist[c] = #nodes, c > 0
+  for (NodeId v = 0; v < n; ++v) {
+    if (counts[v] > 0) ++hist[counts[v]];
+  }
+  uint64_t cover_updates = 0;
+
+  auto record_prefix = [&] {
+    result.coverage_at.push_back(coverage);
+    // The maximum only decreases (all updates are decrements), so the
+    // cursor moves monotonically: O(initial max) total over the whole run.
+    while (max_count > 0 && hist[max_count] == 0) --max_count;
+    uint64_t sum = 0;
+    uint64_t taken = 0;
+    for (uint64_t value = max_count; value > 0 && taken < k; --value) {
+      const uint64_t take = std::min<uint64_t>(hist[value], k - taken);
+      sum += value * take;
+      taken += take;
+    }
+    result.topk_marginal_at.push_back(sum);
+  };
+
+  result.coverage_at.reserve(k + 1);
+  result.topk_marginal_at.reserve(k + 1);
+  for (uint32_t i = 0; i < k; ++i) {
+    record_prefix();
+
+    NodeId best = kInvalidNode;
+    uint64_t best_gain = 0;
+    while (!queue.empty()) {
+      CelfEntry top = queue.top();
+      queue.pop();
+      ++pops;
+      if (selected[top.node]) continue;
+      if (top.round != round) {
+        top.gain = counts[top.node];
+        top.round = round;
+        ++rescans;
+        if (top.gain > 0) queue.push(top);
+        continue;
+      }
+      best = top.node;
+      best_gain = top.gain;
+      break;
+    }
+    if (best == kInvalidNode) break;  // all RR sets covered
+
+    selected[best] = 1;
+    result.seeds.push_back(best);
+    coverage += best_gain;
+    for (RRId id : collection.SetsCovering(best)) {
+      if (covered[id]) continue;
+      covered[id] = 1;
+      cover_updates += collection.Set(id).size();
+      for (NodeId w : collection.Set(id)) {
+        // w belongs to a set that was uncovered, so counts[w] >= 1 here.
+        const uint64_t c = counts[w]--;
+        --hist[c];
+        if (c > 1) ++hist[c - 1];
+      }
+    }
+    OPIM_DCHECK_EQ(counts[best], 0u);
     ++round;
   }
+  record_prefix();
+  while (result.coverage_at.size() < static_cast<size_t>(k) + 1) {
+    result.coverage_at.push_back(coverage);
+    result.topk_marginal_at.push_back(0);
+  }
+
   OPIM_TM_COUNTER_ADD("opim.select.celf_pops", pops);
   OPIM_TM_COUNTER_ADD("opim.select.celf_rescans", rescans);
-
+  OPIM_TM_COUNTER_ADD("opim.select.cover_updates", cover_updates);
   FillWithUnselected(n, k, selected, &result.seeds);
   result.coverage = coverage;
   return result;

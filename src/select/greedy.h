@@ -5,10 +5,16 @@
 //    the marginal coverage Λ(v | S_i*) of every node while it selects, so
 //    it can also capture the *greedy trace* that the improved bound of §5
 //    consumes: Λ1(S_i*) and Σ_{v ∈ maxMC(S_i*, k)} Λ1(v | S_i*) for every
-//    prefix i = 0..k (Eq. 10), in O(kn + Σ|R|) total.
+//    prefix i = 0..k (Eq. 10), in O(kn + Σ|R|) total. Kept as the
+//    reference oracle for differential tests.
 //  * SelectGreedyCelf — CELF lazy-forward greedy (Leskovec et al. 2007),
-//    usually faster in practice, identical output up to tie-breaking; kept
-//    as an ablation and cross-check. Does not produce the trace.
+//    the selection path RunOpimC uses. Identical output to SelectGreedy
+//    (including tie-breaking and the trace arrays; the differential test
+//    in tests/select/ pins this). In trace mode it maintains exact
+//    marginals like SelectGreedy but replaces the O(n) argmax scan with
+//    the lazy queue and tracks a bucket histogram of the marginal values,
+//    so each prefix's top-k marginal sum is a walk down the histogram
+//    from the current maximum — no n-sized copy or sort per pick.
 //
 // Both return seed sets of exactly min(k, n) nodes; once every RR set is
 // covered, remaining slots are filled with the smallest-id unused nodes
@@ -46,7 +52,10 @@ struct GreedyResult {
 GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
                           bool with_trace = false);
 
-/// CELF lazy-forward greedy; same seeds as SelectGreedy up to ties.
-GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k);
+/// CELF lazy-forward greedy; identical output to SelectGreedy (seeds,
+/// coverage, and — with `with_trace` — the trace arrays), usually much
+/// faster. This is the engine selection path.
+GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
+                              bool with_trace = false);
 
 }  // namespace opim

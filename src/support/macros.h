@@ -49,6 +49,36 @@ namespace opim::internal {
 #define OPIM_CHECK_EQ(a, b) OPIM_CHECK((a) == (b))
 #define OPIM_CHECK_NE(a, b) OPIM_CHECK((a) != (b))
 
+/// Debug-only variants for per-element checks on hot paths (per-node range
+/// checks in RR-set ingestion and index lookups). These run millions of
+/// times per doubling, so release builds (NDEBUG) compile them out; builds
+/// without NDEBUG — and any build defining OPIM_FORCE_DEBUG_CHECKS — keep
+/// the full OPIM_CHECK behavior. Whole-call contract checks (argument
+/// validation at API boundaries) stay OPIM_CHECK: they are O(1) per call.
+#if !defined(OPIM_DEBUG_CHECKS)
+#if defined(NDEBUG) && !defined(OPIM_FORCE_DEBUG_CHECKS)
+#define OPIM_DEBUG_CHECKS 0
+#else
+#define OPIM_DEBUG_CHECKS 1
+#endif
+#endif
+
+#if OPIM_DEBUG_CHECKS
+#define OPIM_DCHECK(expr) OPIM_CHECK(expr)
+#define OPIM_DCHECK_LT(a, b) OPIM_CHECK_LT(a, b)
+#define OPIM_DCHECK_LE(a, b) OPIM_CHECK_LE(a, b)
+#define OPIM_DCHECK_EQ(a, b) OPIM_CHECK_EQ(a, b)
+#else
+// sizeof() keeps the operands name-used (no -Wunused) without evaluating.
+#define OPIM_DCHECK(expr) \
+  do {                    \
+    (void)sizeof(expr);   \
+  } while (0)
+#define OPIM_DCHECK_LT(a, b) OPIM_DCHECK((a) < (b))
+#define OPIM_DCHECK_LE(a, b) OPIM_DCHECK((a) <= (b))
+#define OPIM_DCHECK_EQ(a, b) OPIM_DCHECK((a) == (b))
+#endif
+
 /// Marks a class as non-copyable (movability unaffected).
 #define OPIM_DISALLOW_COPY(ClassName)            \
   ClassName(const ClassName&) = delete;          \

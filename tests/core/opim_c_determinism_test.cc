@@ -1,0 +1,97 @@
+// Determinism regression for RunOpimC: for a fixed (seed, num_threads)
+// the whole output — seed set, α, RR-set counts, per-iteration bounds —
+// is pinned to golden values at 1 and 4 threads, and a repeated run must
+// be bit-identical to the first. The RR stream is a function of
+// (seed, num_threads) only, never of scheduling, pool reuse, or ingestion
+// batching — this is what licenses the engine's caller-owned thread pool
+// and CSR batch rebuilds. Like tests/regression/golden_test.cc, these
+// constants WILL move if RNG consumption or tie-breaking changes; re-pin
+// deliberately when that happens.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/opim_c.h"
+#include "harness/datasets.h"
+
+namespace opim {
+namespace {
+
+struct GoldenRun {
+  DiffusionModel model;
+  unsigned threads;
+  uint32_t iterations;
+  uint64_t num_rr_sets;
+  uint64_t total_rr_size;
+  double alpha;
+  std::vector<NodeId> seeds;
+  double final_sigma_lower;
+  double final_sigma_upper;
+};
+
+const GoldenRun kGolden[] = {
+    {DiffusionModel::kIndependentCascade, 1, 7, 8704, 13983,
+     0.50417033168613878, {350, 457, 510, 509, 320},
+     17.78295331953451, 35.271717120008823},
+    {DiffusionModel::kLinearThreshold, 1, 7, 8704, 14045,
+     0.47412367040127806, {350, 457, 510, 507, 477},
+     18.090737862428824, 38.156158386097019},
+    {DiffusionModel::kIndependentCascade, 4, 6, 4352, 7050,
+     0.53717436743673863, {350, 477, 509, 495, 457},
+     20.648232412124678, 38.438603298688406},
+    {DiffusionModel::kLinearThreshold, 4, 6, 4352, 7056,
+     0.46025995367643346, {457, 350, 320, 461, 458},
+     19.0757019175478, 41.445495670818616},
+};
+
+OpimCResult RunGolden(const GoldenRun& g) {
+  Graph graph = MakeTinyTestGraph(512, 3);
+  OpimCOptions options;
+  options.seed = 42;
+  options.num_threads = g.threads;
+  return RunOpimC(graph, g.model, /*k=*/5, /*eps=*/0.2, /*delta=*/0.05,
+                  options);
+}
+
+TEST(OpimCDeterminismTest, GoldenValuesAtOneAndFourThreads) {
+  for (const GoldenRun& g : kGolden) {
+    OpimCResult r = RunGolden(g);
+    SCOPED_TRACE(testing::Message()
+                 << "model=" << static_cast<int>(g.model)
+                 << " threads=" << g.threads);
+    EXPECT_EQ(r.iterations, g.iterations);
+    EXPECT_EQ(r.i_max, 12u);
+    EXPECT_EQ(r.num_rr_sets, g.num_rr_sets);
+    EXPECT_EQ(r.total_rr_size, g.total_rr_size);
+    EXPECT_EQ(r.seeds, g.seeds);
+    EXPECT_DOUBLE_EQ(r.alpha, g.alpha);
+    ASSERT_EQ(r.trace.size(), g.iterations);
+    EXPECT_DOUBLE_EQ(r.trace.back().sigma_lower, g.final_sigma_lower);
+    EXPECT_DOUBLE_EQ(r.trace.back().sigma_upper, g.final_sigma_upper);
+  }
+}
+
+TEST(OpimCDeterminismTest, RepeatedRunsAreBitIdentical) {
+  for (const GoldenRun& g : kGolden) {
+    OpimCResult a = RunGolden(g);
+    OpimCResult b = RunGolden(g);
+    SCOPED_TRACE(testing::Message()
+                 << "model=" << static_cast<int>(g.model)
+                 << " threads=" << g.threads);
+    EXPECT_EQ(a.seeds, b.seeds);
+    EXPECT_EQ(a.num_rr_sets, b.num_rr_sets);
+    EXPECT_EQ(a.total_rr_size, b.total_rr_size);
+    EXPECT_EQ(a.alpha, b.alpha);  // exact, not approximate
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (size_t i = 0; i < a.trace.size(); ++i) {
+      EXPECT_EQ(a.trace[i].theta1, b.trace[i].theta1);
+      EXPECT_EQ(a.trace[i].sigma_lower, b.trace[i].sigma_lower);
+      EXPECT_EQ(a.trace[i].sigma_upper, b.trace[i].sigma_upper);
+      EXPECT_EQ(a.trace[i].alpha, b.trace[i].alpha);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opim

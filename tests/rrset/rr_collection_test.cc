@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
+
+#include "support/thread_pool.h"
 
 namespace opim {
 namespace {
@@ -101,6 +105,150 @@ TEST(RRCollectionTest, EmptySetAllowed) {
   EXPECT_EQ(rr.total_size(), 0u);
   std::vector<NodeId> seeds = {0, 1};
   EXPECT_EQ(rr.CoverageOf(seeds), 0u);
+}
+
+/// Expects identical sets, costs, and inverted index in both collections.
+void ExpectEquivalent(const RRCollection& a, const RRCollection& b) {
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  ASSERT_EQ(a.total_size(), b.total_size());
+  ASSERT_EQ(a.total_edges_examined(), b.total_edges_examined());
+  for (RRId id = 0; id < a.num_sets(); ++id) {
+    auto sa = a.Set(id), sb = b.Set(id);
+    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
+    for (size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+    EXPECT_EQ(a.SetCost(id), b.SetCost(id));
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    auto ca = a.SetsCovering(v), cb = b.SetsCovering(v);
+    ASSERT_EQ(ca.size(), cb.size()) << "node " << v;
+    for (size_t i = 0; i < ca.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+  }
+}
+
+/// Packs explicit sets into a single RRBatch shard (unit cost each).
+RRBatch PackShard(const std::vector<std::vector<NodeId>>& sets) {
+  RRBatch shard;
+  for (const auto& s : sets) {
+    shard.sets.emplace_back(static_cast<uint32_t>(s.size()), 1);
+    shard.pool.insert(shard.pool.end(), s.begin(), s.end());
+  }
+  return shard;
+}
+
+TEST(RRCollectionBatchTest, SingleShardMatchesAddSetLoop) {
+  const std::vector<std::vector<NodeId>> sets = {
+      {0, 1}, {1, 2}, {1}, {3, 0}, {}, {2}};
+  RRCollection incremental(4);
+  for (const auto& s : sets) incremental.AddSet(s, 1);
+
+  RRCollection batched(4);
+  std::vector<RRBatch> shards;
+  shards.push_back(PackShard(sets));
+  batched.AddBatch(std::move(shards));
+  ExpectEquivalent(incremental, batched);
+}
+
+TEST(RRCollectionBatchTest, MultiShardConcatenatesInShardOrder) {
+  RRCollection incremental(5);
+  incremental.AddSet(std::vector<NodeId>{0, 4}, 1);
+  incremental.AddSet(std::vector<NodeId>{1}, 1);
+  incremental.AddSet(std::vector<NodeId>{4, 2}, 1);
+  incremental.AddSet(std::vector<NodeId>{3, 1}, 1);
+
+  RRCollection batched(5);
+  std::vector<RRBatch> shards;
+  shards.push_back(PackShard({{0, 4}, {1}}));
+  shards.push_back(PackShard({{4, 2}, {3, 1}}));
+  batched.AddBatch(std::move(shards));
+  ExpectEquivalent(incremental, batched);
+}
+
+TEST(RRCollectionBatchTest, SuccessiveBatchesAppend) {
+  RRCollection incremental(4);
+  RRCollection batched(4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::vector<NodeId>> sets;
+    for (int i = 0; i < 10; ++i) {
+      sets.push_back({static_cast<NodeId>((round + i) % 4),
+                      static_cast<NodeId>((round * 3 + i * 7) % 4)});
+      std::sort(sets.back().begin(), sets.back().end());
+      sets.back().erase(
+          std::unique(sets.back().begin(), sets.back().end()),
+          sets.back().end());
+      incremental.AddSet(sets.back(), 1);
+    }
+    std::vector<RRBatch> shards;
+    shards.push_back(PackShard(sets));
+    batched.AddBatch(std::move(shards));
+  }
+  ExpectEquivalent(incremental, batched);
+}
+
+TEST(RRCollectionBatchTest, SingleShardIntoEmptyCollectionMovesPool) {
+  // The fast path adopts the shard's node pool wholesale; the data must
+  // land at the same addresses it occupied in the shard buffer.
+  std::vector<RRBatch> shards;
+  shards.push_back(PackShard({{0, 1, 2}, {2, 3}}));
+  const NodeId* shard_data = shards[0].pool.data();
+  RRCollection rr(4);
+  rr.AddBatch(std::move(shards));
+  ASSERT_EQ(rr.num_sets(), 2u);
+  EXPECT_EQ(rr.Set(0).data(), shard_data);
+}
+
+TEST(RRCollectionBatchTest, EmptyAndNoopShards) {
+  RRCollection rr(3);
+  rr.AddBatch({});  // no shards at all
+  EXPECT_EQ(rr.num_sets(), 0u);
+  std::vector<RRBatch> shards(2);  // shards with no sets
+  rr.AddBatch(std::move(shards));
+  EXPECT_EQ(rr.num_sets(), 0u);
+  EXPECT_EQ(rr.SetsCovering(0).size(), 0u);
+}
+
+TEST(RRCollectionBatchTest, ParallelRebuildMatchesSerial) {
+  // Above the size cutoff AddBatch rebuilds the CSR index on the pool;
+  // the chunked counting sort must produce exactly the serial layout.
+  const uint32_t n = 400;
+  const int num_sets = 30000;  // ~90k pooled nodes > the 2^16 cutoff
+  std::vector<std::vector<NodeId>> sets;
+  sets.reserve(num_sets);
+  for (int i = 0; i < num_sets; ++i) {
+    std::vector<NodeId> s = {static_cast<NodeId>(i % n),
+                             static_cast<NodeId>((i * 13 + 5) % n),
+                             static_cast<NodeId>((i * 61 + 2) % n)};
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    sets.push_back(std::move(s));
+  }
+  RRCollection serial(n), parallel(n);
+  {
+    std::vector<RRBatch> shards;
+    shards.push_back(PackShard(sets));
+    serial.AddBatch(std::move(shards));  // no pool: serial rebuild
+  }
+  {
+    ThreadPool pool(4);
+    std::vector<RRBatch> shards;
+    shards.push_back(PackShard(sets));
+    parallel.AddBatch(std::move(shards), &pool);
+  }
+  ExpectEquivalent(serial, parallel);
+}
+
+TEST(RRCollectionBatchTest, AddSetAfterBatchKeepsIndexFresh) {
+  // AddSet defers the index rebuild; the next SetsCovering query must
+  // observe both the batched and the incrementally added sets.
+  RRCollection rr(3);
+  std::vector<RRBatch> shards;
+  shards.push_back(PackShard({{0, 1}}));
+  rr.AddBatch(std::move(shards));
+  EXPECT_EQ(rr.SetsCovering(1).size(), 1u);
+  rr.AddSet(std::vector<NodeId>{1, 2}, 1);
+  EXPECT_EQ(rr.SetsCovering(1).size(), 2u);
+  EXPECT_EQ(rr.SetsCovering(1)[0], 0u);  // ascending set ids
+  EXPECT_EQ(rr.SetsCovering(1)[1], 1u);
+  EXPECT_EQ(rr.SetsCovering(2).size(), 1u);
 }
 
 TEST(RRCollectionTest, ManySetsStressInvertedIndex) {

@@ -1,0 +1,173 @@
+// Differential test pinning SelectGreedyCelf to the reference oracle
+// SelectGreedy: identical seeds, coverage, and (in trace mode) identical
+// coverage_at / topk_marginal_at arrays across randomized collections
+// that vary n, θ, k, saturation, and tie density. Also cross-checks the
+// partial-copy TopKSum inside SelectGreedy's trace against a brute-force
+// full sort, so the nonzero-only copy provably changes no trace value.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rrset/rr_collection.h"
+#include "select/greedy.h"
+#include "support/random.h"
+
+namespace opim {
+namespace {
+
+struct DiffCase {
+  uint32_t n;
+  uint32_t num_sets;
+  uint32_t max_set_len;  // small lengths over small n => many gain ties
+  uint32_t k;
+  uint64_t seed;
+};
+
+RRCollection MakeRandomCollection(const DiffCase& c) {
+  Rng rng(c.seed);
+  RRCollection rr(c.n);
+  std::vector<NodeId> s;
+  for (uint32_t i = 0; i < c.num_sets; ++i) {
+    s.clear();
+    const uint32_t len = 1 + rng.UniformBelow(c.max_set_len);
+    for (uint32_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<NodeId>(rng.UniformBelow(c.n)));
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    rr.AddSet(s, len);
+  }
+  return rr;
+}
+
+/// Brute-force Σ of the k largest marginals: full copy + full sort.
+uint64_t BruteTopKSum(const std::vector<uint64_t>& counts, uint32_t k) {
+  std::vector<uint64_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint64_t>());
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < k && i < sorted.size(); ++i) total += sorted[i];
+  return total;
+}
+
+/// Recomputes the greedy trace from scratch with brute-force helpers,
+/// given the (already verified identical) seed sequence.
+void ExpectTraceMatchesBruteForce(const RRCollection& rr, uint32_t k,
+                                  const GreedyResult& r) {
+  const uint32_t n = rr.num_nodes();
+  std::vector<uint64_t> counts(n, 0);
+  for (NodeId v = 0; v < n; ++v) counts[v] = rr.SetsCovering(v).size();
+  std::vector<char> covered(rr.num_sets(), 0);
+
+  ASSERT_EQ(r.seeds.size(), static_cast<size_t>(k));  // k pre-clamped
+  ASSERT_EQ(r.coverage_at.size(), static_cast<size_t>(k) + 1);
+  ASSERT_EQ(r.topk_marginal_at.size(), static_cast<size_t>(k) + 1);
+  // Replaying filler seeds past saturation is harmless (zero marginals),
+  // so every prefix 0..k checks against the same recurrence.
+  uint64_t coverage = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    EXPECT_EQ(r.coverage_at[i], coverage) << "prefix " << i;
+    EXPECT_EQ(r.topk_marginal_at[i], BruteTopKSum(counts, k))
+        << "prefix " << i;
+    const NodeId s = r.seeds[i];
+    coverage += counts[s];
+    for (RRId id : rr.SetsCovering(s)) {
+      if (covered[id]) continue;
+      covered[id] = 1;
+      for (NodeId w : rr.Set(id)) --counts[w];
+    }
+  }
+  EXPECT_EQ(r.coverage_at[k], coverage);
+  EXPECT_EQ(r.coverage_at[k], r.coverage);
+  EXPECT_EQ(r.topk_marginal_at[k], BruteTopKSum(counts, k));
+}
+
+// n, sets, max_len, k, seed — spanning dense ties (tiny n, many sets),
+// saturation (k near or above what coverage supports), k > n, single
+// set, and larger sparse instances.
+const DiffCase kCases[] = {
+    {8, 40, 3, 3, 1},      {8, 40, 3, 8, 2},     {12, 5, 2, 10, 3},
+    {30, 200, 4, 8, 4},    {30, 200, 4, 30, 5},  {50, 20, 2, 15, 6},
+    {100, 800, 6, 12, 7},  {100, 800, 6, 50, 8}, {3, 100, 3, 3, 9},
+    {200, 1500, 5, 25, 10}, {16, 64, 2, 16, 11}, {64, 10, 4, 40, 12},
+};
+
+TEST(GreedyCelfDiffTest, NoTraceMatchesOracle) {
+  for (const DiffCase& c : kCases) {
+    RRCollection rr = MakeRandomCollection(c);
+    GreedyResult ref = SelectGreedy(rr, c.k);
+    GreedyResult celf = SelectGreedyCelf(rr, c.k);
+    EXPECT_EQ(ref.seeds, celf.seeds) << "seed " << c.seed;
+    EXPECT_EQ(ref.coverage, celf.coverage) << "seed " << c.seed;
+    EXPECT_TRUE(celf.coverage_at.empty());
+    EXPECT_TRUE(celf.topk_marginal_at.empty());
+  }
+}
+
+TEST(GreedyCelfDiffTest, TraceMatchesOracleExactly) {
+  for (const DiffCase& c : kCases) {
+    RRCollection rr = MakeRandomCollection(c);
+    GreedyResult ref = SelectGreedy(rr, c.k, /*with_trace=*/true);
+    GreedyResult celf = SelectGreedyCelf(rr, c.k, /*with_trace=*/true);
+    EXPECT_EQ(ref.seeds, celf.seeds) << "seed " << c.seed;
+    EXPECT_EQ(ref.coverage, celf.coverage) << "seed " << c.seed;
+    EXPECT_EQ(ref.coverage_at, celf.coverage_at) << "seed " << c.seed;
+    EXPECT_EQ(ref.topk_marginal_at, celf.topk_marginal_at)
+        << "seed " << c.seed;
+  }
+}
+
+TEST(GreedyCelfDiffTest, TraceMatchesBruteForceRecomputation) {
+  for (const DiffCase& c : kCases) {
+    RRCollection rr = MakeRandomCollection(c);
+    const uint32_t k = std::min(c.k, c.n);
+    GreedyResult ref = SelectGreedy(rr, k, /*with_trace=*/true);
+    ExpectTraceMatchesBruteForce(rr, k, ref);
+    GreedyResult celf = SelectGreedyCelf(rr, k, /*with_trace=*/true);
+    ExpectTraceMatchesBruteForce(rr, k, celf);
+  }
+}
+
+TEST(GreedyCelfDiffTest, TraceModeDoesNotPerturbSeeds) {
+  // with_trace must be observe-only: same seeds/coverage as without.
+  for (const DiffCase& c : kCases) {
+    RRCollection rr = MakeRandomCollection(c);
+    GreedyResult plain = SelectGreedyCelf(rr, c.k);
+    GreedyResult traced = SelectGreedyCelf(rr, c.k, /*with_trace=*/true);
+    EXPECT_EQ(plain.seeds, traced.seeds) << "seed " << c.seed;
+    EXPECT_EQ(plain.coverage, traced.coverage) << "seed " << c.seed;
+  }
+}
+
+TEST(GreedyCelfDiffTest, AllTiedGainsPickAscendingIds) {
+  // Every node covers exactly one distinct set: total tie on every pick.
+  const uint32_t n = 10;
+  RRCollection rr(n);
+  for (NodeId v = 0; v < n; ++v) rr.AddSet(std::vector<NodeId>{v}, 1);
+  GreedyResult ref = SelectGreedy(rr, 6, /*with_trace=*/true);
+  GreedyResult celf = SelectGreedyCelf(rr, 6, /*with_trace=*/true);
+  EXPECT_EQ(ref.seeds, celf.seeds);
+  EXPECT_EQ((std::vector<NodeId>{0, 1, 2, 3, 4, 5}), celf.seeds);
+  EXPECT_EQ(ref.topk_marginal_at, celf.topk_marginal_at);
+}
+
+TEST(GreedyCelfDiffTest, SaturationPadsTraceIdentically) {
+  RRCollection rr(6);
+  rr.AddSet(std::vector<NodeId>{2}, 1);
+  rr.AddSet(std::vector<NodeId>{2, 3}, 1);
+  const uint32_t k = 5;
+  GreedyResult ref = SelectGreedy(rr, k, /*with_trace=*/true);
+  GreedyResult celf = SelectGreedyCelf(rr, k, /*with_trace=*/true);
+  EXPECT_EQ(ref.seeds, celf.seeds);
+  EXPECT_EQ(ref.coverage_at, celf.coverage_at);
+  EXPECT_EQ(ref.topk_marginal_at, celf.topk_marginal_at);
+  ASSERT_EQ(celf.coverage_at.size(), static_cast<size_t>(k) + 1);
+  EXPECT_EQ(celf.coverage_at.back(), 2u);
+  EXPECT_EQ(celf.topk_marginal_at.back(), 0u);
+}
+
+}  // namespace
+}  // namespace opim
