@@ -27,11 +27,24 @@ cmake --build build-notm
 ctest --test-dir build-notm --output-on-failure 2>&1 \
   | tee "$OUT/test_output_notelemetry.txt"
 
+# Sanitized build (ASan + UBSan) over the memory-heavy engine subset:
+# sampling kernels, RR-set storage, parallel generation, and selection.
+# These are the paths with raw index arithmetic (quantized thresholds,
+# geometric skips, flattened alias arena, CSR rebuilds), so UB or
+# out-of-bounds access must fail loudly here even when the plain build
+# happens to pass.
+cmake -B build-asan -G Ninja -DOPIM_SANITIZE=ON -DOPIM_BUILD_BENCHMARKS=OFF \
+  -DOPIM_BUILD_EXAMPLES=OFF
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure \
+  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf' 2>&1 \
+  | tee "$OUT/test_output_sanitized.txt"
+
 for b in build/bench/*; do
   name="$(basename "$b")"
-  # The RR-set engine perf baseline has its own driver (run below against
-  # both telemetry configurations).
-  if [[ "$name" == bench_select_ingest ]]; then
+  # The RR-set engine perf baselines have their own driver (run below
+  # against both telemetry configurations).
+  if [[ "$name" == bench_select_ingest || "$name" == bench_generate ]]; then
     continue
   fi
   echo "=== $name ==="
@@ -44,14 +57,15 @@ for b in build/bench/*; do
   fi
 done
 
-# Perf-baseline smoke against both telemetry configurations: with
-# telemetry the JSON carries engine counters/timers, without it the
-# counters section is empty but timings must still be produced.
-echo "=== bench_select_ingest (smoke, telemetry on) ==="
+# Perf-baseline smoke (select/ingest + generation kernels) against both
+# telemetry configurations: with telemetry the JSON carries engine
+# counters/timers, without it the counters section is empty but timings
+# must still be produced.
+echo "=== perf baselines (smoke, telemetry on) ==="
 scripts/run_perf_baseline.sh --smoke --build-dir build \
-  | tee "$OUT/bench_select_ingest_smoke.json"
-echo "=== bench_select_ingest (smoke, telemetry off) ==="
+  | tee "$OUT/bench_perf_baseline_smoke.json"
+echo "=== perf baselines (smoke, telemetry off) ==="
 scripts/run_perf_baseline.sh --smoke --build-dir build-notm \
-  | tee "$OUT/bench_select_ingest_smoke_notelemetry.json"
+  | tee "$OUT/bench_perf_baseline_smoke_notelemetry.json"
 
 echo "All outputs in $OUT/"

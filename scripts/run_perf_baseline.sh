@@ -1,24 +1,26 @@
 #!/usr/bin/env bash
-# RR-set engine perf baseline: runs bench_select_ingest (median-of-5 wall
-# timings for batch ingestion, greedy/CELF selection with and without the
-# §5 trace, bound assembly, and the end-to-end generate+ingest path) and
-# records the run under its label in BENCH_select_ingest.json.
+# RR-set engine perf baselines: runs bench_select_ingest (batch ingestion,
+# greedy/CELF selection with and without the §5 trace, bound assembly, and
+# the end-to-end generate+ingest path) and bench_generate (the sampling
+# kernel itself plus ParallelGenerate at 1 and N threads, IC and LT under
+# weighted-cascade weights), recording each run under its label in
+# BENCH_select_ingest.json and BENCH_generate.json.
 #
 #   scripts/run_perf_baseline.sh [--smoke] [--label NAME] [--build-dir DIR]
-#                                [--json FILE]
+#                                [--json FILE] [--gen-json FILE]
 #
-#   --smoke       tiny config (~1 s) for CI wiring; the JSON artifact is
+#   --smoke       tiny config (~1 s) for CI wiring; the JSON artifacts are
 #                 left untouched, output goes to stdout only
 #   --label NAME  label for this run (default "after"); a full run
-#                 replaces the entry with the same label in the artifact
-#   --build-dir   build tree containing bench/bench_select_ingest
-#                 (default: build)
-#   --json FILE   artifact to update (default: BENCH_select_ingest.json)
+#                 replaces the entry with the same label in each artifact
+#   --build-dir   build tree containing the bench binaries (default: build)
+#   --json FILE   select/ingest artifact (default: BENCH_select_ingest.json)
+#   --gen-json F  generation artifact (default: BENCH_generate.json)
 #
-# The artifact keeps one run object per label plus, when both "before"
-# and "after" are present, a derived speedup block comparing the engine's
-# selection path (SelectGreedy+trace before vs SelectGreedyCelf+trace
-# after) and the batch-ingestion path. See docs/performance.md.
+# Each artifact keeps one run object per label plus, when both "before"
+# and "after" are present, a derived speedup block: for select/ingest the
+# engine's selection and ingestion paths, for generation the IC/LT sampling
+# kernels and end-to-end generate. See docs/performance.md.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,38 +29,52 @@ SMOKE=0
 LABEL=after
 BUILD=build
 JSON=BENCH_select_ingest.json
+GEN_JSON=BENCH_generate.json
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
     --label) LABEL="$2"; shift ;;
     --build-dir) BUILD="$2"; shift ;;
     --json) JSON="$2"; shift ;;
+    --gen-json) GEN_JSON="$2"; shift ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
 done
 
-BIN="$BUILD/bench/bench_select_ingest"
-if [[ ! -x "$BIN" ]]; then
+SELECT_BIN="$BUILD/bench/bench_select_ingest"
+GEN_BIN="$BUILD/bench/bench_generate"
+if [[ ! -x "$SELECT_BIN" ]]; then
   cmake --build "$BUILD" --target bench_select_ingest
+fi
+if [[ ! -x "$GEN_BIN" ]]; then
+  cmake --build "$BUILD" --target bench_generate
 fi
 
 if [[ "$SMOKE" -eq 1 ]]; then
-  exec "$BIN" --smoke "--label=$LABEL-smoke"
+  "$SELECT_BIN" --smoke "--label=$LABEL-smoke"
+  "$GEN_BIN" --smoke "--label=$LABEL-smoke"
+  exit 0
 fi
 
 TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$JSON.tmp"' EXIT
-"$BIN" "--label=$LABEL" "--out=$TMP"
+trap 'rm -f "$TMP" "$JSON.tmp" "$GEN_JSON.tmp"' EXIT
 
-if [[ -f "$JSON" ]]; then
-  jq --slurpfile run "$TMP" \
-     '.runs = ([.runs[] | select(.label != $run[0].label)] + $run)' \
-     "$JSON" > "$JSON.tmp"
-else
-  jq -n --slurpfile run "$TMP" \
-     '{benchmark: "bench_select_ingest", runs: $run}' > "$JSON.tmp"
-fi
+# merge_run ARTIFACT BENCH_NAME RESULT_FILE: upsert the labeled run object.
+merge_run() {
+  local artifact="$1" bench="$2" result="$3"
+  if [[ -f "$artifact" ]]; then
+    jq --slurpfile run "$result" \
+       '.runs = ([.runs[] | select(.label != $run[0].label)] + $run)' \
+       "$artifact" > "$artifact.tmp"
+  else
+    jq -n --slurpfile run "$result" --arg bench "$bench" \
+       '{benchmark: $bench, runs: $run}' > "$artifact.tmp"
+  fi
+}
+
+"$SELECT_BIN" "--label=$LABEL" "--out=$TMP"
+merge_run "$JSON" bench_select_ingest "$TMP"
 
 # Derived speedups once a before/after pair exists: "selection" is the
 # phase RunOpimC pays (trace-producing selection), "ingest" the batch
@@ -77,3 +93,26 @@ jq 'if ([.runs[].label] | contains(["before", "after"])) then
     else . end' "$JSON.tmp" > "$JSON"
 rm -f "$JSON.tmp"
 echo "updated $JSON (label=$LABEL)"
+
+"$GEN_BIN" "--label=$LABEL" "--out=$TMP"
+merge_run "$GEN_JSON" bench_generate "$TMP"
+
+# Kernel speedups: IC/LT pure sampling kernels (the acceptance number for
+# the quantized-threshold + geometric-skip rewrite) plus the end-to-end
+# single-thread generate path.
+jq 'if ([.runs[].label] | contains(["before", "after"])) then
+      ((.runs[] | select(.label == "before")).timings_us) as $b
+      | ((.runs[] | select(.label == "after")).timings_us) as $a
+      | .speedup_after_vs_before = {
+          ic_kernel_1t: (($b.IC_kernel_1t / $a.IC_kernel_1t) * 100
+                         | round / 100),
+          lt_kernel_1t: (($b.LT_kernel_1t / $a.LT_kernel_1t) * 100
+                         | round / 100),
+          ic_generate_1t: (($b.IC_generate_1t / $a.IC_generate_1t) * 100
+                           | round / 100),
+          lt_generate_1t: (($b.LT_generate_1t / $a.LT_generate_1t) * 100
+                           | round / 100)
+        }
+    else . end' "$GEN_JSON.tmp" > "$GEN_JSON"
+rm -f "$GEN_JSON.tmp"
+echo "updated $GEN_JSON (label=$LABEL)"

@@ -15,7 +15,8 @@ OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
       k_(k),
       delta_(delta),
       scale_(g.num_nodes()),
-      sampler_(MakeRRSampler(g, model)),
+      sampling_view_(g, SamplingViewPartsFor(model)),
+      sampler_(MakeRRSampler(sampling_view_, model)),
       rng_(seed, 0x6f70696dULL),  // "opim"
       r1_(g.num_nodes()),
       r2_(g.num_nodes()) {
@@ -34,7 +35,9 @@ OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
       delta_(delta),
       scale_(0.0),
       node_weights_(node_weights.begin(), node_weights.end()),
-      sampler_(MakeRRSampler(g, model, node_weights)),
+      sampling_view_(g, SamplingViewPartsFor(model)),
+      root_sampler_(node_weights_),
+      sampler_(MakeRRSampler(sampling_view_, model, &root_sampler_)),
       rng_(seed, 0x6f70696dULL),
       r1_(g.num_nodes()),
       r2_(g.num_nodes()) {
@@ -58,9 +61,9 @@ void OnlineMaximizer::AdvanceParallel(uint64_t count,
   uint64_t seed1 = rng_.NextU64();
   uint64_t seed2 = rng_.NextU64();
   ParallelGenerate(graph_, model_, &r1_, to_r1, seed1, num_threads,
-                   node_weights_);
+                   node_weights_, /*pool=*/nullptr, &sampling_view_);
   ParallelGenerate(graph_, model_, &r2_, count - to_r1, seed2, num_threads,
-                   node_weights_);
+                   node_weights_, /*pool=*/nullptr, &sampling_view_);
   if (count % 2 == 1) next_to_r1_ = !next_to_r1_;
 }
 

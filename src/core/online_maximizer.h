@@ -139,6 +139,10 @@ class OnlineMaximizer {
   double delta_;
   double scale_;  // n, or Σ w_v for the weighted objective
   std::vector<double> node_weights_;  // empty = unit weights
+  /// Shared kernel state: built once, borrowed by the serial sampler and
+  /// by every AdvanceParallel shard.
+  SamplingView sampling_view_;
+  AliasSampler root_sampler_;  // weighted roots; empty => uniform
   std::unique_ptr<RRSampler> sampler_;
   Rng rng_;
   /// Shared implementation of Query/QuerySequential at a given per-side

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <memory>
 
+#include "graph/sampling_view.h"
 #include "obs/log.h"
 #include "obs/telemetry.h"
 #include "rrset/parallel_generate.h"
+#include "rrset/rr_sampler.h"
 #include "rrset/rr_collection.h"
 #include "select/greedy.h"
 #include "support/math_util.h"
@@ -86,6 +88,11 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
+  // One sampling view for the whole run: every doubling of both pools
+  // borrows the same precomputed kernel state (quantized thresholds /
+  // alias arena) instead of rebuilding it per generate call.
+  const SamplingView sampling_view(g, SamplingViewPartsFor(model), pool.get());
+
   // Generation goes through ParallelGenerate even in the serial case so
   // the RR stream depends only on (seed, num_threads); each batch gets a
   // distinct derived seed. `pending_generate_seconds` accumulates the wall
@@ -97,7 +104,7 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     Stopwatch watch;
     uint64_t state = options.seed ^ (0x6f70634bULL + ++batch_counter);
     ParallelGenerate(g, model, rr, count, SplitMix64(state), num_threads,
-                     options.node_weights, pool.get());
+                     options.node_weights, pool.get(), &sampling_view);
     pending_generate_seconds += watch.ElapsedSeconds();
   };
   RRCollection r1(n), r2(n);

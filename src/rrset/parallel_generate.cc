@@ -16,13 +16,45 @@ namespace opim {
 void ParallelGenerate(const Graph& g, DiffusionModel model,
                       RRCollection* collection, uint64_t count,
                       uint64_t seed, unsigned num_threads,
-                      std::span<const double> root_weights, ThreadPool* pool) {
+                      std::span<const double> root_weights, ThreadPool* pool,
+                      const SamplingView* view) {
   if (count == 0) return;
   OPIM_TM_SCOPED_TIMER("opim.rrset.generate_us");
   num_threads = pool != nullptr ? pool->num_threads()
                                 : ThreadPool::ResolveThreadCount(num_threads);
   const unsigned shards =
       static_cast<unsigned>(std::min<uint64_t>(count, num_threads));
+
+  // A temporary pool is only created when the caller did not supply one
+  // (and more than one shard exists); it parallelizes the view build below,
+  // the shards, and the index rebuild inside AddBatch, then reports its
+  // stats before destruction.
+  std::unique_ptr<ThreadPool> local_pool;
+  if (shards > 1 && pool == nullptr) {
+    local_pool = std::make_unique<ThreadPool>(shards);
+    pool = local_pool.get();
+  }
+
+  // Shared read-only sampling state: built once here (not once per shard)
+  // unless the caller already cached a view across calls.
+  std::unique_ptr<const SamplingView> local_view;
+  if (view == nullptr) {
+    local_view = std::make_unique<const SamplingView>(
+        g, SamplingViewPartsFor(model), pool);
+    view = local_view.get();
+  } else {
+    OPIM_CHECK_MSG(&view->graph() == &g,
+                   "SamplingView was built for a different graph");
+  }
+
+  // Weighted roots: one shared alias table instead of one copy per shard.
+  AliasSampler root_table;
+  if (!root_weights.empty()) {
+    OPIM_CHECK_EQ(root_weights.size(), g.num_nodes());
+    root_table.Build(
+        std::vector<double>(root_weights.begin(), root_weights.end()));
+  }
+  const AliasSampler* shared_root = root_table.empty() ? nullptr : &root_table;
 
   // Per-shard RRBatch buffers, filled so the append order is exactly
   // shard-major, sample-minor; AddBatch moves the node pools wholesale.
@@ -32,7 +64,7 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
 
   auto run_shard = [&](unsigned s) {
     Stopwatch shard_watch;
-    auto sampler = MakeRRSampler(g, model, root_weights);
+    auto sampler = MakeRRSampler(*view, model, shared_root);
     Rng rng(seed, 0x70617267ULL + s);  // "parg" + shard
     const uint64_t lo = count * s / shards;
     const uint64_t hi = count * (s + 1) / shards;
@@ -49,17 +81,9 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
                              shard_watch.ElapsedSeconds() * 1e6);
   };
 
-  // A temporary pool is only created when the caller did not supply one
-  // (and more than one shard exists); it also serves the index rebuild
-  // inside AddBatch, then reports its stats before destruction.
-  std::unique_ptr<ThreadPool> local_pool;
   if (shards == 1) {
     run_shard(0);
   } else {
-    if (pool == nullptr) {
-      local_pool = std::make_unique<ThreadPool>(shards);
-      pool = local_pool.get();
-    }
     for (unsigned s = 0; s < shards; ++s) {
       pool->Submit([&, s] { run_shard(s); });
     }

@@ -28,6 +28,7 @@
 
 namespace opim {
 
+class SamplingView;
 class ThreadPool;
 
 /// Samples `count` RR sets under `model` and appends them to `collection`.
@@ -37,10 +38,18 @@ class ThreadPool;
 /// workers (its size overrides `num_threads`, so the RR stream is
 /// deterministic in (seed, pool->num_threads())) and no pool is
 /// constructed internally.
+///
+/// Shared read-only sampling state (SamplingView + one weighted-root alias
+/// table) is built once per call and borrowed by every shard; callers that
+/// generate repeatedly on the same graph (OPIM-C's doublings) should build
+/// a SamplingView themselves and pass it as `view` to skip even that
+/// once-per-call cost. `view` must be for `g` with the part for `model`
+/// built (checked).
 void ParallelGenerate(const Graph& g, DiffusionModel model,
                       RRCollection* collection, uint64_t count,
                       uint64_t seed, unsigned num_threads = 0,
                       std::span<const double> root_weights = {},
-                      ThreadPool* pool = nullptr);
+                      ThreadPool* pool = nullptr,
+                      const SamplingView* view = nullptr);
 
 }  // namespace opim

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -23,6 +24,44 @@ inline uint64_t SplitMix64(uint64_t& state) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
+
+/// Ziggurat tables for the Exp(1) distribution (Marsaglia & Tsang 2000,
+/// 256 layers, 32-bit variant). The common sampling path is one 32-bit
+/// draw, one table compare, and one multiply — roughly 3x cheaper than
+/// computing -log(U) — and the rejection structure makes the distribution
+/// exact, not approximate: the rare wedge/tail paths (~1% of draws) fall
+/// back to explicit exp/log evaluation.
+struct ExpZigguratTables {
+  uint32_t ke[256];
+  double we[256];
+  double fe[256];
+
+  ExpZigguratTables() {
+    constexpr double kM = 4294967296.0;  // 2^32
+    double de = 7.697117470131487;       // rightmost layer x-coordinate
+    const double ve = 3.949659822581572e-3;  // per-layer area
+    const double q = ve / std::exp(-de);
+    ke[0] = static_cast<uint32_t>((de / q) * kM);
+    ke[1] = 0;
+    we[0] = q / kM;
+    we[255] = de / kM;
+    fe[0] = 1.0;
+    fe[255] = std::exp(-de);
+    double te = de;
+    for (int i = 254; i >= 1; --i) {
+      de = -std::log(ve / de + std::exp(-de));
+      ke[i + 1] = static_cast<uint32_t>((de / te) * kM);
+      te = de;
+      we[i] = de / kM;
+      fe[i] = std::exp(-de);
+    }
+  }
+
+  static const ExpZigguratTables& Get() {
+    static const ExpZigguratTables tables;
+    return tables;
+  }
+};
 
 /// PCG32 (XSH-RR variant) pseudo-random generator with explicit seeding
 /// and cheap stream splitting.
@@ -84,6 +123,45 @@ class Rng {
   /// Returns a uniform double in [0, 1) with 53 bits of precision.
   double UniformDouble() {
     return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform double in (0, 1] with 53 bits of precision. Safe to
+  /// pass to std::log (never returns 0).
+  double UniformDoubleOpenClosed() {
+    return static_cast<double>((NextU64() >> 11) + 1) * 0x1.0p-53;
+  }
+
+  /// Samples Exp(1) exactly via the ziggurat method: usually one 32-bit
+  /// draw and one multiply, with exp/log only on the ~1% wedge/tail paths.
+  double NextExp() {
+    const ExpZigguratTables& z = ExpZigguratTables::Get();
+    for (;;) {
+      const uint32_t jz = NextU32();
+      const uint32_t iz = jz & 255u;
+      if (jz < z.ke[iz]) return jz * z.we[iz];
+      if (iz == 0) {
+        // Tail beyond the rightmost layer: x0 + a fresh Exp(1).
+        return 7.697117470131487 - std::log(UniformDoubleOpenClosed());
+      }
+      const double x = jz * z.we[iz];
+      if (z.fe[iz] + UniformDoubleOpenClosed() * (z.fe[iz - 1] - z.fe[iz]) <
+          std::exp(-x)) {
+        return x;
+      }
+    }
+  }
+
+  /// Samples the number of consecutive failed Bernoulli(p) trials before
+  /// the next success — Geometric(p) on {0, 1, 2, ...} — from the
+  /// precomputed `inv_log_one_minus_p` = 1/log1p(-p) (negative for
+  /// p ∈ (0, 1)). Equivalent to ⌊log(U)/log1p(-p)⌋, but the Exp(1) draw
+  /// comes from the ziggurat instead of a log() call. Results past any
+  /// realistic array length saturate to UINT64_MAX instead of overflowing
+  /// the cast.
+  uint64_t GeometricSkip(double inv_log_one_minus_p) {
+    const double s = NextExp() * -inv_log_one_minus_p;
+    if (s >= 9.0e18) return std::numeric_limits<uint64_t>::max();
+    return static_cast<uint64_t>(s);
   }
 
   /// Returns true with probability p (p clamped to [0, 1]).

@@ -31,18 +31,18 @@ struct GoldenRun {
 };
 
 const GoldenRun kGolden[] = {
-    {DiffusionModel::kIndependentCascade, 1, 7, 8704, 13983,
-     0.50417033168613878, {350, 457, 510, 509, 320},
-     17.78295331953451, 35.271717120008823},
-    {DiffusionModel::kLinearThreshold, 1, 7, 8704, 14045,
-     0.47412367040127806, {350, 457, 510, 507, 477},
-     18.090737862428824, 38.156158386097019},
-    {DiffusionModel::kIndependentCascade, 4, 6, 4352, 7050,
-     0.53717436743673863, {350, 477, 509, 495, 457},
-     20.648232412124678, 38.438603298688406},
-    {DiffusionModel::kLinearThreshold, 4, 6, 4352, 7056,
-     0.46025995367643346, {457, 350, 320, 461, 458},
-     19.0757019175478, 41.445495670818616},
+    {DiffusionModel::kIndependentCascade, 1, 7, 8704, 14089,
+     0.54307160133221644, {350, 457, 461, 320, 509},
+     21.28946378264753, 39.201946355548799},
+    {DiffusionModel::kLinearThreshold, 1, 7, 8704, 14087,
+     0.50325634260634255, {457, 350, 394, 509, 453},
+     19.531358364039903, 38.809959677582704},
+    {DiffusionModel::kIndependentCascade, 4, 6, 4352, 6960,
+     0.47421925567990986, {457, 506, 477, 461, 507},
+     18.098254081297995, 38.164317168752881},
+    {DiffusionModel::kLinearThreshold, 4, 7, 8704, 14006,
+     0.56857998788803421, {457, 461, 350, 509, 300},
+     19.531358364039903, 34.351118189347972},
 };
 
 OpimCResult RunGolden(const GoldenRun& g) {
