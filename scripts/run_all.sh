@@ -27,18 +27,38 @@ cmake --build build-notm
 ctest --test-dir build-notm --output-on-failure 2>&1 \
   | tee "$OUT/test_output_notelemetry.txt"
 
+# Fault-injection build: compiles the deterministic fault sites in
+# (OPIM_FAULT_INJECT=ON) so the degradation paths — worker failure,
+# injected clock skew, injected memory spikes — get real coverage.
+# Everywhere else fault_injection_test reduces to a compile-gate
+# placeholder, so this configuration is the only one that exercises
+# StopReason::kWorkerFailure end to end.
+cmake -B build-fi -G Ninja -DOPIM_FAULT_INJECT=ON \
+  -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
+cmake --build build-fi
+ctest --test-dir build-fi --output-on-failure \
+  -R 'FaultInjection|Guardrails|RunControl|StopReason|SignalGuard|ThreadPool' 2>&1 \
+  | tee "$OUT/test_output_faultinject.txt"
+
 # Sanitized build (ASan + UBSan) over the memory-heavy engine subset:
 # sampling kernels, RR-set storage, parallel generation, and selection.
 # These are the paths with raw index arithmetic (quantized thresholds,
 # geometric skips, flattened alias arena, CSR rebuilds), so UB or
 # out-of-bounds access must fail loudly here even when the plain build
-# happens to pass.
-cmake -B build-asan -G Ninja -DOPIM_SANITIZE=ON -DOPIM_BUILD_BENCHMARKS=OFF \
-  -DOPIM_BUILD_EXAMPLES=OFF
+# happens to pass. Fault sites are compiled in too: the injected-failure
+# unwind paths (shard buffers dropped mid-batch, pool drain, trip
+# bookkeeping) are exactly where leaks or use-after-free would hide.
+cmake -B build-asan -G Ninja -DOPIM_SANITIZE=ON -DOPIM_FAULT_INJECT=ON \
+  -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure \
-  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf' 2>&1 \
+  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf|FaultInjection|Guardrails|RunControl|SignalGuard|ThreadPool|LoaderRobustness' 2>&1 \
   | tee "$OUT/test_output_sanitized.txt"
+
+# Live signal handling: SIGINT a real CLI run, expect a clean degraded
+# exit (code 5, seeds + alpha on stdout, complete JSON report).
+scripts/check_signal_handling.sh --build-dir build 2>&1 \
+  | tee "$OUT/signal_handling.txt"
 
 for b in build/bench/*; do
   name="$(basename "$b")"

@@ -61,26 +61,51 @@ void OnlineMaximizer::AdvanceParallel(uint64_t count,
   uint64_t seed1 = rng_.NextU64();
   uint64_t seed2 = rng_.NextU64();
   ParallelGenerate(graph_, model_, &r1_, to_r1, seed1, num_threads,
-                   node_weights_, /*pool=*/nullptr, &sampling_view_);
+                   node_weights_, /*pool=*/nullptr, &sampling_view_, control_);
   ParallelGenerate(graph_, model_, &r2_, count - to_r1, seed2, num_threads,
-                   node_weights_, /*pool=*/nullptr, &sampling_view_);
+                   node_weights_, /*pool=*/nullptr, &sampling_view_, control_);
   if (count % 2 == 1) next_to_r1_ = !next_to_r1_;
+  // Anytime floor: a trip before/during the first batch can leave a pool
+  // empty, and Query needs one set per pool. Uncontrolled single-set
+  // generates keep every pause point answerable; untripped runs never get
+  // here with an empty pool (count >= 2 fills both).
+  if (control_ != nullptr && control_->Stopped()) {
+    if (r1_.num_sets() == 0 && to_r1 > 0) {
+      ParallelGenerate(graph_, model_, &r1_, 1, seed1, num_threads,
+                       node_weights_, /*pool=*/nullptr, &sampling_view_);
+    }
+    if (r2_.num_sets() == 0 && count - to_r1 > 0) {
+      ParallelGenerate(graph_, model_, &r2_, 1, seed2, num_threads,
+                       node_weights_, /*pool=*/nullptr, &sampling_view_);
+    }
+  }
 }
 
 void OnlineMaximizer::Advance(uint64_t count) {
   OPIM_TM_SCOPED_TIMER("opim.online.advance_us");
   const uint64_t alias_before = sampler_->alias_draws();
+  uint64_t generated = 0;
   uint64_t nodes_total = 0;
   uint64_t edges_total = 0;
   std::vector<NodeId> scratch;
   for (uint64_t i = 0; i < count; ++i) {
+    // Poll once per stride with the exact footprint (capacities only, so
+    // the check is O(1)); stop early when tripped, but never before both
+    // pools can answer a Query (the anytime floor).
+    if (control_ != nullptr && i % kControlPollStride == 0 &&
+        control_->Poll(r1_.MemoryUsage() + r2_.MemoryUsage() +
+                       sampling_view_.MemoryFootprintBytes()) &&
+        r1_.num_sets() > 0 && r2_.num_sets() > 0) {
+      break;
+    }
     uint64_t cost = sampler_->SampleInto(rng_, &scratch);
     nodes_total += scratch.size();
     edges_total += cost;
     (next_to_r1_ ? r1_ : r2_).AddSet(scratch, cost);
     next_to_r1_ = !next_to_r1_;
+    ++generated;
   }
-  OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", count);
+  OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", generated);
   OPIM_TM_COUNTER_ADD("opim.rrset.nodes_total", nodes_total);
   OPIM_TM_COUNTER_ADD("opim.rrset.edges_examined", edges_total);
   OPIM_TM_COUNTER_ADD("opim.rrset.alias_draws",
@@ -139,6 +164,9 @@ OnlineSnapshot OnlineMaximizer::RunUntilTarget(BoundKind kind,
       step = std::min<uint64_t>(step, max_rr_sets - num_rr_sets());
     }
     Advance(step);
+    // A tripped guardrail ends the drive loop at this pause point; the
+    // final Query below reports (S*, α) on the RR sets that exist.
+    if (control_ != nullptr && control_->Stopped()) break;
     if (Query(kind).alpha >= target_alpha) break;
   }
   return Query(kind);

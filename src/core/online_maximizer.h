@@ -29,6 +29,7 @@
 #include "rrset/rr_sampler.h"
 #include "select/greedy.h"
 #include "support/random.h"
+#include "support/run_control.h"
 
 namespace opim {
 
@@ -78,6 +79,16 @@ class OnlineMaximizer {
                   uint64_t seed);
 
   OPIM_DISALLOW_COPY(OnlineMaximizer);
+
+  /// Attaches run guardrails (non-owning, may be nullptr to detach; must
+  /// outlive the maximizer while attached). Advance/AdvanceParallel poll
+  /// the control every kControlPollStride samples and stop early once it
+  /// trips; RunUntilTarget then returns the current snapshot instead of
+  /// continuing — the natural anytime pause point of §4. Query() stays
+  /// valid on whatever RR sets exist (it requires one set per pool, which
+  /// the first Advance provides even when pre-tripped).
+  void set_run_control(RunControl* control) { control_ = control; }
+  RunControl* run_control() const { return control_; }
 
   /// Generates `count` additional RR sets, alternating between R1 and R2
   /// so the pools stay evenly sized (§4.1).
@@ -151,6 +162,7 @@ class OnlineMaximizer {
 
   RRCollection r1_;
   RRCollection r2_;
+  RunControl* control_ = nullptr;  // non-owning guardrails; see setter
   bool next_to_r1_ = true;     // alternation cursor
   uint32_t sequential_queries_ = 0;
 };

@@ -33,6 +33,22 @@ double OpimCTheta0(uint32_t n, uint32_t k, double eps, double delta) {
   return OpimCThetaMax(n, k, eps, delta) * eps * eps * k / n;
 }
 
+OpimCGuardrails SummarizeGuardrails(const RunControl& control) {
+  OpimCGuardrails gr;
+  gr.stop_reason =
+      control.Stopped() ? control.reason() : StopReason::kConverged;
+  gr.had_deadline = control.has_deadline();
+  if (gr.had_deadline) {
+    gr.deadline_slack_seconds = control.deadline_slack_seconds();
+  }
+  gr.peak_rr_bytes = control.peak_bytes();
+  gr.memory_budget_bytes = control.memory_budget_bytes();
+  if (control.Stopped()) {
+    gr.stop_latency_seconds = control.seconds_since_trip();
+  }
+  return gr;
+}
+
 OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
                      double eps, double delta, const OpimCOptions& options) {
   const uint32_t n = g.num_nodes();
@@ -100,16 +116,29 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   // fill and each doubling land on the iteration that consumes them.
   uint64_t batch_counter = 0;
   double pending_generate_seconds = 0.0;
-  auto generate = [&](RRCollection* rr, uint64_t count) {
+  auto generate = [&](RRCollection* rr, uint64_t count, RunControl* ctl) {
     Stopwatch watch;
     uint64_t state = options.seed ^ (0x6f70634bULL + ++batch_counter);
     ParallelGenerate(g, model, rr, count, SplitMix64(state), num_threads,
-                     options.node_weights, pool.get(), &sampling_view);
+                     options.node_weights, pool.get(), &sampling_view, ctl);
     pending_generate_seconds += watch.ElapsedSeconds();
   };
+  RunControl* const control = options.control;
   RRCollection r1(n), r2(n);
-  generate(&r1, theta0);
-  generate(&r2, theta0);
+  generate(&r1, theta0, control);
+  generate(&r2, theta0, control);
+
+  // Anytime floor: if a guardrail tripped before (or during) the θ0 fill
+  // and left a pool empty, the bound machinery below has nothing to
+  // evaluate. One uncontrolled RR set per empty pool keeps every exit path
+  // on the normal Eq. (5)/(13) certificate — greedy pads to k seeds and
+  // both σ estimates stay finite. Untripped runs never enter this branch,
+  // so they remain byte-identical to control == nullptr.
+  if (control != nullptr && control->Stopped()) {
+    for (RRCollection* rr : {&r1, &r2}) {
+      if (rr->num_sets() == 0) generate(rr, 1, nullptr);
+    }
+  }
 
   OpimCResult result;
   result.i_max = i_max;
@@ -136,6 +165,8 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     pending_generate_seconds = 0.0;
     iter.greedy_seconds = greedy_seconds;
     iter.bounds_seconds = phase_watch.ElapsedSeconds();
+    iter.rr_bytes = r1.MemoryUsage() + r2.MemoryUsage() +
+                    sampling_view.MemoryFootprintBytes();
     OPIM_TM_HISTOGRAM_RECORD("opim.opimc.phase.generate_us",
                              iter.generate_seconds * 1e6);
     OPIM_TM_HISTOGRAM_RECORD("opim.opimc.phase.greedy_us",
@@ -149,19 +180,53 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     result.trace.push_back(iter);
     result.iterations = i;
 
-    if (iter.alpha >= target || i == i_max) {
+    // Iteration-boundary guardrail check with the *exact* RR footprint
+    // (generation polls only see a running estimate). A trip here — or one
+    // carried out of the preceding generate calls — finalizes with this
+    // iteration's seeds and α: the bounds were just evaluated on whatever
+    // RR sets exist, so the certificate is valid at this pause point.
+    const bool stopped = control != nullptr && control->Poll(iter.rr_bytes);
+    if (iter.alpha >= target || i == i_max || stopped) {
       result.seeds = std::move(greedy.seeds);
       result.alpha = iter.alpha;
       break;
     }
     // Double both pools with fresh RR sets (Line 9 of Algorithm 2).
-    generate(&r1, r1.num_sets());
-    generate(&r2, r2.num_sets());
+    generate(&r1, r1.num_sets(), control);
+    generate(&r2, r2.num_sets(), control);
   }
 
   result.num_rr_sets =
       static_cast<uint64_t>(r1.num_sets()) + r2.num_sets();
   result.total_rr_size = r1.total_size() + r2.total_size();
+  if (control != nullptr) {
+    result.guardrails = SummarizeGuardrails(*control);
+    const OpimCGuardrails& gr = result.guardrails;
+    if (control->Stopped()) {
+      OPIM_LOG(kInfo) << "opim-c: guardrail stop reason="
+                      << StopReasonName(gr.stop_reason)
+                      << " latency_s=" << gr.stop_latency_seconds;
+    }
+    // The telemetry counter macro caches a handle per literal name, so the
+    // reason -> name mapping must be spelled out per case.
+    switch (gr.stop_reason) {
+      case StopReason::kConverged:
+        OPIM_TM_COUNTER_ADD("opim.runctl.stop.converged", 1);
+        break;
+      case StopReason::kDeadline:
+        OPIM_TM_COUNTER_ADD("opim.runctl.stop.deadline", 1);
+        break;
+      case StopReason::kMemoryBudget:
+        OPIM_TM_COUNTER_ADD("opim.runctl.stop.memory_budget", 1);
+        break;
+      case StopReason::kCancelled:
+        OPIM_TM_COUNTER_ADD("opim.runctl.stop.cancelled", 1);
+        break;
+      case StopReason::kWorkerFailure:
+        OPIM_TM_COUNTER_ADD("opim.runctl.stop.worker_failure", 1);
+        break;
+    }
+  }
   OPIM_TM_STMT({
     // Lifetime stats of the run-owned pool, reported once: tasks_run
     // growing across doublings under a single pool is the observable

@@ -21,6 +21,7 @@
 #include "bounds/bounds.h"
 #include "diffusion/cascade.h"
 #include "graph/graph.h"
+#include "support/run_control.h"
 
 namespace opim {
 
@@ -38,6 +39,14 @@ struct OpimCOptions {
   /// switches the objective to the weighted spread σ_w (see IcRRSampler).
   /// The guarantee becomes (1 - 1/e - ε) w.r.t. the weighted optimum.
   std::vector<double> node_weights;
+  /// Optional run guardrails (deadline / memory budget / cancellation),
+  /// non-owning; must outlive the call. When the control trips, the run
+  /// exits at the next safe point, finishes the judge-pool bound
+  /// evaluation on whatever RR sets exist, and returns normally with
+  /// OpimCResult::guardrails.stop_reason set — the anytime contract of
+  /// §4 applied to OPIM-C (see docs/robustness.md). nullptr = no
+  /// guardrails (byte-identical behavior to previous releases).
+  RunControl* control = nullptr;
 };
 
 /// Per-iteration record, for tests and diagnostics. The *_seconds phase
@@ -54,6 +63,33 @@ struct OpimCIteration {
   double generate_seconds = 0.0;
   double greedy_seconds = 0.0;
   double bounds_seconds = 0.0;
+  /// RR-pool heap footprint when this iteration's bounds were evaluated:
+  /// both collections' MemoryUsage() plus the SamplingView. This is the
+  /// exact quantity a RunControl memory budget is checked against at the
+  /// iteration boundary.
+  uint64_t rr_bytes = 0;
+};
+
+/// Guardrail outcome of a run (all zeros/converged when no RunControl was
+/// supplied). The result as a whole stays a valid anytime answer for every
+/// stop reason: seeds is a size-k set and alpha its Eq. (5)/(13)
+/// certificate on the RR sets that existed at the stop point.
+struct OpimCGuardrails {
+  /// Why the run stopped. kConverged covers both the α >= target exit and
+  /// the i_max exhaustion exit (Lemma 6.1); every other value means a
+  /// guardrail tripped and the run degraded gracefully.
+  StopReason stop_reason = StopReason::kConverged;
+  /// Whether a deadline was armed, and the wall-clock slack remaining at
+  /// the end of the run (negative = overshoot past the deadline).
+  bool had_deadline = false;
+  double deadline_slack_seconds = 0.0;
+  /// Peak RR-pool footprint the control observed, and the armed budget
+  /// (0 = unlimited).
+  uint64_t peak_rr_bytes = 0;
+  uint64_t memory_budget_bytes = 0;
+  /// Trip-to-return latency: wall seconds between the control tripping and
+  /// the run finishing its degraded finalization (0 when never tripped).
+  double stop_latency_seconds = 0.0;
 };
 
 /// Output of OpimC.
@@ -76,7 +112,14 @@ struct OpimCResult {
   unsigned num_threads = 1;
   /// Trace of every executed iteration.
   std::vector<OpimCIteration> trace;
+  /// Guardrail outcome (see OpimCGuardrails); defaulted when
+  /// OpimCOptions::control was null.
+  OpimCGuardrails guardrails;
 };
+
+/// Snapshots a RunControl's outcome into the guardrail record (also used
+/// by the CLI's online session, which drives OnlineMaximizer directly).
+OpimCGuardrails SummarizeGuardrails(const RunControl& control);
 
 /// θ_max of Eq. (16): worst-case RR sets needed for the final iteration's
 /// unconditional Lemma 6.1 guarantee at failure budget δ/3.

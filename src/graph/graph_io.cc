@@ -1,9 +1,13 @@
 #include "graph/graph_io.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -16,30 +20,97 @@ struct RawEdge {
   double p;  // < 0 means unset
 };
 
+Status LineError(uint64_t lineno, const std::string& what,
+                 std::string_view line) {
+  return Status::InvalidArgument(what + " at line " + std::to_string(lineno) +
+                                 ": '" + std::string(line) + "'");
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// Splits `line` into whitespace-separated tokens, at most `max_tokens + 1`
+/// (the extra slot lets the caller detect trailing junk without scanning
+/// the rest of a pathological line).
+void Tokenize(std::string_view line, size_t max_tokens,
+              std::vector<std::string_view>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < line.size() && out->size() <= max_tokens) {
+    while (i < line.size() && IsSpace(line[i])) ++i;
+    if (i >= line.size()) break;
+    size_t start = i;
+    while (i < line.size() && !IsSpace(line[i])) ++i;
+    out->push_back(line.substr(start, i - start));
+  }
+}
+
+/// Strict node-id parse: every character a digit (so "-1", "+2", "3a" and
+/// empty all fail) and the value fits uint64 (ERANGE rejected).
+bool ParseNodeId(std::string_view tok, uint64_t* out) {
+  if (tok.empty()) return false;
+  for (char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  std::string buf(tok);
+  errno = 0;
+  char* end = nullptr;
+  uint64_t v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict probability parse: strtod must consume the whole token and the
+/// value must be finite (no "nan"/"inf") and in [0, 1].
+bool ParseProb(std::string_view tok, double* out) {
+  if (tok.empty()) return false;
+  std::string buf(tok);
+  errno = 0;
+  char* end = nullptr;
+  double p = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!std::isfinite(p) || p < 0.0 || p > 1.0) return false;
+  *out = p;
+  return true;
+}
+
 /// Parses the edge lines out of `text`. Returns raw (uncompacted) edges.
+///
+/// Strict by design (see tests/graph/loader_robustness_test.cc): every
+/// non-comment line must be exactly "u v" or "u v p" — truncated lines,
+/// negative or non-numeric ids, id overflow, NaN/inf/out-of-range
+/// probabilities, and trailing junk are all InvalidArgument with the line
+/// number, never a crash or a silently mis-parsed edge. '\r' is treated as
+/// whitespace so CRLF files load unchanged, and '#' starts a comment
+/// anywhere on a line.
 Status ParseLines(const std::string& text, std::vector<RawEdge>* edges) {
   std::istringstream in(text);
   std::string line;
+  std::vector<std::string_view> tokens;
   uint64_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    // Strip leading whitespace; skip blank lines and '#' comments.
-    size_t pos = line.find_first_not_of(" \t\r");
-    if (pos == std::string::npos || line[pos] == '#') continue;
-    std::istringstream ls(line.substr(pos));
-    RawEdge e{0, 0, -1.0};
-    if (!(ls >> e.u >> e.v)) {
-      return Status::InvalidArgument("malformed edge at line " +
-                                     std::to_string(lineno) + ": '" + line +
-                                     "'");
+    std::string_view body(line);
+    size_t hash = body.find('#');
+    if (hash != std::string_view::npos) body = body.substr(0, hash);
+    Tokenize(body, /*max_tokens=*/3, &tokens);
+    if (tokens.empty()) continue;  // blank or comment-only line
+    if (tokens.size() < 2) {
+      return LineError(lineno, "truncated edge (need 'u v' or 'u v p')",
+                       line);
     }
-    double p;
-    if (ls >> p) {
-      if (p < 0.0 || p > 1.0) {
-        return Status::InvalidArgument("probability out of [0,1] at line " +
-                                       std::to_string(lineno));
-      }
-      e.p = p;
+    if (tokens.size() > 3) {
+      return LineError(lineno, "trailing junk after edge", line);
+    }
+    RawEdge e{0, 0, -1.0};
+    if (!ParseNodeId(tokens[0], &e.u) || !ParseNodeId(tokens[1], &e.v)) {
+      return LineError(lineno, "malformed node id", line);
+    }
+    if (tokens.size() == 3 && !ParseProb(tokens[2], &e.p)) {
+      return LineError(lineno, "malformed probability (need finite [0,1])",
+                       line);
     }
     edges->push_back(e);
   }

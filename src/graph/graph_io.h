@@ -26,8 +26,12 @@ struct EdgeListOptions {
 };
 
 /// Loads a SNAP-style edge list: one "u v" or "u v p" per line, `#` starts
-/// a comment, arbitrary whitespace separation. Node ids may be sparse; they
-/// are compacted to [0, n) preserving first-appearance order.
+/// a comment (full-line or trailing), arbitrary whitespace separation, CRLF
+/// accepted. Node ids may be sparse; they are compacted to [0, n)
+/// preserving first-appearance order. Parsing is strict: truncated lines,
+/// negative/non-numeric/overflowing ids, non-finite or out-of-[0,1]
+/// probabilities, and trailing junk return InvalidArgument with the
+/// offending line number rather than mis-parsing.
 Result<Graph> LoadEdgeList(const std::string& path,
                            const EdgeListOptions& options = {});
 

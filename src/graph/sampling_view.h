@@ -139,6 +139,17 @@ class SamplingView {
   bool has_ic() const { return !ic_meta_.empty(); }
   bool has_lt() const { return !lt_meta_.empty(); }
 
+  /// Heap footprint of the precomputed kernel state in bytes
+  /// (capacity-based). Counted against RunControl memory budgets together
+  /// with RRCollection::MemoryUsage().
+  uint64_t MemoryFootprintBytes() const {
+    return ic_meta_.capacity() * sizeof(IcNodeMeta) +
+           ic_edges_.capacity() * sizeof(IcEdge) +
+           ic_skip_inv_log_.capacity() * sizeof(double) +
+           lt_meta_.capacity() * sizeof(LtNodeMeta) +
+           lt_buckets_.capacity() * sizeof(LtBucket);
+  }
+
   // --- IC part -----------------------------------------------------------
 
   IcNodeKind ic_kind(NodeId v) const {

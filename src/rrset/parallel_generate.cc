@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "obs/telemetry.h"
 #include "rrset/rr_sampler.h"
+#include "support/fault_inject.h"
 #include "support/random.h"
+#include "support/run_control.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
@@ -17,7 +22,7 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
                       RRCollection* collection, uint64_t count,
                       uint64_t seed, unsigned num_threads,
                       std::span<const double> root_weights, ThreadPool* pool,
-                      const SamplingView* view) {
+                      const SamplingView* view, RunControl* control) {
   if (count == 0) return;
   OPIM_TM_SCOPED_TIMER("opim.rrset.generate_us");
   num_threads = pool != nullptr ? pool->num_threads()
@@ -62,6 +67,19 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
   std::vector<uint64_t> shard_edges(shards, 0);
   std::vector<uint64_t> shard_alias(shards, 0);
 
+  // Guardrail bookkeeping: shards publish buffered nodes/sets to shared
+  // counters once per poll stride, so the footprint estimate the control
+  // sees is base (the destination collection as it stands) + what the
+  // in-flight batch will roughly add after ingestion (pool bytes + one
+  // inverted-index id per node + offsets/cost per set). Iteration-boundary
+  // accounting in the engines is exact; this estimate only has to catch
+  // runaway pools mid-batch.
+  const uint64_t base_bytes = control != nullptr ? collection->MemoryUsage() : 0;
+  std::atomic<uint64_t> buffered_nodes{0};
+  std::atomic<uint64_t> buffered_sets{0};
+  constexpr uint64_t kBytesPerNode = sizeof(NodeId) + sizeof(RRId);
+  constexpr uint64_t kBytesPerSet = 3 * sizeof(uint64_t);
+
   auto run_shard = [&](unsigned s) {
     Stopwatch shard_watch;
     auto sampler = MakeRRSampler(*view, model, shared_root);
@@ -70,37 +88,74 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
     const uint64_t hi = count * (s + 1) / shards;
     std::vector<NodeId> scratch;
     RRBatch& buf = buffers[s];
+    uint64_t unpublished_nodes = 0;
+    uint64_t unpublished_sets = 0;
     for (uint64_t i = lo; i < hi; ++i) {
+      if (control != nullptr && (i - lo) % kControlPollStride == 0) {
+        const uint64_t nodes =
+            buffered_nodes.fetch_add(unpublished_nodes,
+                                     std::memory_order_relaxed) +
+            unpublished_nodes;
+        const uint64_t sets =
+            buffered_sets.fetch_add(unpublished_sets,
+                                    std::memory_order_relaxed) +
+            unpublished_sets;
+        unpublished_nodes = 0;
+        unpublished_sets = 0;
+        if (control->Poll(base_bytes + nodes * kBytesPerNode +
+                          sets * kBytesPerSet)) {
+          break;
+        }
+      }
+      if (OPIM_FAULT_POINT("rrset.worker_throw")) {
+        throw std::runtime_error("injected fault: rrset.worker_throw");
+      }
       uint64_t cost = sampler->SampleInto(rng, &scratch);
-      buf.sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
+      // Pool nodes first, set record second: if either append throws
+      // (allocation failure), the buffer never holds a set record whose
+      // nodes are missing, so partial shard buffers stay ingestable.
       buf.pool.insert(buf.pool.end(), scratch.begin(), scratch.end());
+      buf.sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
       shard_edges[s] += cost;
+      unpublished_nodes += scratch.size();
+      ++unpublished_sets;
     }
     shard_alias[s] = sampler->alias_draws();
     OPIM_TM_HISTOGRAM_RECORD("opim.rrset.shard_us",
                              shard_watch.ElapsedSeconds() * 1e6);
   };
 
-  if (shards == 1) {
-    run_shard(0);
-  } else {
-    for (unsigned s = 0; s < shards; ++s) {
-      pool->Submit([&, s] { run_shard(s); });
+  // A worker exception is captured by the pool and rethrown from Wait()
+  // (support/thread_pool.h); with a control we degrade — record the
+  // failure, keep every completed shard buffer — and without one we
+  // propagate, preserving the uncontrolled contract.
+  try {
+    if (shards == 1) {
+      run_shard(0);
+    } else {
+      for (unsigned s = 0; s < shards; ++s) {
+        pool->Submit([&, s] { run_shard(s); });
+      }
+      pool->Wait();
     }
-    pool->Wait();
+  } catch (...) {
+    if (control == nullptr) throw;
+    control->TripWorkerFailure();
   }
 
+  uint64_t sets_total = 0;
   uint64_t nodes_total = 0;
   uint64_t edges_total = 0;
   uint64_t alias_total = 0;
   for (unsigned s = 0; s < shards; ++s) {
+    sets_total += buffers[s].sets.size();
     nodes_total += buffers[s].pool.size();
     edges_total += shard_edges[s];
     alias_total += shard_alias[s];
   }
   collection->AddBatch(std::move(buffers), pool);
 
-  OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", count);
+  OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", sets_total);
   OPIM_TM_COUNTER_ADD("opim.rrset.nodes_total", nodes_total);
   OPIM_TM_COUNTER_ADD("opim.rrset.edges_examined", edges_total);
   OPIM_TM_COUNTER_ADD("opim.rrset.alias_draws", alias_total);

@@ -28,6 +28,7 @@
 
 namespace opim {
 
+class RunControl;
 class SamplingView;
 class ThreadPool;
 
@@ -45,11 +46,30 @@ class ThreadPool;
 /// a SamplingView themselves and pass it as `view` to skip even that
 /// once-per-call cost. `view` must be for `g` with the part for `model`
 /// built (checked).
+///
+/// Guardrails: when `control` is non-null, every shard polls it once per
+/// chunk of kControlPollStride samples (bounding cancellation latency to
+/// one chunk of sampling work per worker) with a running footprint
+/// estimate — the destination collection's current MemoryUsage() plus the
+/// bytes buffered so far across shards. Once the control trips, shards
+/// stop at the next whole RR set; everything sampled up to that point is
+/// still ingested, so the caller can evaluate bounds on the partial pool.
+/// A worker exception (possible only via fault injection or allocation
+/// failure) trips control->TripWorkerFailure() and the completed shard
+/// buffers are ingested; with control == nullptr it propagates to the
+/// caller instead (rethrown from ThreadPool::Wait). Early exit makes the
+/// number of generated sets timing-dependent — by design, and only after
+/// a trip; untripped runs are byte-identical to control == nullptr.
 void ParallelGenerate(const Graph& g, DiffusionModel model,
                       RRCollection* collection, uint64_t count,
                       uint64_t seed, unsigned num_threads = 0,
                       std::span<const double> root_weights = {},
                       ThreadPool* pool = nullptr,
-                      const SamplingView* view = nullptr);
+                      const SamplingView* view = nullptr,
+                      RunControl* control = nullptr);
+
+/// Samples between RunControl polls in each ParallelGenerate shard: the
+/// cancellation-latency bound is this many samples' work per worker.
+inline constexpr uint64_t kControlPollStride = 32;
 
 }  // namespace opim

@@ -94,6 +94,19 @@ class RRCollection {
   /// Cumulative traversal cost γ across all sampled sets.
   uint64_t total_edges_examined() const { return total_edges_examined_; }
 
+  /// Heap footprint of this collection in bytes (capacity-based, so it
+  /// reflects what the allocator actually holds): set pool, offsets,
+  /// per-set costs, the CSR inverted index, and the coverage scratch.
+  /// This is the quantity RunControl's memory budget is checked against.
+  uint64_t MemoryUsage() const {
+    return pool_.capacity() * sizeof(NodeId) +
+           offsets_.capacity() * sizeof(uint64_t) +
+           set_cost_.capacity() * sizeof(uint64_t) +
+           cover_offsets_.capacity() * sizeof(uint64_t) +
+           cover_ids_.capacity() * sizeof(RRId) +
+           mark_epoch_.capacity() * sizeof(uint32_t);
+  }
+
   /// Traversal cost ("width" in TIM's terminology: total in-degree of the
   /// set's members) of one RR set.
   uint64_t SetCost(RRId id) const {

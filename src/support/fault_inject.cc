@@ -1,0 +1,94 @@
+#include "support/fault_inject.h"
+
+#if OPIM_FAULT_INJECT_ENABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace opim::fault {
+
+namespace {
+
+struct SiteState {
+  uint64_t fire_on_hit = 0;  // 0 = not armed
+  uint64_t hits = 0;
+  bool fired = false;
+};
+
+// Number of armed sites. Sites sit on per-sample hot paths, so the
+// dormant case (nothing armed — every run outside a fault test) must
+// cost one relaxed load, not a mutex + map lookup; the overhead script
+// holds an unarmed ON build to the same <3% bound as telemetry.
+std::atomic<uint64_t> g_armed_sites{0};
+
+std::mutex& Mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, SiteState>& Registry() {
+  static std::map<std::string, SiteState> sites;
+  return sites;
+}
+
+}  // namespace
+
+void Arm(const char* site, uint64_t fire_on_hit) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  SiteState& s = Registry()[site];
+  if (s.fire_on_hit == 0 && fire_on_hit > 0) {
+    g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+  s.fire_on_hit = fire_on_hit;
+  s.hits = 0;
+  s.fired = false;
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Registry().clear();
+  g_armed_sites.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Hits(const char* site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+bool ShouldFire(const char* site) {
+  if (g_armed_sites.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(Mutex());
+  SiteState& s = Registry()[site];
+  ++s.hits;
+  if (s.fire_on_hit == 0 || s.fired || s.hits < s.fire_on_hit) return false;
+  s.fired = true;
+  return true;
+}
+
+void ArmFromEnv() {
+  const char* spec = std::getenv("OPIM_FAULT_INJECT");
+  if (spec == nullptr) return;
+  std::string s(spec);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t end = s.find(',', pos);
+    if (end == std::string::npos) end = s.size();
+    const std::string entry = s.substr(pos, end - pos);
+    pos = end + 1;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    char* parse_end = nullptr;
+    const unsigned long long hit =
+        std::strtoull(entry.c_str() + eq + 1, &parse_end, 10);
+    if (parse_end == nullptr || *parse_end != '\0' || hit == 0) continue;
+    Arm(entry.substr(0, eq).c_str(), hit);
+  }
+}
+
+}  // namespace opim::fault
+
+#endif  // OPIM_FAULT_INJECT_ENABLED

@@ -1,0 +1,57 @@
+#include "support/signal_guard.h"
+
+namespace opim {
+
+namespace {
+
+// File-scope so the handler (which cannot capture) can reach them. Only
+// lock-free atomics are touched from signal context.
+std::atomic<bool> g_cancel{false};
+std::atomic<int> g_last_signal{0};
+std::atomic<bool> g_guard_active{false};
+
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free atomic<bool>");
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free atomic<int>");
+
+void OnSignal(int sig) {
+  if (g_cancel.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: the operator insists. Restore the default
+    // disposition and re-raise for the normal hard kill. std::signal and
+    // std::raise are async-signal-safe.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_last_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SignalGuard::SignalGuard() {
+  OPIM_CHECK_MSG(!g_guard_active.exchange(true),
+                 "only one SignalGuard may be active at a time");
+  g_cancel.store(false, std::memory_order_relaxed);
+  g_last_signal.store(0, std::memory_order_relaxed);
+  prev_int_ = std::signal(SIGINT, &OnSignal);
+  prev_term_ = std::signal(SIGTERM, &OnSignal);
+}
+
+SignalGuard::~SignalGuard() {
+  std::signal(SIGINT, prev_int_ == SIG_ERR ? SIG_DFL : prev_int_);
+  std::signal(SIGTERM, prev_term_ == SIG_ERR ? SIG_DFL : prev_term_);
+  g_guard_active.store(false, std::memory_order_relaxed);
+}
+
+const std::atomic<bool>* SignalGuard::flag() const { return &g_cancel; }
+
+bool SignalGuard::triggered() const {
+  return g_cancel.load(std::memory_order_relaxed);
+}
+
+int SignalGuard::signal_number() const {
+  return g_last_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace opim

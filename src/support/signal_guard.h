@@ -1,0 +1,54 @@
+// SignalGuard: an async-signal-safe bridge from SIGINT/SIGTERM to the
+// cooperative-cancellation flag RunControl polls.
+//
+// A production OPIM run must survive an operator's Ctrl-C the way the
+// paper's online contract promises: pause at the next safe point and
+// return the current seed set with its certificate, instead of dying
+// mid-doubling. The guard installs handlers for SIGINT and SIGTERM whose
+// only action is a store to a lock-free std::atomic<bool> — the complete
+// list of things a signal handler may legally do. Bind that flag to a
+// RunControl (BindCancelFlag) and the engines drain gracefully.
+//
+// A *second* signal is the escape hatch: the handler restores the default
+// disposition and re-raises, so an operator who insists gets the normal
+// hard kill.
+//
+// At most one guard may be active at a time (checked); the constructor
+// saves and the destructor restores the previous handlers, so scoping the
+// guard to a CLI command leaves embedding applications untouched.
+
+#pragma once
+
+#include <atomic>
+#include <csignal>
+
+#include "support/macros.h"
+
+namespace opim {
+
+/// RAII SIGINT/SIGTERM -> atomic-flag bridge. See file comment.
+class SignalGuard {
+ public:
+  SignalGuard();
+  ~SignalGuard();
+
+  OPIM_DISALLOW_COPY(SignalGuard);
+
+  /// The cancellation flag, suitable for RunControl::BindCancelFlag. Set
+  /// to true by the first delivered SIGINT/SIGTERM; never reset while the
+  /// guard lives.
+  const std::atomic<bool>* flag() const;
+
+  /// True once a signal was delivered.
+  bool triggered() const;
+
+  /// The delivered signal number (SIGINT/SIGTERM), or 0 if none yet.
+  int signal_number() const;
+
+ private:
+  using Handler = void (*)(int);
+  Handler prev_int_;
+  Handler prev_term_;
+};
+
+}  // namespace opim

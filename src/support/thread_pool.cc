@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace opim {
 
@@ -53,6 +54,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (failure_ != nullptr) {
+    std::exception_ptr failure = std::exchange(failure_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(failure);
+  }
 }
 
 unsigned ThreadPool::DefaultThreadCount() {
@@ -89,6 +95,7 @@ ThreadPoolStats ThreadPool::Stats() const {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;
+    bool drain = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
 #if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
@@ -105,12 +112,22 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      // A captured failure poisons the batch: drain the remaining queued
+      // tasks without running them so Wait() can rethrow promptly.
+      drain = failure_ != nullptr;
       ++stats_.tasks_run;
 #if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
       stats_.queue_wait_us += MicrosSince(task.enqueued);
 #endif
     }
-    task.fn();
+    if (!drain) {
+      try {
+        task.fn();
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (failure_ == nullptr) failure_ = std::current_exception();
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

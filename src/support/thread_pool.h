@@ -6,6 +6,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,6 +32,14 @@ struct ThreadPoolStats {
 /// Fixed-size worker pool executing std::function<void()> tasks.
 /// Submit work with Submit(); Wait() blocks until all submitted tasks have
 /// finished. Destruction waits for outstanding tasks.
+///
+/// Exception safety: a throwing task no longer escapes through the bare
+/// std::function call (which used to land in std::terminate). The first
+/// exception is captured; queued tasks submitted before the failure is
+/// consumed are drained without running (so a poisoned batch ends
+/// promptly); Wait() rethrows the captured exception and leaves the pool
+/// fully reusable for subsequent batches. An unconsumed exception is
+/// discarded by the destructor.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>= 1).
@@ -42,7 +51,9 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed (or was drained
+  /// after a failure). Rethrows the first exception any task threw since
+  /// the last Wait(); the pool stays usable afterwards.
   void Wait();
 
   /// Number of worker threads.
@@ -80,6 +91,9 @@ class ThreadPool {
   std::condition_variable all_done_;
   uint64_t in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception thrown by a task since the last Wait(); guarded by
+  /// mu_. While set, dequeued tasks are drained without running.
+  std::exception_ptr failure_;
   ThreadPoolStats stats_;
 };
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace opim {
@@ -90,6 +91,67 @@ TEST(ThreadPoolTest, ResolveThreadCount) {
   EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);
   EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
   EXPECT_EQ(ThreadPool::ResolveThreadCount(5), 5u);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsAndBatchIsDrained) {
+  ThreadPool pool(1);  // one worker: deterministic execution order
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("first"); });
+  // Queued behind the failure on the same worker: must be drained without
+  // running once the batch is poisoned.
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterFailure) {
+  ThreadPool pool(3);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    pool.Submit([] { throw std::logic_error("cycle failure"); });
+    EXPECT_THROW(pool.Wait(), std::logic_error);
+    // The failure must be consumed: the next batch runs normally.
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 30; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 30);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](uint64_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("element 37");
+                                  }
+                                }),
+               std::runtime_error);
+  // And the pool still works afterwards.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(50, [&](uint64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsUnconsumedFailure) {
+  // A pool destroyed without Wait() after a throwing task must not
+  // terminate the process.
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("never observed"); });
 }
 
 TEST(ThreadPoolTest, StatsCountTasksRun) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
 #include <string>
@@ -22,6 +24,11 @@ std::pair<int, std::string> RunCommand(const std::string& cmd) {
   }
   int rc = pclose(pipe);
   return {rc, output};
+}
+
+/// Decodes the child's exit code from the pclose() wait status.
+int ExitCode(int wait_status) {
+  return WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1;
 }
 
 std::string Cli() { return OPIM_CLI_PATH; }
@@ -187,6 +194,88 @@ TEST(CliSmokeTest, TelemetryFlagsDoNotPerturbResults) {
   }
   std::remove(bin.c_str());
   std::remove(json.c_str());
+}
+
+TEST(CliGuardrailTest, ExpiredDeadlineDegradesGracefullyWithExitCode3) {
+  std::string bin = TmpFile("cli_deadline.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  std::string json = TmpFile("cli_deadline.json");
+  // --deadline-ms=0 arms an already-expired deadline: the run must degrade
+  // at its first safe point yet still print a size-k seed set with a
+  // finite certificate and write the full report.
+  auto [rc, out] = RunCommand(Cli() + " run --graph=" + bin +
+                       " --algo=opim-c+ --k=3 --eps=0.3 --mc=0" +
+                       " --deadline-ms=0 --metrics-json=" + json);
+  EXPECT_EQ(ExitCode(rc), 3) << out;
+  EXPECT_NE(out.find("stop_reason=deadline"), std::string::npos) << out;
+  EXPECT_NE(out.find("alpha="), std::string::npos) << out;
+  EXPECT_NE(out.find("seeds:"), std::string::npos) << out;
+
+  const std::string report = ReadFile(json);
+  EXPECT_NE(report.find("\"stop_reason\":\"deadline\""), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"deadline_slack_ms\""), std::string::npos);
+  EXPECT_NE(report.find("\"peak_rr_bytes\""), std::string::npos);
+  EXPECT_NE(report.find("\"cancel_latency_ms\""), std::string::npos);
+  std::remove(bin.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(CliGuardrailTest, TinyMemoryBudgetDegradesWithExitCode4) {
+  std::string bin = TmpFile("cli_membudget.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  std::string json = TmpFile("cli_membudget.json");
+  // 0.01 MiB is below even the fixed per-run arrays, so the budget trips
+  // deterministically at the first footprint poll.
+  auto [rc, out] = RunCommand(Cli() + " run --graph=" + bin +
+                       " --algo=opim-c+ --k=3 --eps=0.3 --mc=0" +
+                       " --max-rr-mb=0.01 --metrics-json=" + json);
+  EXPECT_EQ(ExitCode(rc), 4) << out;
+  EXPECT_NE(out.find("stop_reason=memory_budget"), std::string::npos) << out;
+  EXPECT_NE(out.find("seeds:"), std::string::npos) << out;
+  const std::string report = ReadFile(json);
+  EXPECT_NE(report.find("\"stop_reason\":\"memory_budget\""),
+            std::string::npos) << report;
+  EXPECT_NE(report.find("\"rr_budget_bytes\""), std::string::npos);
+  std::remove(bin.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(CliGuardrailTest, ConvergedRunReportsStopReasonAndExitsZero) {
+  std::string bin = TmpFile("cli_converged.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  std::string csv = TmpFile("cli_converged.csv");
+  auto [rc, out] = RunCommand(Cli() + " run --graph=" + bin +
+                       " --algo=opim-c+ --k=3 --eps=0.3 --mc=0" +
+                       " --deadline-ms=60000 --metrics-csv=" + csv);
+  EXPECT_EQ(ExitCode(rc), 0) << out;
+  EXPECT_NE(out.find("stop_reason=converged"), std::string::npos) << out;
+  // The per-iteration footprint column rides at the end of the CSV rows.
+  const std::string rows = ReadFile(csv);
+  EXPECT_NE(rows.find("iteration,theta1,sigma_lower,sigma_upper,alpha"),
+            std::string::npos) << rows;
+  EXPECT_NE(rows.find(",rr_bytes"), std::string::npos) << rows;
+  std::remove(bin.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliGuardrailTest, OnlineSessionHonorsDeadline) {
+  std::string bin = TmpFile("cli_online_deadline.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  auto [rc, out] = RunCommand(Cli() + " online --graph=" + bin +
+                       " --k=3 --rounds=50 --batch=512 --target=0.999" +
+                       " --deadline-ms=0");
+  EXPECT_EQ(ExitCode(rc), 3) << out;
+  EXPECT_NE(out.find("stop_reason=deadline"), std::string::npos) << out;
+  std::remove(bin.c_str());
 }
 
 TEST(CliSmokeTest, BadLogLevelIsCleanError) {

@@ -19,6 +19,19 @@
 //
 // Global flags: --log-level=debug|info|warn|error|off (default warn).
 //
+// Run guardrails (run with opim-c*, and online; see docs/robustness.md):
+//   --deadline-ms=<ms>   wall-clock budget; the run degrades gracefully at
+//                        the next safe point and still reports (seeds, α)
+//   --max-rr-mb=<mb>     RR-pool memory budget in MiB (fractional ok)
+//   SIGINT/SIGTERM       first signal = graceful cancel (same degradation);
+//                        second signal = default handler (hard kill)
+//
+// Exit codes: 0 converged, 1 error, 2 usage, and for guardrail stops
+// 3 deadline, 4 memory_budget, 5 cancelled, 6 worker_failure. A guardrail
+// exit still prints seeds/alpha and writes the full --metrics-json report
+// (stop_reason, deadline_slack_ms, peak_rr_bytes, rr_budget_bytes,
+// cancel_latency_ms).
+//
 // --metrics-json writes a RunReport (schema "opim.run_report.v1"): run
 // info, numeric results, per-iteration/round phase timings, and a full
 // MetricsSnapshot of the telemetry registry. --metrics-csv writes just the
@@ -48,6 +61,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "support/fault_inject.h"
+#include "support/run_control.h"
+#include "support/signal_guard.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
@@ -81,6 +97,35 @@ DiffusionModel ModelFromFlags(const Flags& flags) {
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// Arms `control` from the guardrail flags and binds the signal guard's
+/// cancel flag, so SIGINT/SIGTERM degrade the run gracefully.
+void ArmRunControl(const Flags& flags, const SignalGuard& guard,
+                   RunControl* control) {
+  if (flags.Has("deadline-ms")) {
+    control->SetDeadlineAfterMillis(
+        static_cast<int64_t>(flags.GetUint("deadline-ms", 0)));
+  }
+  const double budget_mb = flags.GetDouble("max-rr-mb", 0.0);
+  if (budget_mb > 0.0) {
+    control->SetMemoryBudgetBytes(
+        static_cast<uint64_t>(budget_mb * 1048576.0));
+  }
+  control->BindCancelFlag(guard.flag());
+}
+
+/// Records the guardrail outcome in the report (AddInfo("stop_reason") +
+/// numeric results) and prints the stop reason line scripts grep for.
+void ReportGuardrails(const OpimCGuardrails& gr, RunReport* report) {
+  std::printf("stop_reason=%s\n", StopReasonName(gr.stop_reason));
+  report->AddInfo("stop_reason", StopReasonName(gr.stop_reason));
+  report->AddResult("deadline_slack_ms",
+                    gr.had_deadline ? gr.deadline_slack_seconds * 1e3 : 0.0);
+  report->AddResult("peak_rr_bytes", static_cast<double>(gr.peak_rr_bytes));
+  report->AddResult("rr_budget_bytes",
+                    static_cast<double>(gr.memory_budget_bytes));
+  report->AddResult("cancel_latency_ms", gr.stop_latency_seconds * 1e3);
 }
 
 /// Snapshots the telemetry registry into `report` and writes the JSON/CSV
@@ -190,6 +235,14 @@ int CmdRun(const Flags& flags) {
   report.AddResult("threads_resolved",
                    ThreadPool::ResolveThreadCount(threads));
 
+  // Guardrails apply to the OPIM-C variants (the anytime algorithms); the
+  // baselines ignore them. The guard is installed for the whole command so
+  // a second SIGINT always falls back to the default handler.
+  SignalGuard guard;
+  RunControl control;
+  ArmRunControl(flags, guard, &control);
+  StopReason stop_reason = StopReason::kConverged;
+
   Stopwatch sw;
   std::vector<NodeId> seeds;
   uint64_t rr_sets = 0;
@@ -200,10 +253,13 @@ int CmdRun(const Flags& flags) {
     o.bound = algo == "opim-c0"   ? BoundKind::kBasic
               : algo == "opim-c'" ? BoundKind::kLeskovec
                                   : BoundKind::kImproved;
+    o.control = &control;
     OpimCResult r = RunOpimC(g, model, k, eps, delta, o);
     seeds = std::move(r.seeds);
     rr_sets = r.num_rr_sets;
+    stop_reason = r.guardrails.stop_reason;
     std::printf("alpha=%.4f iterations=%u\n", r.alpha, r.iterations);
+    ReportGuardrails(r.guardrails, &report);
     report.AddResult("alpha", r.alpha);
     report.AddResult("iterations", r.iterations);
     report.AddResult("i_max", r.i_max);
@@ -218,7 +274,8 @@ int CmdRun(const Flags& flags) {
           .Set("alpha", it.alpha)
           .Set("generate_seconds", it.generate_seconds)
           .Set("greedy_seconds", it.greedy_seconds)
-          .Set("bounds_seconds", it.bounds_seconds);
+          .Set("bounds_seconds", it.bounds_seconds)
+          .Set("rr_bytes", static_cast<double>(it.rr_bytes));
     }
   } else if (algo == "imm") {
     ImResult r = RunImm(g, model, k, eps, delta, {seed, 0});
@@ -279,7 +336,7 @@ int CmdRun(const Flags& flags) {
       WriteReportOutputs(&report, flags.GetString("metrics-json", ""),
                          flags.GetString("metrics-csv", ""));
   if (!report_st.ok()) return Fail(report_st);
-  return 0;
+  return ExitCodeForStopReason(stop_reason);
 }
 
 int CmdEvaluate(const Flags& flags) {
@@ -346,6 +403,10 @@ int CmdOnline(const Flags& flags) {
   // switches to the deterministic parallel generator (a different but
   // equally reproducible stream, keyed on the thread count).
   OnlineMaximizer om(g, model, k, delta, seed);
+  SignalGuard sig_guard;
+  RunControl control;
+  ArmRunControl(flags, sig_guard, &control);
+  om.set_run_control(&control);
   auto advance = [&](uint64_t count) {
     if (threads == 0) {
       om.Advance(count);
@@ -389,17 +450,27 @@ int CmdOnline(const Flags& flags) {
     row.Set("advance_seconds", advance_seconds)
         .Set("query_seconds", watch.ElapsedSeconds());
     if (reached) break;
+    // A tripped guardrail ends the session after this round's query: the
+    // snapshot just reported is the anytime answer at the pause point.
+    if (control.Stopped()) break;
   }
   report.AddResult("rr_sets", static_cast<double>(om.num_rr_sets()));
   report.AddResult("alpha", last_alpha);
+  const OpimCGuardrails gr = SummarizeGuardrails(control);
+  ReportGuardrails(gr, &report);
   Status report_st = WriteReportOutputs(
       &report, flags.GetString("metrics-json", ""),
       flags.GetString("metrics-csv", ""));
   if (!report_st.ok()) return Fail(report_st);
-  return 0;
+  return ExitCodeForStopReason(gr.stop_reason);
 }
 
 int Main(int argc, char** argv) {
+#if OPIM_FAULT_INJECT_ENABLED
+  // Test builds only: OPIM_FAULT_INJECT="site=hit,..." arms deterministic
+  // fault sites (support/fault_inject.h) for the whole invocation.
+  fault::ArmFromEnv();
+#endif
   if (argc < 2) {
     std::fprintf(
         stderr,
