@@ -5,17 +5,35 @@
 // (BENCH_select_ingest.json).
 //
 //   ./build/bench/bench_select_ingest [--smoke] [--n=N] [--theta=T]
-//       [--k=K] [--reps=R] [--label=NAME] [--out=FILE]
+//       [--k=K] [--reps=R] [--seed=S] [--label=NAME] [--out=FILE]
 //
 // Sampling is excluded from the ingest timing: RR sets are materialized
 // once up front and replayed into a fresh collection per rep, so the
 // number isolates storage + inverted-index build cost exactly as
 // ParallelGenerate pays it.
+//
+// Seed plumbing: the RR-set stream is produced by a self-contained
+// reference sampler (plain reverse BFS, one UniformDouble draw per
+// examined in-edge) seeded by --seed, deliberately NOT the engine's
+// sampling kernels — those change across releases, which is exactly how
+// earlier shipped baselines ended up with diverging pool_nodes/checksum
+// between the before and after labels. Two binaries from different
+// releases given the same (n, theta, seed) now replay the identical
+// stream; the config block records a pool checksum so the harness can
+// verify that before comparing timings.
+//
+// The compression block reports the collection's compressed footprint
+// against (a) the raw uint32 bytes of the same members and (b) the exact
+// byte layout of the pre-compression storage (flat uint32 pool + uint64
+// offsets/costs + uint64-offset CSR index), plus CELF-trace timings for
+// the scalar and SIMD coverage kernels and for an in-process replica of
+// the legacy raw-array selection path on the identical stream.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,9 +42,9 @@
 #include "gen/generators.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "rrset/cover_bitset.h"
 #include "rrset/parallel_generate.h"
 #include "rrset/rr_collection.h"
-#include "rrset/rr_sampler.h"
 #include "select/greedy.h"
 #include "support/random.h"
 #include "support/stopwatch.h"
@@ -40,6 +58,7 @@ struct Config {
   uint64_t theta = 200000;
   uint32_t k = 50;
   int reps = 5;
+  uint64_t seed = 7;
   std::string label = "run";
   std::string out;  // empty = stdout only
 };
@@ -69,6 +88,8 @@ Config ParseArgs(int argc, char** argv) {
       cfg.k = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--reps=", &v)) {
       cfg.reps = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed=", &v)) {
+      cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--label=", &v)) {
       cfg.label = v;
     } else if (ParseFlag(argv[i], "--out=", &v)) {
@@ -100,11 +121,220 @@ double TimeMedianUs(int reps, Fn&& fn) {
   return MedianUs(std::move(samples));
 }
 
+/// Reference IC RR-set stream: uniform root, plain reverse BFS visiting
+/// in-edges in CSR order with one UniformDouble() < p draw per edge.
+/// Self-contained on purpose — the stream depends only on (graph, seed),
+/// never on the engine's sampling kernels.
+void ReferenceSampleStream(const Graph& g, uint64_t theta, uint64_t seed,
+                           std::vector<NodeId>* pool,
+                           std::vector<std::pair<uint32_t, uint64_t>>* sets) {
+  const uint32_t n = g.num_nodes();
+  Rng rng(seed, 0x62656e63ULL);  // "benc"
+  std::vector<uint32_t> visited(n, 0);
+  uint32_t stamp = 0;
+  std::vector<NodeId> rr;
+  for (uint64_t i = 0; i < theta; ++i) {
+    ++stamp;
+    rr.clear();
+    const NodeId root = rng.UniformBelow(n);
+    visited[root] = stamp;
+    rr.push_back(root);
+    uint64_t cost = 0;
+    for (size_t head = 0; head < rr.size(); ++head) {
+      const NodeId v = rr[head];
+      const std::span<const NodeId> in = g.InNeighbors(v);
+      const std::span<const double> p = g.InProbs(v);
+      for (size_t e = 0; e < in.size(); ++e) {
+        ++cost;
+        if (rng.UniformDouble() < p[e] && visited[in[e]] != stamp) {
+          visited[in[e]] = stamp;
+          rr.push_back(in[e]);
+        }
+      }
+    }
+    sets->emplace_back(static_cast<uint32_t>(rr.size()), cost);
+    pool->insert(pool->end(), rr.begin(), rr.end());
+  }
+}
+
+/// FNV-1a over the pool node ids and per-set sizes: two runs replayed the
+/// same stream iff this matches (what the before/after harness checks).
+uint64_t PoolChecksum(const std::vector<NodeId>& pool,
+                      const std::vector<std::pair<uint32_t, uint64_t>>& sets) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  for (NodeId v : pool) mix(v);
+  for (const auto& [size, cost] : sets) mix(size);
+  return h;
+}
+
+/// The pre-compression storage replica: flat uint32 member pool + uint64
+/// set offsets + uint64 per-set costs + CSR inverted index with uint64
+/// node offsets + the epoch-stamped coverage scratch — byte for byte the
+/// state RRCollection held before the group-varint rework, built from the
+/// identical stream. mark_epoch is materialized the way the old engine
+/// materialized it: by the first CoverageOf, which RunOpimC issued every
+/// iteration, so it was always part of the engine's metered peak.
+struct LegacyStore {
+  std::vector<NodeId> pool;
+  std::vector<uint64_t> offsets;        // num_sets + 1
+  std::vector<uint64_t> set_cost;
+  std::vector<uint64_t> cover_offsets;  // n + 1
+  std::vector<RRId> cover_ids;
+  mutable std::vector<uint32_t> mark_epoch;
+  mutable uint32_t epoch = 0;
+
+  LegacyStore(const std::vector<NodeId>& stream_pool,
+              const std::vector<std::pair<uint32_t, uint64_t>>& sets,
+              uint32_t n)
+      : pool(stream_pool), cover_offsets(n + 1, 0) {
+    offsets.reserve(sets.size() + 1);
+    offsets.push_back(0);
+    set_cost.reserve(sets.size());
+    uint64_t off = 0;
+    for (const auto& [size, cost] : sets) {
+      off += size;
+      offsets.push_back(off);
+      set_cost.push_back(cost);
+    }
+    cover_ids.resize(pool.size());
+    for (NodeId v : pool) ++cover_offsets[v + 1];
+    for (uint32_t v = 0; v < n; ++v) cover_offsets[v + 1] += cover_offsets[v];
+    std::vector<uint64_t> cursor(cover_offsets.begin(),
+                                 cover_offsets.end() - 1);
+    for (uint64_t id = 0; id + 1 < offsets.size(); ++id) {
+      for (uint64_t e = offsets[id]; e < offsets[id + 1]; ++e) {
+        cover_ids[cursor[pool[e]]++] = static_cast<RRId>(id);
+      }
+    }
+  }
+
+  uint32_t num_sets() const {
+    return static_cast<uint32_t>(offsets.size() - 1);
+  }
+  std::span<const NodeId> Set(RRId id) const {
+    return {pool.data() + offsets[id], pool.data() + offsets[id + 1]};
+  }
+  std::span<const RRId> Covering(NodeId v) const {
+    return {cover_ids.data() + cover_offsets[v],
+            cover_ids.data() + cover_offsets[v + 1]};
+  }
+  uint64_t CoverageOf(std::span<const NodeId> seeds) const {
+    if (mark_epoch.empty()) mark_epoch.assign(num_sets(), 0);
+    ++epoch;
+    uint64_t covered = 0;
+    for (NodeId v : seeds) {
+      for (RRId id : Covering(v)) {
+        if (mark_epoch[id] != epoch) {
+          mark_epoch[id] = epoch;
+          ++covered;
+        }
+      }
+    }
+    return covered;
+  }
+  uint64_t MemoryBytes() const {
+    return pool.size() * sizeof(NodeId) + offsets.size() * sizeof(uint64_t) +
+           set_cost.size() * sizeof(uint64_t) +
+           cover_offsets.size() * sizeof(uint64_t) +
+           cover_ids.size() * sizeof(RRId) +
+           mark_epoch.size() * sizeof(uint32_t);
+  }
+};
+
+/// The pre-rework trace-mode CELF (covered char array, span-based
+/// decrement loops, bucket histogram) run against the legacy layout —
+/// the "current raw-uint32 path" reference of the acceptance criteria.
+std::vector<NodeId> LegacyCelfTrace(const LegacyStore& store, uint32_t n,
+                                    uint32_t k, uint64_t* coverage_out) {
+  struct Entry {
+    uint64_t gain;
+    NodeId node;
+    uint32_t round;
+    bool operator<(const Entry& o) const {
+      if (gain != o.gain) return gain < o.gain;
+      return node > o.node;
+    }
+  };
+  const uint32_t theta = store.num_sets();
+  std::vector<char> covered(theta, 0);
+  std::vector<char> selected(n, 0);
+  std::vector<uint64_t> counts(n, 0);
+  uint64_t max_count = 0;
+  std::priority_queue<Entry> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    const uint64_t g = store.Covering(v).size();
+    counts[v] = g;
+    if (g > 0) queue.push({g, v, 0});
+    max_count = std::max(max_count, g);
+  }
+  std::vector<uint32_t> hist(max_count + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (counts[v] > 0) ++hist[counts[v]];
+  }
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  std::vector<uint64_t> coverage_at, topk_at;
+  uint64_t coverage = 0;
+  uint32_t round = 0;
+  auto record_prefix = [&] {
+    coverage_at.push_back(coverage);
+    while (max_count > 0 && hist[max_count] == 0) --max_count;
+    uint64_t sum = 0, taken = 0;
+    for (uint64_t value = max_count; value > 0 && taken < k; --value) {
+      const uint64_t take = std::min<uint64_t>(hist[value], k - taken);
+      sum += value * take;
+      taken += take;
+    }
+    topk_at.push_back(sum);
+  };
+  for (uint32_t i = 0; i < k; ++i) {
+    record_prefix();
+    NodeId best = kInvalidNode;
+    uint64_t best_gain = 0;
+    while (!queue.empty()) {
+      Entry top = queue.top();
+      queue.pop();
+      if (selected[top.node]) continue;
+      if (top.round != round) {
+        top.gain = counts[top.node];
+        top.round = round;
+        if (top.gain > 0) queue.push(top);
+        continue;
+      }
+      best = top.node;
+      best_gain = top.gain;
+      break;
+    }
+    if (best == kInvalidNode) break;
+    selected[best] = 1;
+    seeds.push_back(best);
+    coverage += best_gain;
+    for (RRId id : store.Covering(best)) {
+      if (covered[id]) continue;
+      covered[id] = 1;
+      for (NodeId w : store.Set(id)) {
+        const uint64_t c = counts[w]--;
+        --hist[c];
+        if (c > 1) ++hist[c - 1];
+      }
+    }
+    ++round;
+  }
+  record_prefix();
+  *coverage_out = coverage + topk_at.back() * 0;  // keep trace arrays live
+  return seeds;
+}
+
 int Run(const Config& cfg) {
-  std::fprintf(stderr,
-               "bench_select_ingest: n=%u theta=%llu k=%u reps=%d label=%s\n",
-               cfg.n, static_cast<unsigned long long>(cfg.theta), cfg.k,
-               cfg.reps, cfg.label.c_str());
+  std::fprintf(
+      stderr,
+      "bench_select_ingest: n=%u theta=%llu k=%u reps=%d seed=%llu label=%s\n",
+      cfg.n, static_cast<unsigned long long>(cfg.theta), cfg.k, cfg.reps,
+      static_cast<unsigned long long>(cfg.seed), cfg.label.c_str());
 
   Graph g = GenerateBarabasiAlbert(cfg.n, cfg.edges_per_node);
 
@@ -114,22 +344,20 @@ int Run(const Config& cfg) {
   std::vector<NodeId> pool;
   std::vector<std::pair<uint32_t, uint64_t>> sets;
   sets.reserve(cfg.theta);
-  {
-    IcRRSampler sampler(g);
-    Rng rng(7);
-    std::vector<NodeId> scratch;
-    for (uint64_t i = 0; i < cfg.theta; ++i) {
-      uint64_t cost = sampler.SampleInto(rng, &scratch);
-      sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
-      pool.insert(pool.end(), scratch.begin(), scratch.end());
-    }
-  }
-  std::fprintf(stderr, "bench_select_ingest: pool=%zu nodes\n", pool.size());
+  ReferenceSampleStream(g, cfg.theta, cfg.seed, &pool, &sets);
+  const uint64_t pool_checksum = PoolChecksum(pool, sets);
+  std::fprintf(stderr, "bench_select_ingest: pool=%zu nodes checksum=%llx\n",
+               pool.size(), static_cast<unsigned long long>(pool_checksum));
 
   // --- Ingestion: replay the stream into a fresh collection via the
-  // engine's batch path, ending with a built inverted index. The batch is
-  // copied outside the timed region (AddBatch consumes its shards), so the
-  // timing covers exactly what ParallelGenerate pays per batch.
+  // engine's batch path (sort + compress + hybrid index build). The batch
+  // is copied outside the timed region (AddBatch consumes its shards), so
+  // the timing covers exactly what ParallelGenerate pays per batch.
+  // Collections are configured exactly as the engines configure theirs
+  // (no per-set cost column): peak_rr_bytes below is the quantity
+  // RunOpimC / OnlineMaximizer meter against a RunControl memory budget.
+  const RRStoreOptions kEngineStore{.retain_set_costs = false};
+
   uint64_t ingest_sink = 0;
   double ingest_us = 0.0;
   {
@@ -139,17 +367,17 @@ int Run(const Config& cfg) {
       std::vector<RRBatch> shards(1);
       shards[0].pool = pool;
       shards[0].sets = sets;
-      RRCollection fresh(cfg.n);
+      RRCollection fresh(cfg.n, kEngineStore);
       Stopwatch watch;
       fresh.AddBatch(std::move(shards));
-      ingest_sink += fresh.SetsCovering(0).size();
+      ingest_sink += fresh.CoveringCount(0);
       samples.push_back(watch.ElapsedSeconds());
     }
     ingest_us = MedianUs(std::move(samples));
   }
 
   // One persistent collection for the selection/bounds timings.
-  RRCollection rr(cfg.n);
+  RRCollection rr(cfg.n, kEngineStore);
   {
     std::vector<RRBatch> shards(1);
     shards[0].pool = pool;
@@ -167,9 +395,80 @@ int Run(const Config& cfg) {
   const double celf_us = TimeMedianUs(cfg.reps, [&] {
     select_sink += SelectGreedyCelf(rr, cfg.k).coverage;
   });
-  const double celf_trace_us = TimeMedianUs(cfg.reps, [&] {
+  // (select_celf_trace itself is timed below, interleaved with the legacy
+  // reference so the headline comparison is fair.)
+
+  // --- Compression ablation: the same selection under forced scalar and
+  // (when available) forced AVX2 kernels, plus the legacy raw-layout
+  // replica of the pre-rework storage + CELF path on the same stream.
+  SetCoverageSimdMode(SimdMode::kScalar);
+  const double celf_scalar_us = TimeMedianUs(cfg.reps, [&] {
+    select_sink += SelectGreedyCelf(rr, cfg.k).coverage;
+  });
+  const double celf_trace_scalar_us = TimeMedianUs(cfg.reps, [&] {
     select_sink += SelectGreedyCelf(rr, cfg.k, /*with_trace=*/true).coverage;
   });
+  const std::vector<NodeId> scalar_seeds = SelectGreedyCelf(rr, cfg.k).seeds;
+  SetCoverageSimdMode(SimdMode::kAuto);
+  const std::vector<NodeId> auto_seeds = SelectGreedyCelf(rr, cfg.k).seeds;
+  if (scalar_seeds != auto_seeds) {
+    std::fprintf(stderr, "FATAL: scalar/simd seed sets diverge\n");
+    return 1;
+  }
+
+  uint64_t legacy_bytes = 0;
+  uint64_t legacy_coverage = 0;
+  double celf_trace_us = 0.0;
+  double legacy_celf_trace_us = 0.0;
+  {
+    LegacyStore legacy(pool, sets, cfg.n);
+    // Headline acceptance comparison: compressed trace-CELF vs the legacy
+    // raw-layout replica. The two paths alternate inside every rep so
+    // cache state and CPU-frequency drift hit both equally instead of
+    // biasing whichever standalone block runs later; extra reps because
+    // this pair is the number the ablation summary is derived from.
+    const int pair_reps = cfg.reps * 2 + 1;
+    std::vector<double> new_samples;
+    std::vector<double> legacy_samples;
+    new_samples.reserve(static_cast<size_t>(pair_reps));
+    legacy_samples.reserve(static_cast<size_t>(pair_reps));
+    for (int r = 0; r < pair_reps; ++r) {
+      {
+        Stopwatch watch;
+        select_sink +=
+            SelectGreedyCelf(rr, cfg.k, /*with_trace=*/true).coverage;
+        new_samples.push_back(watch.ElapsedSeconds());
+      }
+      {
+        Stopwatch watch;
+        uint64_t cov = 0;
+        const std::vector<NodeId> seeds =
+            LegacyCelfTrace(legacy, cfg.n, cfg.k, &cov);
+        legacy_coverage = cov;
+        select_sink += cov + seeds.size();
+        legacy_samples.push_back(watch.ElapsedSeconds());
+      }
+    }
+    celf_trace_us = MedianUs(std::move(new_samples));
+    legacy_celf_trace_us = MedianUs(std::move(legacy_samples));
+    const std::vector<NodeId> legacy_seeds =
+        LegacyCelfTrace(legacy, cfg.n, cfg.k, &legacy_coverage);
+    const std::vector<NodeId> new_seeds =
+        SelectGreedyCelf(rr, cfg.k, /*with_trace=*/true).seeds;
+    if (legacy_seeds != new_seeds) {
+      std::fprintf(stderr, "FATAL: legacy/compressed seed sets diverge\n");
+      return 1;
+    }
+    // Λ2-style coverage query on both representations: checks the bitset
+    // CoverageOf against the legacy epoch-stamp scratch, and materializes
+    // each side's coverage scratch so both footprints below include it
+    // (the engines run this query every iteration).
+    if (rr.CoverageOf(new_seeds) != legacy.CoverageOf(legacy_seeds)) {
+      std::fprintf(stderr, "FATAL: legacy/bitset coverage diverges\n");
+      return 1;
+    }
+    legacy_bytes = legacy.MemoryBytes();
+  }
 
   // --- Bounds: trace-bound assembly from a cached greedy trace.
   GreedyResult traced = SelectGreedy(rr, cfg.k, /*with_trace=*/true);
@@ -186,7 +485,7 @@ int Run(const Config& cfg) {
   // --- End-to-end engine path: sample + ingest via ParallelGenerate.
   uint64_t generate_sink = 0;
   const double generate_us = TimeMedianUs(cfg.reps, [&] {
-    RRCollection tmp(cfg.n);
+    RRCollection tmp(cfg.n, kEngineStore);
     ParallelGenerate(g, DiffusionModel::kIndependentCascade, &tmp, cfg.theta,
                      /*seed=*/11, /*num_threads=*/1);
     generate_sink += tmp.total_size();
@@ -201,7 +500,9 @@ int Run(const Config& cfg) {
   w.Key("theta").Value(cfg.theta);
   w.Key("k").Value(static_cast<uint64_t>(cfg.k));
   w.Key("reps").Value(static_cast<int64_t>(cfg.reps));
+  w.Key("seed").Value(cfg.seed);
   w.Key("pool_nodes").Value(static_cast<uint64_t>(pool.size()));
+  w.Key("pool_checksum").Value(pool_checksum);
   w.EndObject();
   w.Key("timings_us").BeginObject();
   w.Key("ingest").Value(ingest_us);
@@ -211,6 +512,22 @@ int Run(const Config& cfg) {
   w.Key("select_celf_trace").Value(celf_trace_us);
   w.Key("bounds_x100").Value(bounds_us);
   w.Key("generate_ingest").Value(generate_us);
+  w.EndObject();
+  // Storage + kernel ablation: peak_rr_bytes is MemoryUsage() — what the
+  // PR 4 memory budget meters — against the exact byte layout the
+  // pre-compression storage would hold for the identical stream.
+  w.Key("compression").BeginObject();
+  w.Key("peak_rr_bytes").Value(rr.MemoryUsage());
+  w.Key("legacy_layout_bytes").Value(legacy_bytes);
+  w.Key("layout_ratio")
+      .Value(static_cast<double>(legacy_bytes) /
+             static_cast<double>(rr.MemoryUsage()));
+  w.Key("compressed_member_bytes").Value(rr.CompressedMemberBytes());
+  w.Key("raw_member_bytes").Value(rr.RawMemberBytes());
+  w.Key("simd_kernel").Value(ActiveCoverageKernelName());
+  w.Key("select_celf_scalar").Value(celf_scalar_us);
+  w.Key("select_celf_trace_scalar").Value(celf_trace_scalar_us);
+  w.Key("select_celf_trace_legacy_ref").Value(legacy_celf_trace_us);
   w.EndObject();
   // The telemetry the acceptance criteria reference: per-phase counters
   // and timer sums recorded by the engine itself during the runs above.
@@ -236,7 +553,7 @@ int Run(const Config& cfg) {
   w.EndObject();
   // Sinks: keep the optimizer from dropping timed work.
   w.Key("checksum")
-      .Value(ingest_sink + select_sink + generate_sink +
+      .Value(ingest_sink + select_sink + generate_sink + legacy_coverage +
              static_cast<uint64_t>(bounds_sink));
   w.EndObject();
 

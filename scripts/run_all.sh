@@ -52,8 +52,19 @@ cmake -B build-asan -G Ninja -DOPIM_SANITIZE=ON -DOPIM_FAULT_INJECT=ON \
   -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure \
-  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf|FaultInjection|Guardrails|RunControl|SignalGuard|ThreadPool|LoaderRobustness' 2>&1 \
+  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf|FaultInjection|Guardrails|RunControl|SignalGuard|ThreadPool|LoaderRobustness|VarintCodec|CoverBitset|CoverKernel|SimdDifferential' 2>&1 \
   | tee "$OUT/test_output_sanitized.txt"
+
+# OPIM_SIMD=OFF build: the portable scalar coverage kernels alone must
+# carry the codec, coverage, selection, and golden suites — this is the
+# configuration every non-x86-64 target gets, and the golden pins prove
+# the scalar path produces the exact published outputs.
+cmake -B build-nosimd -G Ninja -DOPIM_SIMD=OFF \
+  -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
+cmake --build build-nosimd
+ctest --test-dir build-nosimd --output-on-failure \
+  -R 'VarintCodec|CoverBitset|CoverKernel|SimdDifferential|RRCollection|ParallelGenerate|Greedy|Celf|Golden' 2>&1 \
+  | tee "$OUT/test_output_nosimd.txt"
 
 # Live signal handling: SIGINT a real CLI run, expect a clean degraded
 # exit (code 5, seeds + alpha on stdout, complete JSON report).

@@ -7,7 +7,7 @@
 # BENCH_select_ingest.json and BENCH_generate.json.
 #
 #   scripts/run_perf_baseline.sh [--smoke] [--label NAME] [--build-dir DIR]
-#                                [--json FILE] [--gen-json FILE]
+#                                [--json FILE] [--gen-json FILE] [--seed S]
 #
 #   --smoke       tiny config (~1 s) for CI wiring; the JSON artifacts are
 #                 left untouched, output goes to stdout only
@@ -16,6 +16,11 @@
 #   --build-dir   build tree containing the bench binaries (default: build)
 #   --json FILE   select/ingest artifact (default: BENCH_select_ingest.json)
 #   --gen-json F  generation artifact (default: BENCH_generate.json)
+#   --seed S      RR-stream seed for bench_select_ingest (default 7). The
+#                 stream comes from the bench's version-independent
+#                 reference sampler, so before/after binaries given the
+#                 same seed replay the identical pool (the config block's
+#                 pool_checksum must match across labels)
 #
 # Each artifact keeps one run object per label plus, when both "before"
 # and "after" are present, a derived speedup block: for select/ingest the
@@ -30,6 +35,7 @@ LABEL=after
 BUILD=build
 JSON=BENCH_select_ingest.json
 GEN_JSON=BENCH_generate.json
+SEED=7
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
@@ -37,6 +43,7 @@ while [[ $# -gt 0 ]]; do
     --build-dir) BUILD="$2"; shift ;;
     --json) JSON="$2"; shift ;;
     --gen-json) GEN_JSON="$2"; shift ;;
+    --seed) SEED="$2"; shift ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -73,7 +80,7 @@ merge_run() {
   fi
 }
 
-"$SELECT_BIN" "--label=$LABEL" "--out=$TMP"
+"$SELECT_BIN" "--label=$LABEL" "--seed=$SEED" "--out=$TMP"
 merge_run "$JSON" bench_select_ingest "$TMP"
 
 # Derived speedups once a before/after pair exists: "selection" is the
@@ -90,7 +97,24 @@ jq 'if ([.runs[].label] | contains(["before", "after"])) then
           generate_ingest:
             (($b.generate_ingest / $a.generate_ingest) * 100 | round / 100)
         }
-    else . end' "$JSON.tmp" > "$JSON"
+    else . end
+    # Storage ablation summary from the newest run that carries a
+    # compression block: memory reduction vs the legacy raw layout on the
+    # identical stream, and CELF-trace throughput vs the in-process legacy
+    # reference path (>= 1.0 means the compressed path is no slower).
+    | ((.runs | map(select(.compression != null)) | last) // null) as $c
+    | if $c != null then
+        .compression_summary = {
+          label: $c.label,
+          memory_reduction_vs_legacy:
+            (($c.compression.legacy_layout_bytes
+              / $c.compression.peak_rr_bytes) * 100 | round / 100),
+          celf_trace_speedup_vs_legacy_ref:
+            (($c.compression.select_celf_trace_legacy_ref
+              / $c.timings_us.select_celf_trace) * 100 | round / 100),
+          simd_kernel: $c.compression.simd_kernel
+        }
+      else . end' "$JSON.tmp" > "$JSON"
 rm -f "$JSON.tmp"
 echo "updated $JSON (label=$LABEL)"
 

@@ -8,6 +8,15 @@
 
 namespace opim {
 
+namespace {
+
+/// Engine pools never answer SetCost (only aggregate γ via
+/// total_edges_examined), so they drop the 8 bytes/set cost column on
+/// top of the compressed member storage.
+constexpr RRStoreOptions kEngineStore{.retain_set_costs = false};
+
+}  // namespace
+
 OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
                                  uint32_t k, double delta, uint64_t seed)
     : graph_(g),
@@ -18,8 +27,8 @@ OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
       sampling_view_(g, SamplingViewPartsFor(model)),
       sampler_(MakeRRSampler(sampling_view_, model)),
       rng_(seed, 0x6f70696dULL),  // "opim"
-      r1_(g.num_nodes()),
-      r2_(g.num_nodes()) {
+      r1_(g.num_nodes(), kEngineStore),
+      r2_(g.num_nodes(), kEngineStore) {
   OPIM_CHECK_GE(k, 1u);
   OPIM_CHECK_LE(k, g.num_nodes());
   OPIM_CHECK(delta > 0.0 && delta < 1.0);
@@ -39,8 +48,8 @@ OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
       root_sampler_(node_weights_),
       sampler_(MakeRRSampler(sampling_view_, model, &root_sampler_)),
       rng_(seed, 0x6f70696dULL),
-      r1_(g.num_nodes()),
-      r2_(g.num_nodes()) {
+      r1_(g.num_nodes(), kEngineStore),
+      r2_(g.num_nodes(), kEngineStore) {
   OPIM_CHECK_GE(k, 1u);
   OPIM_CHECK_LE(k, g.num_nodes());
   OPIM_CHECK(delta > 0.0 && delta < 1.0);

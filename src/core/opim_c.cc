@@ -124,7 +124,10 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     pending_generate_seconds += watch.ElapsedSeconds();
   };
   RunControl* const control = options.control;
-  RRCollection r1(n), r2(n);
+  // Engine pools never answer SetCost (only aggregate γ), so they drop
+  // the 8 bytes/set cost column on top of the compressed member storage.
+  const RRStoreOptions store{.retain_set_costs = false};
+  RRCollection r1(n, store), r2(n, store);
   generate(&r1, theta0, control);
   generate(&r2, theta0, control);
 
@@ -167,6 +170,8 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     iter.bounds_seconds = phase_watch.ElapsedSeconds();
     iter.rr_bytes = r1.MemoryUsage() + r2.MemoryUsage() +
                     sampling_view.MemoryFootprintBytes();
+    iter.rr_compressed_bytes =
+        r1.CompressedMemberBytes() + r2.CompressedMemberBytes();
     OPIM_TM_HISTOGRAM_RECORD("opim.opimc.phase.generate_us",
                              iter.generate_seconds * 1e6);
     OPIM_TM_HISTOGRAM_RECORD("opim.opimc.phase.greedy_us",
@@ -199,6 +204,9 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   result.num_rr_sets =
       static_cast<uint64_t>(r1.num_sets()) + r2.num_sets();
   result.total_rr_size = r1.total_size() + r2.total_size();
+  result.rr_compressed_bytes =
+      r1.CompressedMemberBytes() + r2.CompressedMemberBytes();
+  result.rr_raw_member_bytes = r1.RawMemberBytes() + r2.RawMemberBytes();
   if (control != nullptr) {
     result.guardrails = SummarizeGuardrails(*control);
     const OpimCGuardrails& gr = result.guardrails;

@@ -64,10 +64,14 @@ struct OpimCIteration {
   double greedy_seconds = 0.0;
   double bounds_seconds = 0.0;
   /// RR-pool heap footprint when this iteration's bounds were evaluated:
-  /// both collections' MemoryUsage() plus the SamplingView. This is the
-  /// exact quantity a RunControl memory budget is checked against at the
-  /// iteration boundary.
+  /// both collections' MemoryUsage() plus the SamplingView. Since the
+  /// pools store members group-varint compressed (rrset/varint_codec.h),
+  /// this is the *compressed* footprint — the exact quantity a RunControl
+  /// memory budget is checked against at the iteration boundary.
   uint64_t rr_bytes = 0;
+  /// Bytes of both pools' compressed member encodings alone (the
+  /// telemetry gauge opim.rrset.compressed_bytes at this boundary).
+  uint64_t rr_compressed_bytes = 0;
 };
 
 /// Guardrail outcome of a run (all zeros/converged when no RunControl was
@@ -103,6 +107,12 @@ struct OpimCResult {
   uint64_t num_rr_sets = 0;
   /// Total RR-set nodes generated, Σ|R| (the memory/time driver).
   uint64_t total_rr_size = 0;
+  /// Final compressed member-pool bytes across both collections, and the
+  /// raw uint32 bytes those members would occupy uncompressed
+  /// (total_rr_size · 4). Their quotient is the storage compression
+  /// ratio the CLI reports next to peak_rr_bytes.
+  uint64_t rr_compressed_bytes = 0;
+  uint64_t rr_raw_member_bytes = 0;
   /// Iterations executed (1-based; <= i_max).
   uint32_t iterations = 0;
   /// The i_max bound computed from Eqs. (16)/(17).

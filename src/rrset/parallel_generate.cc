@@ -69,11 +69,14 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
 
   // Guardrail bookkeeping: shards publish buffered nodes/sets to shared
   // counters once per poll stride, so the footprint estimate the control
-  // sees is base (the destination collection as it stands) + what the
-  // in-flight batch will roughly add after ingestion (pool bytes + one
-  // inverted-index id per node + offsets/cost per set). Iteration-boundary
-  // accounting in the engines is exact; this estimate only has to catch
-  // runaway pools mid-batch.
+  // sees is base (the destination collection as it stands, compressed) +
+  // what the in-flight batch holds *raw*: shard buffers are plain NodeId
+  // vectors until AddBatch sorts and group-varint-compresses them, so
+  // mid-batch the raw bytes are what the allocator really holds (plus
+  // roughly one inverted-index posting per node and slot/cost/record
+  // bytes per set after ingestion). Iteration-boundary accounting in the
+  // engines is exact and compressed; this deliberately conservative
+  // estimate only has to catch runaway pools mid-batch.
   const uint64_t base_bytes = control != nullptr ? collection->MemoryUsage() : 0;
   std::atomic<uint64_t> buffered_nodes{0};
   std::atomic<uint64_t> buffered_sets{0};

@@ -9,23 +9,59 @@ namespace opim {
 
 namespace {
 
-/// Below this pool size a serial rebuild beats the fan-out overhead.
+/// Below this many total members a serial rebuild beats the fan-out
+/// overhead.
 constexpr uint64_t kParallelRebuildMinNodes = 1u << 16;
+
+/// A block representation entry costs 12 bytes (uint32 word + uint64
+/// mask) against 4 per raw posting: blocks win iff 3·blocks <= postings.
+constexpr uint32_t kBlockCostRatio = 3;
 
 }  // namespace
 
-RRCollection::RRCollection(uint32_t num_nodes)
-    : num_nodes_(num_nodes), offsets_(1, 0), cover_offsets_(num_nodes + 1, 0) {}
+RRCollection::RRCollection(uint32_t num_nodes, RRStoreOptions options)
+    : num_nodes_(num_nodes),
+      retain_costs_(options.retain_set_costs),
+      raw_offsets_(num_nodes + 1, 0),
+      block_offsets_(num_nodes + 1, 0) {
+  // One slot bit tags inline sets, so ids must fit in 31 bits.
+  OPIM_CHECK_LT(num_nodes, kSlotInlineTag);
+}
+
+void RRCollection::AppendEncodedSet(std::vector<NodeId>* nodes) {
+  std::sort(nodes->begin(), nodes->end());
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+  const RRId id = num_sets_;
+  const uint64_t encoded_end =
+      pool_.empty() ? 0 : pool_.size() - kVarintDecodeSlackBytes;
+  if ((id & ((1u << kChunkShift) - 1)) == 0) {
+    chunk_base_.push_back(encoded_end);
+  }
+  if (nodes->empty()) {
+    slot_.push_back(kEmptySlot);
+  } else if (nodes->size() == 1) {
+    slot_.push_back(kSlotInlineTag | (*nodes)[0]);
+  } else {
+    const uint64_t rel = encoded_end - chunk_base_[id >> kChunkShift];
+    OPIM_CHECK_LT(rel, kSlotInlineTag);
+    slot_.push_back(static_cast<uint32_t>(rel));
+    if (!pool_.empty()) pool_.resize(encoded_end);  // strip tail slack
+    EncodeRRMembers(*nodes, &pool_);
+    pool_.resize(pool_.size() + kVarintDecodeSlackBytes, 0);
+  }
+  ++num_sets_;
+  total_members_ += nodes->size();
+}
 
 RRId RRCollection::AddSet(std::span<const NodeId> nodes,
                           uint64_t edges_examined) {
-  const RRId id = num_sets();
+  const RRId id = num_sets_;
   for (NodeId v : nodes) {
     OPIM_CHECK_LT(v, num_nodes_);
   }
-  pool_.insert(pool_.end(), nodes.begin(), nodes.end());
-  offsets_.push_back(pool_.size());
-  set_cost_.push_back(edges_examined);
+  addset_scratch_.assign(nodes.begin(), nodes.end());
+  AppendEncodedSet(&addset_scratch_);
+  if (retain_costs_) set_cost_.push_back(edges_examined);
   total_edges_examined_ += edges_examined;
   if (!nodes.empty()) index_dirty_ = true;
   return id;
@@ -47,26 +83,84 @@ void RRCollection::AddBatch(std::vector<RRBatch> shards, ThreadPool* pool) {
   }
   if (add_sets == 0) return;
 
-  if (pool_.empty() && shards.size() == 1) {
-    pool_ = std::move(shards[0].pool);
-  } else {
-    pool_.reserve(pool_.size() + add_nodes);
-    for (RRBatch& shard : shards) {
-      pool_.insert(pool_.end(), shard.pool.begin(), shard.pool.end());
-    }
-  }
-  offsets_.reserve(offsets_.size() + add_sets);
-  set_cost_.reserve(set_cost_.size() + add_sets);
-  uint64_t offset = offsets_.back();
-  for (const RRBatch& shard : shards) {
+  // Per-shard sort + compress, in parallel: each worker sorts its shard's
+  // sets in place and emits one encoded byte stream plus one uint32
+  // record per set — an inline slot value (tag bit set) or the set's
+  // encoded byte length.
+  struct ShardEnc {
+    std::vector<uint8_t> bytes;
+    std::vector<uint32_t> rec;
+  };
+  std::vector<ShardEnc> enc(shards.size());
+  auto encode_shard = [&](uint64_t s) {
+    RRBatch& shard = shards[s];
+    ShardEnc& e = enc[s];
+    e.rec.reserve(shard.sets.size());
+    NodeId* cursor = shard.pool.data();
     for (const auto& [size, cost] : shard.sets) {
-      offset += size;
-      offsets_.push_back(offset);
-      set_cost_.push_back(cost);
+      std::span<NodeId> members(cursor, size);
+      cursor += size;
+      std::sort(members.begin(), members.end());
+#if OPIM_DEBUG_CHECKS
+      for (size_t i = 1; i < members.size(); ++i) {
+        OPIM_DCHECK_LT(members[i - 1], members[i]);  // distinct by contract
+      }
+#endif
+      if (size == 0) {
+        e.rec.push_back(kEmptySlot);
+      } else if (size == 1) {
+        e.rec.push_back(kSlotInlineTag | members[0]);
+      } else {
+        const size_t len = EncodeRRMembers(members, &e.bytes);
+        OPIM_CHECK_LT(len, kSlotInlineTag);
+        e.rec.push_back(static_cast<uint32_t>(len));
+      }
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && shards.size() > 1) {
+    pool->ParallelFor(shards.size(), encode_shard);
+  } else {
+    for (uint64_t s = 0; s < shards.size(); ++s) encode_shard(s);
+  }
+
+  // Serial assembly: shard byte streams are appended wholesale (sets are
+  // consecutive within a shard), slots/chunk bases/costs follow the
+  // record walk in shard-major, sample-minor append order.
+  uint64_t encoded_end =
+      pool_.empty() ? 0 : pool_.size() - kVarintDecodeSlackBytes;
+  uint64_t total_bytes = 0;
+  for (const ShardEnc& e : enc) total_bytes += e.bytes.size();
+  pool_.resize(encoded_end);  // strip tail slack before bulk appends
+  pool_.reserve(encoded_end + total_bytes + kVarintDecodeSlackBytes);
+  slot_.reserve(slot_.size() + add_sets);
+  if (retain_costs_) set_cost_.reserve(set_cost_.size() + add_sets);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardEnc& e = enc[s];
+    pool_.insert(pool_.end(), e.bytes.begin(), e.bytes.end());
+    for (uint32_t rec : e.rec) {
+      const RRId id = num_sets_;
+      if ((id & ((1u << kChunkShift) - 1)) == 0) {
+        chunk_base_.push_back(encoded_end);
+      }
+      if (rec & kSlotInlineTag) {
+        slot_.push_back(rec);
+      } else {
+        const uint64_t rel = encoded_end - chunk_base_[id >> kChunkShift];
+        OPIM_CHECK_LT(rel, kSlotInlineTag);
+        slot_.push_back(static_cast<uint32_t>(rel));
+        encoded_end += rec;
+      }
+      ++num_sets_;
+    }
+    for (const auto& [size, cost] : shards[s].sets) {
+      if (retain_costs_) set_cost_.push_back(cost);
       total_edges_examined_ += cost;
+      total_members_ += size;
     }
   }
-  OPIM_CHECK_EQ(offsets_.back(), pool_.size());
+  OPIM_CHECK_EQ(encoded_end, pool_.size());
+  pool_.resize(pool_.size() + kVarintDecodeSlackBytes, 0);
+  OPIM_TM_GAUGE_SET("opim.rrset.compressed_bytes", pool_.size());
   RebuildIndex(pool);
 }
 
@@ -75,88 +169,153 @@ void RRCollection::RebuildIndex(ThreadPool* pool) const {
   OPIM_TM_COUNTER_ADD("opim.rrset.index_rebuilds", 1);
   index_dirty_ = false;
   const uint32_t n = num_nodes_;
-  const uint64_t sets = num_sets();
-  cover_ids_.resize(pool_.size());
+  const uint64_t sets = num_sets_;
+  // Posting positions are uint32 (a raw posting is 4 bytes; 2^32 of them
+  // is a 16 GiB index, far past any budgeted run).
+  OPIM_CHECK_LE(total_members_, 0xFFFFFFFFull);
+  cover_ids_.resize(total_members_);
 
+  // Stage 1: counting-sort the decoded sets into full raw postings
+  // (ascending RR ids per node), exactly the PR-2 rebuild but reading
+  // members through the codec.
+  std::vector<uint32_t> full_offsets(n + 1, 0);
   const unsigned workers = pool != nullptr ? pool->num_threads() : 1;
-  if (workers <= 1 || pool_.size() < kParallelRebuildMinNodes) {
-    // Serial two-pass counting sort: count into cover_offsets_[v + 1],
+  if (workers <= 1 || total_members_ < kParallelRebuildMinNodes) {
+    // Serial two-pass counting sort: count into full_offsets[v + 1],
     // prefix-sum, then place ids in ascending set order per node.
-    std::fill(cover_offsets_.begin(), cover_offsets_.end(), 0);
-    for (NodeId v : pool_) ++cover_offsets_[v + 1];
-    for (uint32_t v = 0; v < n; ++v) cover_offsets_[v + 1] += cover_offsets_[v];
-    std::vector<uint64_t> cursor(cover_offsets_.begin(),
-                                 cover_offsets_.end() - 1);
     for (uint64_t id = 0; id < sets; ++id) {
-      for (uint64_t e = offsets_[id]; e < offsets_[id + 1]; ++e) {
-        cover_ids_[cursor[pool_[e]]++] = static_cast<RRId>(id);
+      ForEachMember(static_cast<RRId>(id),
+                    [&](NodeId v) { ++full_offsets[v + 1]; });
+    }
+    for (uint32_t v = 0; v < n; ++v) full_offsets[v + 1] += full_offsets[v];
+    std::vector<uint32_t> cursor(full_offsets.begin(), full_offsets.end() - 1);
+    for (uint64_t id = 0; id < sets; ++id) {
+      ForEachMember(static_cast<RRId>(id), [&](NodeId v) {
+        cover_ids_[cursor[v]++] = static_cast<RRId>(id);
+      });
+    }
+  } else {
+    // Parallel counting sort over contiguous set ranges ("chunks"):
+    // per-chunk node counts, a serial combine that turns them into
+    // per-chunk write cursors, and a parallel placement pass. Chunks are
+    // ordered by set id and cursors start at each chunk's global
+    // position, so every node's id list comes out ascending — identical
+    // to the serial result for any worker count.
+    const unsigned chunks = workers;
+    std::vector<uint64_t> chunk_set_end(chunks);
+    for (unsigned c = 0; c < chunks; ++c) {
+      chunk_set_end[c] = sets * (c + 1) / chunks;
+    }
+    std::vector<std::vector<uint32_t>> chunk_counts(chunks);
+    pool->ParallelFor(chunks, [&](uint64_t c) {
+      std::vector<uint32_t>& counts = chunk_counts[c];
+      counts.assign(n, 0);
+      const uint64_t lo = c == 0 ? 0 : chunk_set_end[c - 1];
+      for (uint64_t id = lo; id < chunk_set_end[c]; ++id) {
+        ForEachMember(static_cast<RRId>(id), [&](NodeId v) { ++counts[v]; });
+      }
+    });
+    uint32_t acc = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      full_offsets[v] = acc;
+      for (unsigned c = 0; c < chunks; ++c) {
+        const uint32_t count = chunk_counts[c][v];
+        chunk_counts[c][v] = acc;  // becomes chunk c's write cursor for v
+        acc += count;
       }
     }
-    return;
+    full_offsets[n] = acc;
+    pool->ParallelFor(chunks, [&](uint64_t c) {
+      std::vector<uint32_t>& cursor = chunk_counts[c];
+      const uint64_t lo = c == 0 ? 0 : chunk_set_end[c - 1];
+      for (uint64_t id = lo; id < chunk_set_end[c]; ++id) {
+        ForEachMember(static_cast<RRId>(id), [&](NodeId v) {
+          cover_ids_[cursor[v]++] = static_cast<RRId>(id);
+        });
+      }
+    });
   }
 
-  // Parallel counting sort over contiguous set ranges ("chunks"): per-chunk
-  // node counts, a serial combine that turns them into per-chunk write
-  // cursors, and a parallel placement pass. Chunks are ordered by set id
-  // and cursors start at each chunk's global position, so every node's id
-  // list comes out ascending — identical to the serial result.
-  const unsigned chunks = workers;
-  std::vector<uint64_t> chunk_set_end(chunks);
-  for (unsigned c = 0; c < chunks; ++c) {
-    if (c + 1 == chunks) {
-      chunk_set_end[c] = sets;
-    } else {
-      // Split by pool position for balance, snapped to a set boundary.
-      const uint64_t target = pool_.size() * (c + 1) / chunks;
-      chunk_set_end[c] =
-          std::upper_bound(offsets_.begin(), offsets_.end(), target) -
-          offsets_.begin() - 1;
-    }
-  }
-  std::vector<std::vector<uint64_t>> chunk_counts(chunks);
-  pool->ParallelFor(chunks, [&](uint64_t c) {
-    std::vector<uint64_t>& counts = chunk_counts[c];
-    counts.assign(n, 0);
-    const uint64_t lo = c == 0 ? 0 : chunk_set_end[c - 1];
-    for (uint64_t e = offsets_[lo]; e < offsets_[chunk_set_end[c]]; ++e) {
-      ++counts[pool_[e]];
-    }
-  });
-  uint64_t acc = 0;
+  // Stage 2: per-node representation selection + in-place compaction.
+  // Raw postings for a node are rewritten left-to-right at or before
+  // their original position (the kept total only shrinks), so the block
+  // conversion reads ahead of every write and no temporary copy of the
+  // postings is needed.
+  block_words_.clear();
+  block_masks_.clear();
+  uint32_t write = 0;
   for (uint32_t v = 0; v < n; ++v) {
-    cover_offsets_[v] = acc;
-    for (unsigned c = 0; c < chunks; ++c) {
-      const uint64_t count = chunk_counts[c][v];
-      chunk_counts[c][v] = acc;  // becomes chunk c's write cursor for v
-      acc += count;
+    const uint32_t lo = full_offsets[v];
+    const uint32_t hi = full_offsets[v + 1];
+    const uint32_t p = hi - lo;
+    raw_offsets_[v] = write;
+    block_offsets_[v] = static_cast<uint32_t>(block_words_.size());
+    if (p == 0) continue;
+    uint32_t blocks = 1;
+    for (uint32_t i = lo + 1; i < hi; ++i) {
+      blocks += (cover_ids_[i] >> 6) != (cover_ids_[i - 1] >> 6);
     }
-  }
-  cover_offsets_[n] = acc;
-  pool->ParallelFor(chunks, [&](uint64_t c) {
-    std::vector<uint64_t>& cursor = chunk_counts[c];
-    const uint64_t lo = c == 0 ? 0 : chunk_set_end[c - 1];
-    for (uint64_t id = lo; id < chunk_set_end[c]; ++id) {
-      for (uint64_t e = offsets_[id]; e < offsets_[id + 1]; ++e) {
-        cover_ids_[cursor[pool_[e]]++] = static_cast<RRId>(id);
+    if (kBlockCostRatio * blocks <= p) {
+      uint32_t word = cover_ids_[lo] >> 6;
+      uint64_t mask = 0;
+      for (uint32_t i = lo; i < hi; ++i) {
+        const uint32_t w = cover_ids_[i] >> 6;
+        if (w != word) {
+          block_words_.push_back(word);
+          block_masks_.push_back(mask);
+          word = w;
+          mask = 0;
+        }
+        mask |= uint64_t{1} << (cover_ids_[i] & 63);
+      }
+      block_words_.push_back(word);
+      block_masks_.push_back(mask);
+    } else {
+      for (uint32_t i = lo; i < hi; ++i) {
+        cover_ids_[write++] = cover_ids_[i];
       }
     }
-  });
+  }
+  raw_offsets_[n] = write;
+  block_offsets_[n] = static_cast<uint32_t>(block_words_.size());
+  cover_ids_.resize(write);
+  cover_ids_.shrink_to_fit();
+  block_words_.shrink_to_fit();
+  block_masks_.shrink_to_fit();
+}
+
+std::vector<NodeId> RRCollection::DecodeSet(RRId id) const {
+  std::vector<NodeId> out;
+  out.reserve(SetSize(id));
+  ForEachMember(id, [&](NodeId v) { out.push_back(v); });
+  return out;
+}
+
+uint32_t RRCollection::CoveringCount(NodeId v) const {
+  const CoverPostings p = Covering(v);
+  uint64_t count = p.ids.size();
+  for (uint64_t mask : p.masks) count += std::popcount(mask);
+  return static_cast<uint32_t>(count);
+}
+
+std::vector<RRId> RRCollection::DecodeCovering(NodeId v) const {
+  std::vector<RRId> out;
+  ForEachCovering(v, [&](RRId id) { out.push_back(id); });
+  return out;
 }
 
 uint64_t RRCollection::CoverageOf(std::span<const NodeId> seeds) const {
-  if (mark_epoch_.size() < num_sets()) mark_epoch_.resize(num_sets(), 0);
-  ++epoch_;
-  if (epoch_ == 0) {
-    std::fill(mark_epoch_.begin(), mark_epoch_.end(), 0);
-    epoch_ = 1;
-  }
+  if (index_dirty_) RebuildIndex(nullptr);
+  cover_scratch_.Reset(num_sets_);
+  uint64_t* words = cover_scratch_.words();
   uint64_t covered = 0;
   for (NodeId v : seeds) {
-    for (RRId id : SetsCovering(v)) {
-      if (mark_epoch_[id] != epoch_) {
-        mark_epoch_[id] = epoch_;
-        ++covered;
-      }
+    const CoverPostings p = Covering(v);
+    ForEachNewlyCoveredIds(p.ids, words, [&](RRId) { ++covered; });
+    for (size_t i = 0; i < p.words.size(); ++i) {
+      const uint64_t fresh = p.masks[i] & ~words[p.words[i]];
+      covered += std::popcount(fresh);
+      words[p.words[i]] |= fresh;
     }
   }
   return covered;

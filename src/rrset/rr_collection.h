@@ -1,24 +1,39 @@
-// Pooled storage for random reverse-reachable (RR) sets with an inverted
-// node -> RR-set index (paper §3.1).
+// Compressed pooled storage for random reverse-reachable (RR) sets with a
+// hybrid inverted node -> RR-set index (paper §3.1).
 //
 // An RR set is a set of nodes; a collection R of them supports the two
 // operations every RIS algorithm needs:
 //   * coverage Λ(S): how many RR sets in R intersect a seed set S, and
 //   * greedy max-coverage (via the inverted index; see select/).
-// Storage is append-only: sets are concatenated into one flat pool with an
-// offsets array (CSR-of-sets). The inverted node -> RR-id index is itself
-// CSR (cover_offsets_ + cover_ids_, ids ascending per node), rebuilt by a
-// counting-sort pass instead of being maintained per insert — one flat
-// array instead of n independently growing vectors, so greedy's inner
-// loops stream through contiguous memory.
+//
+// Storage. Members are kept sorted and group-varint delta-encoded
+// (rrset/varint_codec.h) into one append-only byte pool. Each set owns a
+// 4-byte slot: empty and singleton sets — the overwhelming majority on
+// sparse IC/LT pools — are tagged inline in the slot itself (no pool
+// bytes, no decode), larger sets store their byte offset relative to a
+// per-4096-set chunk base. Per-set traversal costs are optional
+// (RRStoreOptions::retain_set_costs); engine pools that never ask for
+// SetCost drop the 8 bytes/set. MemoryUsage() is therefore the
+// *compressed* footprint, and it is the quantity RunControl's memory
+// budget and the peak_rr_bytes telemetry are checked against.
+//
+// Inverted index. Each node's posting list (the ascending ids of the RR
+// sets containing it) is stored in one of two representations chosen per
+// node at rebuild time: raw RRId postings, or (word index, 64-bit mask)
+// blocks over the RR-id space for dense nodes. A block costs 12 bytes
+// against 4 per raw posting, so blocks win exactly when 3·blocks <=
+// postings — hub nodes collapse to ~θ/64 words that the bitset coverage
+// kernels (rrset/cover_bitset.h) AND + popcount whole words at a time.
+// Both representations hang off dual CSR offset arrays; exactly one has a
+// nonzero extent per node.
 //
 // Index validity contract: AddBatch leaves the index built (in parallel
-// when given a ThreadPool). AddSet defers the rebuild; the first
-// SetsCovering after single-set appends rebuilds serially. Interleaving
-// AddSet with reads is therefore valid but pays one O(Σ|R|) rebuild per
-// flip from writing to reading — the engine paths (ParallelGenerate /
-// select/) always ingest whole batches. The lazy rebuild also means the
-// first post-append read is not safe to race with other readers.
+// when given a ThreadPool). AddSet defers the rebuild; the first index
+// read after single-set appends rebuilds serially. Interleaving AddSet
+// with reads is therefore valid but pays one rebuild per flip from
+// writing to reading — the engine paths (ParallelGenerate / select/)
+// always ingest whole batches. The lazy rebuild also means the first
+// post-append read is not safe to race with other readers.
 
 #pragma once
 
@@ -28,93 +43,168 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "rrset/cover_bitset.h"
+#include "rrset/varint_codec.h"
 
 namespace opim {
 
 class ThreadPool;
 
-/// Index of an RR set within a collection.
-using RRId = uint32_t;
-
 /// One producer shard of sampled RR sets, in append order: `pool` is the
 /// concatenation of the sets' nodes and `sets` holds each set's (size,
 /// traversal cost). This is exactly the per-worker buffer shape of
-/// ParallelGenerate, so ingestion can move the node pools instead of
-/// copying set-by-set.
+/// ParallelGenerate; ingestion sorts and compresses the members shard by
+/// shard (in parallel when given a pool).
 struct RRBatch {
   std::vector<NodeId> pool;
   std::vector<std::pair<uint32_t, uint64_t>> sets;  // (size, edges examined)
+};
+
+/// Storage knobs fixed at construction.
+struct RRStoreOptions {
+  /// Keep the per-set traversal cost (8 bytes/set) so SetCost() answers.
+  /// Engine pools that only need aggregate γ turn this off.
+  bool retain_set_costs = true;
 };
 
 /// Append-only collection of RR sets over a graph with n nodes.
 class RRCollection {
  public:
   /// Creates an empty collection for node ids in [0, num_nodes).
-  explicit RRCollection(uint32_t num_nodes);
+  /// `num_nodes` must be < 2^31 (one slot bit tags inline sets).
+  explicit RRCollection(uint32_t num_nodes, RRStoreOptions options = {});
 
-  /// Appends one RR set (list of distinct nodes). `edges_examined` is the
-  /// traversal cost the sampler paid (the paper's γ accounting, §3.2).
-  /// Returns the new set's id. The inverted index rebuild is deferred to
-  /// the next SetsCovering (see the contract above); bulk producers should
-  /// use AddBatch.
+  /// Appends one RR set (list of distinct nodes, any order; stored
+  /// sorted). `edges_examined` is the traversal cost the sampler paid
+  /// (the paper's γ accounting, §3.2). Returns the new set's id. The
+  /// inverted index rebuild is deferred to the next index read (see the
+  /// contract above); bulk producers should use AddBatch.
   RRId AddSet(std::span<const NodeId> nodes, uint64_t edges_examined);
 
-  /// Appends every set of every shard, in shard order, moving the shard
-  /// node pools instead of copying set-by-set, then rebuilds the inverted
-  /// index (counting sort, parallelized over `pool` when provided). The
-  /// index is valid on return. Per-node range validation is debug-only on
-  /// this path (OPIM_DCHECK).
+  /// Appends every set of every shard, in shard order, sorting and
+  /// compressing each shard's members (parallelized over shards when
+  /// `pool` is provided), then rebuilds the inverted index. The index is
+  /// valid on return. Per-node range validation is debug-only on this
+  /// path (OPIM_DCHECK).
   void AddBatch(std::vector<RRBatch> shards, ThreadPool* pool = nullptr);
 
   /// Number of RR sets θ.
-  uint32_t num_sets() const { return static_cast<uint32_t>(offsets_.size() - 1); }
+  uint32_t num_sets() const { return num_sets_; }
 
   /// Number of nodes n of the underlying graph.
   uint32_t num_nodes() const { return num_nodes_; }
 
-  /// Nodes of RR set `id`.
-  std::span<const NodeId> Set(RRId id) const {
-    OPIM_DCHECK_LT(id, num_sets());
-    return {pool_.data() + offsets_[id], pool_.data() + offsets_[id + 1]};
+  /// Member count of RR set `id`.
+  uint32_t SetSize(RRId id) const {
+    OPIM_DCHECK_LT(id, num_sets_);
+    const uint32_t slot = slot_[id];
+    if (slot & kSlotInlineTag) return slot == kEmptySlot ? 0 : 1;
+    return DecodedRRMemberCount(SetBytes(id, slot));
   }
 
-  /// Ids of the RR sets containing `v` (ascending). Rebuilds the inverted
+  /// Calls `fn(NodeId)` for each member of RR set `id`, ascending.
+  template <typename Fn>
+  void ForEachMember(RRId id, Fn&& fn) const {
+    OPIM_DCHECK_LT(id, num_sets_);
+    const uint32_t slot = slot_[id];
+    if (slot & kSlotInlineTag) {
+      if (slot != kEmptySlot) fn(static_cast<NodeId>(slot & ~kSlotInlineTag));
+      return;
+    }
+    DecodeRRMembersForEach(SetBytes(id, slot), fn);
+  }
+
+  /// Members of RR set `id`, decoded into a fresh vector (ascending).
+  std::vector<NodeId> DecodeSet(RRId id) const;
+
+  /// Number of RR sets containing `v` — Λ({v}). Rebuilds the inverted
   /// index first if single-set appends left it stale.
-  std::span<const RRId> SetsCovering(NodeId v) const {
+  uint32_t CoveringCount(NodeId v) const;
+
+  /// One node's posting list in whichever representation it is stored;
+  /// exactly one of {ids} / {words, masks} is non-empty (both empty when
+  /// no RR set contains `v`).
+  struct CoverPostings {
+    std::span<const RRId> ids;
+    std::span<const uint32_t> words;
+    std::span<const uint64_t> masks;
+  };
+  CoverPostings Covering(NodeId v) const {
     OPIM_DCHECK_LT(v, num_nodes_);
     if (index_dirty_) RebuildIndex(nullptr);
-    return {cover_ids_.data() + cover_offsets_[v],
-            cover_ids_.data() + cover_offsets_[v + 1]};
+    return {{cover_ids_.data() + raw_offsets_[v],
+             cover_ids_.data() + raw_offsets_[v + 1]},
+            {block_words_.data() + block_offsets_[v],
+             block_words_.data() + block_offsets_[v + 1]},
+            {block_masks_.data() + block_offsets_[v],
+             block_masks_.data() + block_offsets_[v + 1]}};
   }
+
+  /// Calls `fn(RRId)` for each RR set containing `v`, ascending.
+  template <typename Fn>
+  void ForEachCovering(NodeId v, Fn&& fn) const {
+    const CoverPostings p = Covering(v);
+    for (RRId id : p.ids) fn(id);
+    for (size_t i = 0; i < p.words.size(); ++i) {
+      uint64_t mask = p.masks[i];
+      const uint64_t base = uint64_t{p.words[i]} << 6;
+      while (mask != 0) {
+        fn(static_cast<RRId>(base + std::countr_zero(mask)));
+        mask &= mask - 1;
+      }
+    }
+  }
+
+  /// Ids of the RR sets containing `v`, decoded into a fresh vector.
+  std::vector<RRId> DecodeCovering(NodeId v) const;
 
   /// Total nodes across all sets, Σ_R |R|. The query-time complexity of the
   /// OPIM bounds is linear in this (paper Table 1).
-  uint64_t total_size() const { return pool_.size(); }
+  uint64_t total_size() const { return total_members_; }
 
   /// Cumulative traversal cost γ across all sampled sets.
   uint64_t total_edges_examined() const { return total_edges_examined_; }
 
   /// Heap footprint of this collection in bytes (capacity-based, so it
-  /// reflects what the allocator actually holds): set pool, offsets,
-  /// per-set costs, the CSR inverted index, and the coverage scratch.
-  /// This is the quantity RunControl's memory budget is checked against.
+  /// reflects what the allocator actually holds): compressed member pool,
+  /// slots + chunk bases, optional per-set costs, the hybrid inverted
+  /// index, and the coverage scratch bitset. This is the quantity
+  /// RunControl's memory budget is checked against.
   uint64_t MemoryUsage() const {
-    return pool_.capacity() * sizeof(NodeId) +
-           offsets_.capacity() * sizeof(uint64_t) +
+    return pool_.capacity() * sizeof(uint8_t) +
+           slot_.capacity() * sizeof(uint32_t) +
+           chunk_base_.capacity() * sizeof(uint64_t) +
            set_cost_.capacity() * sizeof(uint64_t) +
-           cover_offsets_.capacity() * sizeof(uint64_t) +
+           raw_offsets_.capacity() * sizeof(uint32_t) +
            cover_ids_.capacity() * sizeof(RRId) +
-           mark_epoch_.capacity() * sizeof(uint32_t);
+           block_offsets_.capacity() * sizeof(uint32_t) +
+           block_words_.capacity() * sizeof(uint32_t) +
+           block_masks_.capacity() * sizeof(uint64_t) +
+           cover_scratch_.MemoryUsage();
   }
 
+  /// Bytes of the compressed member pool (inline-tagged sets cost zero).
+  uint64_t CompressedMemberBytes() const { return pool_.size(); }
+
+  /// What the member lists would occupy raw, Σ_R |R| * sizeof(NodeId) —
+  /// the PR-4-era storage; CompressedMemberBytes()/RawMemberBytes() is
+  /// the pool compression ratio reported in telemetry.
+  uint64_t RawMemberBytes() const { return total_members_ * sizeof(NodeId); }
+
+  /// Whether SetCost() is answerable (RRStoreOptions::retain_set_costs).
+  bool retains_set_costs() const { return retain_costs_; }
+
   /// Traversal cost ("width" in TIM's terminology: total in-degree of the
-  /// set's members) of one RR set.
+  /// set's members) of one RR set. Requires retain_set_costs.
   uint64_t SetCost(RRId id) const {
-    OPIM_DCHECK_LT(id, num_sets());
+    OPIM_DCHECK_LT(id, num_sets_);
+    OPIM_CHECK_MSG(retain_costs_,
+                   "SetCost requires RRStoreOptions::retain_set_costs");
     return set_cost_[id];
   }
 
-  /// Coverage Λ(S): number of RR sets intersecting S. O(Σ_{v∈S}|covers(v)|).
+  /// Coverage Λ(S): number of RR sets intersecting S, counted by marking
+  /// a scratch bitset with each seed's postings. O(θ/64 + Σ_{v∈S} work).
   /// Duplicate nodes in `seeds` are handled (each RR set counted once).
   uint64_t CoverageOf(std::span<const NodeId> seeds) const;
 
@@ -123,23 +213,49 @@ class RRCollection {
   double EstimateSpread(std::span<const NodeId> seeds) const;
 
  private:
-  /// Counting-sort rebuild of (cover_offsets_, cover_ids_) from the set
-  /// pool; parallelized across set ranges when `pool` has > 1 worker.
-  /// Deterministic: the result is identical for any worker count.
+  /// Slot tag for sets stored inline (empty or singleton): the low 31
+  /// bits hold the member id, or kEmptySlot's payload for empty sets.
+  static constexpr uint32_t kSlotInlineTag = 0x80000000u;
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+  /// Sets per chunk-base entry; a slot offset is relative to its chunk's
+  /// base so 31 bits suffice no matter how large the pool grows.
+  static constexpr uint32_t kChunkShift = 12;
+
+  const uint8_t* SetBytes(RRId id, uint32_t slot) const {
+    return pool_.data() + chunk_base_[id >> kChunkShift] + slot;
+  }
+
+  /// Sorts (and de-dups) `*nodes` in place, then appends the slot /
+  /// encoded bytes for one set. Shared by AddSet and batch assembly.
+  void AppendEncodedSet(std::vector<NodeId>* nodes);
+
+  /// Rebuilds the hybrid inverted index from the compressed pool:
+  /// counting-sort into raw ascending postings (parallelized across set
+  /// ranges when `pool` has > 1 worker), then per-node representation
+  /// selection and compaction. Deterministic: the result is identical
+  /// for any worker count.
   void RebuildIndex(ThreadPool* pool) const;
 
   uint32_t num_nodes_ = 0;
-  std::vector<NodeId> pool_;
-  std::vector<uint64_t> offsets_;   // num_sets + 1
-  std::vector<uint64_t> set_cost_;  // per-set traversal cost
+  uint32_t num_sets_ = 0;
+  bool retain_costs_ = true;
+  std::vector<uint8_t> pool_;        // group-varint encodings, ends with
+                                     // kVarintDecodeSlackBytes zero bytes
+  std::vector<uint32_t> slot_;       // per set: inline tag or chunk offset
+  std::vector<uint64_t> chunk_base_; // pool base per kChunkShift sets
+  std::vector<uint64_t> set_cost_;   // per-set cost iff retain_costs_
+  std::vector<NodeId> addset_scratch_;  // AddSet sort buffer (reused)
+  uint64_t total_members_ = 0;
   uint64_t total_edges_examined_ = 0;
-  // CSR inverted index; rebuilt lazily (mutable) after AddSet appends.
-  mutable std::vector<uint64_t> cover_offsets_;  // num_nodes + 1
+  // Hybrid inverted index; rebuilt lazily (mutable) after AddSet appends.
+  mutable std::vector<uint32_t> raw_offsets_;    // num_nodes + 1
   mutable std::vector<RRId> cover_ids_;
+  mutable std::vector<uint32_t> block_offsets_;  // num_nodes + 1
+  mutable std::vector<uint32_t> block_words_;
+  mutable std::vector<uint64_t> block_masks_;
   mutable bool index_dirty_ = false;
-  // Scratch for CoverageOf: stamp per RR set, grown lazily.
-  mutable std::vector<uint32_t> mark_epoch_;
-  mutable uint32_t epoch_ = 0;
+  // Scratch for CoverageOf (covered-set bitset, reset per call).
+  mutable CoverBitset cover_scratch_;
 };
 
 }  // namespace opim

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "obs/telemetry.h"
+#include "rrset/cover_bitset.h"
 
 namespace opim {
 
@@ -60,6 +61,17 @@ struct CelfEntry {
   }
 };
 
+/// Marks every RR set containing `v` covered and calls `fn(RRId)` once
+/// for each set that was not already covered (ascending ids — identical
+/// traversal order for both posting representations).
+template <typename Fn>
+void MarkCoveredBy(const RRCollection& collection, NodeId v,
+                   CoverBitset* covered, Fn&& fn) {
+  const RRCollection::CoverPostings p = collection.Covering(v);
+  ForEachNewlyCoveredIds(p.ids, covered->words(), fn);
+  ForEachNewlyCoveredBlocks(p.words, p.masks, covered->words(), fn);
+}
+
 }  // namespace
 
 GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
@@ -75,9 +87,10 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
 
   std::vector<uint64_t> counts(n, 0);  // Λ(v | S_i*) for the current prefix
   for (NodeId v = 0; v < n; ++v) {
-    counts[v] = collection.SetsCovering(v).size();
+    counts[v] = collection.CoveringCount(v);
   }
-  std::vector<char> covered(theta, 0);
+  CoverBitset covered;
+  covered.Reset(theta);
   std::vector<char> selected(n, 0);
   std::vector<uint64_t> scratch;
 
@@ -109,12 +122,12 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
     result.seeds.push_back(best);
     coverage += best_count;
     // Mark newly covered sets; every co-member loses one unit of marginal.
-    for (RRId id : collection.SetsCovering(best)) {
-      if (covered[id]) continue;
-      covered[id] = 1;
-      cover_updates += collection.Set(id).size();
-      for (NodeId w : collection.Set(id)) --counts[w];
-    }
+    MarkCoveredBy(collection, best, &covered, [&](RRId id) {
+      collection.ForEachMember(id, [&](NodeId w) {
+        ++cover_updates;
+        --counts[w];
+      });
+    });
     OPIM_DCHECK_EQ(counts[best], 0u);
   }
 
@@ -140,32 +153,43 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
                               bool with_trace) {
   OPIM_TM_SCOPED_TIMER("opim.select.celf_us");
   OPIM_TM_COUNTER_ADD("opim.select.celf_runs", 1);
+  OPIM_TM_GAUGE_SET("opim.select.simd_dispatch",
+                    EffectiveCoverageSimd() == SimdMode::kAvx2 ? 2 : 1);
   const uint32_t n = collection.num_nodes();
   const uint32_t theta = collection.num_sets();
   k = std::min(k, n);
 
   GreedyResult result;
   result.seeds.reserve(k);
-  std::vector<char> covered(theta, 0);
+  CoverBitset covered;
+  covered.Reset(theta);
   std::vector<char> selected(n, 0);
 
   uint64_t coverage = 0;
   uint32_t round = 0;
   uint64_t pops = 0;
   uint64_t rescans = 0;
+  uint64_t words_scanned = 0;  // bitset words the counting kernels touched
 
   if (!with_trace) {
-    // Classic CELF: no marginal bookkeeping at all — gains are recomputed
-    // on demand from the covered[] bitmap.
-    std::priority_queue<CelfEntry> queue;
+    // Classic CELF: no marginal bookkeeping at all — a stale entry's gain
+    // is recomputed on demand by intersecting the node's postings with
+    // the uncovered bitset (whole 64-bit words; AVX2 when dispatched).
+    // O(n) heap build (make_heap via the container ctor) instead of n
+    // pushes; pop order — and therefore the seed set — only depends on
+    // the comparator, not the heap's internal layout.
+    std::vector<CelfEntry> entries;
+    entries.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
-      uint64_t g = collection.SetsCovering(v).size();
-      queue.push({g, v, 0});
+      entries.push_back({collection.CoveringCount(v), v, 0});
     }
+    std::priority_queue<CelfEntry> queue(std::less<CelfEntry>{},
+                                         std::move(entries));
     auto fresh_gain = [&](NodeId v) {
-      uint64_t g = 0;
-      for (RRId id : collection.SetsCovering(v)) g += !covered[id];
-      return g;
+      const RRCollection::CoverPostings p = collection.Covering(v);
+      words_scanned += p.ids.size() + p.words.size();
+      return CountUncoveredIds(p.ids, covered.words()) +
+             CountUncoveredBlocks(p.words, p.masks, covered.words());
     };
     while (result.seeds.size() < k && !queue.empty()) {
       CelfEntry top = queue.top();
@@ -184,11 +208,12 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
       selected[top.node] = 1;
       result.seeds.push_back(top.node);
       coverage += top.gain;
-      for (RRId id : collection.SetsCovering(top.node)) covered[id] = 1;
+      MarkCoveredBy(collection, top.node, &covered, [](RRId) {});
       ++round;
     }
     OPIM_TM_COUNTER_ADD("opim.select.celf_pops", pops);
     OPIM_TM_COUNTER_ADD("opim.select.celf_rescans", rescans);
+    OPIM_TM_COUNTER_ADD("opim.select.words_scanned", words_scanned);
     FillWithUnselected(n, k, selected, &result.seeds);
     result.coverage = coverage;
     return result;
@@ -204,13 +229,16 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
   // per-pick O(n) scan, copy, or nth_element happens at all.
   std::vector<uint64_t> counts(n, 0);
   uint64_t max_count = 0;
-  std::priority_queue<CelfEntry> queue;
+  std::vector<CelfEntry> entries;  // heapified in one O(n) make_heap below
+  entries.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    const uint64_t g = collection.SetsCovering(v).size();
+    const uint64_t g = collection.CoveringCount(v);
     counts[v] = g;
-    if (g > 0) queue.push({g, v, 0});
+    if (g > 0) entries.push_back({g, v, 0});
     max_count = std::max(max_count, g);
   }
+  std::priority_queue<CelfEntry> queue(std::less<CelfEntry>{},
+                                       std::move(entries));
   std::vector<uint32_t> hist(max_count + 1, 0);  // hist[c] = #nodes, c > 0
   for (NodeId v = 0; v < n; ++v) {
     if (counts[v] > 0) ++hist[counts[v]];
@@ -260,17 +288,15 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
     selected[best] = 1;
     result.seeds.push_back(best);
     coverage += best_gain;
-    for (RRId id : collection.SetsCovering(best)) {
-      if (covered[id]) continue;
-      covered[id] = 1;
-      cover_updates += collection.Set(id).size();
-      for (NodeId w : collection.Set(id)) {
+    MarkCoveredBy(collection, best, &covered, [&](RRId id) {
+      collection.ForEachMember(id, [&](NodeId w) {
         // w belongs to a set that was uncovered, so counts[w] >= 1 here.
+        ++cover_updates;
         const uint64_t c = counts[w]--;
         --hist[c];
         if (c > 1) ++hist[c - 1];
-      }
-    }
+      });
+    });
     OPIM_DCHECK_EQ(counts[best], 0u);
     ++round;
   }
@@ -283,6 +309,7 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
   OPIM_TM_COUNTER_ADD("opim.select.celf_pops", pops);
   OPIM_TM_COUNTER_ADD("opim.select.celf_rescans", rescans);
   OPIM_TM_COUNTER_ADD("opim.select.cover_updates", cover_updates);
+  OPIM_TM_COUNTER_ADD("opim.select.words_scanned", words_scanned);
   FillWithUnselected(n, k, selected, &result.seeds);
   result.coverage = coverage;
   return result;

@@ -1,0 +1,210 @@
+// CoverBitset semantics plus bit-identity of the scalar and AVX2 counting
+// kernels on randomized postings — the differential guarantee that lets
+// runtime dispatch pick either path without changing any selection result.
+
+#include "rrset/cover_bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/random.h"
+
+namespace opim {
+namespace {
+
+/// Restores kAuto dispatch even when an assertion fails mid-test.
+struct SimdModeGuard {
+  ~SimdModeGuard() { SetCoverageSimdMode(SimdMode::kAuto); }
+};
+
+TEST(CoverBitsetTest, ResetClearsAndSizes) {
+  CoverBitset bits;
+  bits.Reset(130);
+  EXPECT_EQ(bits.num_bits(), 130u);
+  EXPECT_EQ(bits.num_words(), 3u);
+  for (uint64_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Test(i));
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  bits.Reset(130);
+  for (uint64_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(CoverBitsetTest, ForEachNewlyCoveredIdsReportsOnlyFreshBits) {
+  CoverBitset bits;
+  bits.Reset(200);
+  bits.Set(5);
+  bits.Set(70);
+  const std::vector<RRId> ids = {3, 5, 70, 71, 199};
+  std::vector<RRId> fresh;
+  ForEachNewlyCoveredIds(ids, bits.words(),
+                         [&](RRId id) { fresh.push_back(id); });
+  EXPECT_EQ(fresh, (std::vector<RRId>{3, 71, 199}));
+  for (RRId id : ids) EXPECT_TRUE(bits.Test(id));
+  // Second pass: everything already covered.
+  fresh.clear();
+  ForEachNewlyCoveredIds(ids, bits.words(),
+                         [&](RRId id) { fresh.push_back(id); });
+  EXPECT_TRUE(fresh.empty());
+}
+
+TEST(CoverBitsetTest, ForEachNewlyCoveredBlocksMatchesIdSemantics) {
+  CoverBitset a, b;
+  a.Reset(256);
+  b.Reset(256);
+  a.Set(65);
+  b.Set(65);
+  // Ids 64..66 and 130 as one mask per word.
+  const std::vector<RRId> ids = {64, 65, 66, 130};
+  const std::vector<uint32_t> block_words = {1, 2};
+  const std::vector<uint64_t> block_masks = {0x7ull, 0x4ull};
+  std::vector<RRId> fresh_ids, fresh_blocks;
+  ForEachNewlyCoveredIds(ids, a.words(),
+                         [&](RRId id) { fresh_ids.push_back(id); });
+  ForEachNewlyCoveredBlocks(block_words, block_masks, b.words(),
+                            [&](RRId id) { fresh_blocks.push_back(id); });
+  EXPECT_EQ(fresh_ids, fresh_blocks);
+  EXPECT_EQ(fresh_blocks, (std::vector<RRId>{64, 66, 130}));
+  for (uint64_t i = 0; i < 256; ++i) EXPECT_EQ(a.Test(i), b.Test(i));
+}
+
+/// Brute-force oracle for CountUncoveredIds.
+uint64_t BruteCountIds(const std::vector<RRId>& ids, const CoverBitset& bits) {
+  uint64_t c = 0;
+  for (RRId id : ids) c += bits.Test(id) ? 0 : 1;
+  return c;
+}
+
+/// Brute-force oracle for CountUncoveredBlocks.
+uint64_t BruteCountBlocks(const std::vector<uint32_t>& words,
+                          const std::vector<uint64_t>& masks,
+                          const CoverBitset& bits) {
+  uint64_t c = 0;
+  for (size_t i = 0; i < words.size(); ++i) {
+    c += std::popcount(masks[i] & ~bits.words()[words[i]]);
+  }
+  return c;
+}
+
+struct RandomCase {
+  CoverBitset bits;
+  std::vector<RRId> ids;
+  std::vector<uint32_t> block_words;
+  std::vector<uint64_t> block_masks;
+};
+
+RandomCase MakeRandomCase(Rng& rng, uint64_t num_bits) {
+  RandomCase c;
+  c.bits.Reset(num_bits);
+  const uint64_t set_bits = rng.UniformBelow(num_bits);
+  for (uint64_t i = 0; i < set_bits; ++i) {
+    c.bits.Set(rng.UniformBelow(num_bits));
+  }
+  const uint32_t len = rng.UniformBelow(300);
+  for (uint32_t i = 0; i < len; ++i) {
+    c.ids.push_back(rng.UniformBelow(num_bits));
+  }
+  std::sort(c.ids.begin(), c.ids.end());
+  c.ids.erase(std::unique(c.ids.begin(), c.ids.end()), c.ids.end());
+  uint32_t prev = UINT32_MAX;
+  for (RRId id : c.ids) {  // derive the block rep from the same ids
+    const uint32_t w = id >> 6;
+    if (w != prev) {
+      c.block_words.push_back(w);
+      c.block_masks.push_back(0);
+      prev = w;
+    }
+    c.block_masks.back() |= uint64_t{1} << (id & 63);
+  }
+  return c;
+}
+
+TEST(CoverKernelTest, ScalarMatchesBruteForce) {
+  SimdModeGuard guard;
+  SetCoverageSimdMode(SimdMode::kScalar);
+  Rng rng(11, 0x5ca1a);
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomCase c = MakeRandomCase(rng, 64 + rng.UniformBelow(2048));
+    EXPECT_EQ(CountUncoveredIds(c.ids, c.bits.words()),
+              BruteCountIds(c.ids, c.bits));
+    EXPECT_EQ(CountUncoveredBlocks(c.block_words, c.block_masks,
+                                   c.bits.words()),
+              BruteCountBlocks(c.block_words, c.block_masks, c.bits));
+  }
+}
+
+TEST(CoverKernelTest, Avx2BitIdenticalToScalar) {
+  if (!CoverageSimdAvailable()) {
+    GTEST_SKIP() << "AVX2 kernels not compiled in or not supported";
+  }
+  SimdModeGuard guard;
+  Rng rng(13, 0xa5b2);
+  for (int trial = 0; trial < 400; ++trial) {
+    RandomCase c = MakeRandomCase(rng, 64 + rng.UniformBelow(4096));
+    SetCoverageSimdMode(SimdMode::kScalar);
+    const uint64_t ids_scalar = CountUncoveredIds(c.ids, c.bits.words());
+    const uint64_t blk_scalar =
+        CountUncoveredBlocks(c.block_words, c.block_masks, c.bits.words());
+    SetCoverageSimdMode(SimdMode::kAvx2);
+    EXPECT_EQ(CountUncoveredIds(c.ids, c.bits.words()), ids_scalar)
+        << "trial " << trial;
+    EXPECT_EQ(CountUncoveredBlocks(c.block_words, c.block_masks,
+                                   c.bits.words()),
+              blk_scalar)
+        << "trial " << trial;
+  }
+}
+
+TEST(CoverKernelTest, TailLengthsCovered) {
+  // 0..12 ids hit every remainder of the 4-wide AVX2 main loop.
+  SimdModeGuard guard;
+  CoverBitset bits;
+  bits.Reset(256);
+  for (uint64_t i = 0; i < 256; i += 3) bits.Set(i);
+  std::vector<RRId> ids;
+  for (uint32_t len = 0; len <= 12; ++len) {
+    ids.clear();
+    for (uint32_t i = 0; i < len; ++i) ids.push_back(i * 17 % 256);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    SetCoverageSimdMode(SimdMode::kScalar);
+    const uint64_t scalar = CountUncoveredIds(ids, bits.words());
+    EXPECT_EQ(scalar, BruteCountIds(ids, bits));
+    if (CoverageSimdAvailable()) {
+      SetCoverageSimdMode(SimdMode::kAvx2);
+      EXPECT_EQ(CountUncoveredIds(ids, bits.words()), scalar)
+          << "len " << len;
+    }
+  }
+}
+
+TEST(CoverKernelTest, DispatchReportsConsistentState) {
+  SimdModeGuard guard;
+  SetCoverageSimdMode(SimdMode::kScalar);
+  EXPECT_EQ(EffectiveCoverageSimd(), SimdMode::kScalar);
+  EXPECT_STREQ(ActiveCoverageKernelName(), "scalar");
+  SetCoverageSimdMode(SimdMode::kAuto);
+  const SimdMode eff = EffectiveCoverageSimd();
+  EXPECT_NE(eff, SimdMode::kAuto);
+  if (CoverageSimdAvailable()) {
+    EXPECT_EQ(eff, SimdMode::kAvx2);
+    EXPECT_STREQ(ActiveCoverageKernelName(), "avx2");
+  } else {
+    EXPECT_EQ(eff, SimdMode::kScalar);
+  }
+  // Forcing kAvx2 without support degrades to scalar instead of crashing.
+  SetCoverageSimdMode(SimdMode::kAvx2);
+  if (!CoverageSimdAvailable()) {
+    EXPECT_EQ(EffectiveCoverageSimd(), SimdMode::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace opim

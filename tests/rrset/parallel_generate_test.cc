@@ -15,15 +15,13 @@ void ExpectSameCollections(const RRCollection& a, const RRCollection& b) {
   ASSERT_EQ(a.total_size(), b.total_size());
   ASSERT_EQ(a.total_edges_examined(), b.total_edges_examined());
   for (RRId id = 0; id < a.num_sets(); ++id) {
-    auto sa = a.Set(id), sb = b.Set(id);
-    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
-    for (size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
-    EXPECT_EQ(a.SetCost(id), b.SetCost(id));
+    EXPECT_EQ(a.DecodeSet(id), b.DecodeSet(id)) << "set " << id;
+    if (a.retains_set_costs() && b.retains_set_costs()) {
+      EXPECT_EQ(a.SetCost(id), b.SetCost(id));
+    }
   }
   for (NodeId v = 0; v < a.num_nodes(); ++v) {
-    auto ca = a.SetsCovering(v), cb = b.SetsCovering(v);
-    ASSERT_EQ(ca.size(), cb.size()) << "node " << v;
-    for (size_t i = 0; i < ca.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+    EXPECT_EQ(a.DecodeCovering(v), b.DecodeCovering(v)) << "node " << v;
   }
 }
 
@@ -47,9 +45,7 @@ TEST_P(ParallelGenerateModelTest, DeterministicForFixedSeedAndThreads) {
   ASSERT_EQ(a.num_sets(), b.num_sets());
   ASSERT_EQ(a.total_size(), b.total_size());
   for (RRId id = 0; id < a.num_sets(); ++id) {
-    auto sa = a.Set(id), sb = b.Set(id);
-    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
-    for (size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+    EXPECT_EQ(a.DecodeSet(id), b.DecodeSet(id)) << "set " << id;
     EXPECT_EQ(a.SetCost(id), b.SetCost(id));
   }
 }

@@ -30,8 +30,34 @@ TEST(RRCollectionTest, AddSetStoresNodesAndCost) {
   EXPECT_EQ(rr.num_sets(), 1u);
   EXPECT_EQ(rr.total_size(), 3u);
   EXPECT_EQ(rr.total_edges_examined(), 7u);
-  auto s = rr.Set(0);
-  EXPECT_EQ(std::vector<NodeId>(s.begin(), s.end()), set1);
+  EXPECT_EQ(rr.SetSize(0), 3u);
+  EXPECT_EQ(rr.DecodeSet(0), set1);
+  EXPECT_EQ(rr.SetCost(0), 7u);
+}
+
+TEST(RRCollectionTest, AddSetSortsAndDeduplicates) {
+  // Members are stored delta-encoded over the sorted unique list; callers
+  // read them back sorted regardless of input order.
+  RRCollection rr(8);
+  rr.AddSet(std::vector<NodeId>{5, 1, 7, 1, 5}, 3);
+  EXPECT_EQ(rr.SetSize(0), 3u);
+  EXPECT_EQ(rr.DecodeSet(0), (std::vector<NodeId>{1, 5, 7}));
+  EXPECT_EQ(rr.total_size(), 3u);
+}
+
+TEST(RRCollectionTest, InlineSlotsRoundTrip) {
+  // Empty and singleton sets live in the slot word itself (no pool bytes).
+  RRCollection rr(1u << 20);
+  rr.AddSet(std::vector<NodeId>{}, 0);
+  rr.AddSet(std::vector<NodeId>{(1u << 20) - 1}, 1);
+  rr.AddSet(std::vector<NodeId>{0}, 1);
+  EXPECT_EQ(rr.SetSize(0), 0u);
+  EXPECT_EQ(rr.SetSize(1), 1u);
+  EXPECT_EQ(rr.SetSize(2), 1u);
+  EXPECT_TRUE(rr.DecodeSet(0).empty());
+  EXPECT_EQ(rr.DecodeSet(1), (std::vector<NodeId>{(1u << 20) - 1}));
+  EXPECT_EQ(rr.DecodeSet(2), (std::vector<NodeId>{0}));
+  EXPECT_EQ(rr.CompressedMemberBytes(), 0u);
 }
 
 TEST(RRCollectionTest, InvertedIndexTracksMembership) {
@@ -39,11 +65,11 @@ TEST(RRCollectionTest, InvertedIndexTracksMembership) {
   rr.AddSet(std::vector<NodeId>{0, 1}, 1);
   rr.AddSet(std::vector<NodeId>{1, 2}, 1);
   rr.AddSet(std::vector<NodeId>{1}, 1);
-  EXPECT_EQ(rr.SetsCovering(0).size(), 1u);
-  EXPECT_EQ(rr.SetsCovering(1).size(), 3u);
-  EXPECT_EQ(rr.SetsCovering(2).size(), 1u);
-  EXPECT_EQ(rr.SetsCovering(3).size(), 0u);
-  EXPECT_EQ(rr.SetsCovering(1)[2], 2u);  // ascending ids
+  EXPECT_EQ(rr.CoveringCount(0), 1u);
+  EXPECT_EQ(rr.CoveringCount(1), 3u);
+  EXPECT_EQ(rr.CoveringCount(2), 1u);
+  EXPECT_EQ(rr.CoveringCount(3), 0u);
+  EXPECT_EQ(rr.DecodeCovering(1), (std::vector<RRId>{0, 1, 2}));
 }
 
 TEST(RRCollectionTest, CoverageCountsEachSetOnce) {
@@ -68,7 +94,7 @@ TEST(RRCollectionTest, RepeatedCoverageQueriesIndependent) {
   rr.AddSet(std::vector<NodeId>{0}, 1);
   rr.AddSet(std::vector<NodeId>{1}, 1);
   std::vector<NodeId> s0 = {0}, s1 = {1};
-  // The epoch-stamp scratch must reset logically between queries.
+  // The bitset scratch must reset logically between queries.
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(rr.CoverageOf(s0), 1u);
     EXPECT_EQ(rr.CoverageOf(s1), 1u);
@@ -107,21 +133,56 @@ TEST(RRCollectionTest, EmptySetAllowed) {
   EXPECT_EQ(rr.CoverageOf(seeds), 0u);
 }
 
+TEST(RRCollectionTest, DroppedCostColumn) {
+  RRCollection rr(4, RRStoreOptions{.retain_set_costs = false});
+  EXPECT_FALSE(rr.retains_set_costs());
+  rr.AddSet(std::vector<NodeId>{0, 1}, 9);
+  // Aggregate γ survives even without the per-set column.
+  EXPECT_EQ(rr.total_edges_examined(), 9u);
+  EXPECT_EQ(rr.DecodeSet(0), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(RRCollectionTest, ForEachAccessorsMatchDecode) {
+  // ForEachMember / ForEachCovering are the zero-allocation hot-path
+  // views; they must agree with the materializing helpers for both
+  // posting representations (high-frequency nodes flip to blocks).
+  const uint32_t n = 40;
+  RRCollection rr(n);
+  for (uint32_t i = 0; i < 600; ++i) {
+    std::vector<NodeId> s = {0, static_cast<NodeId>(i % n),
+                             static_cast<NodeId>((i * 11 + 3) % n)};
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    rr.AddSet(s, 1);
+  }
+  for (RRId id = 0; id < rr.num_sets(); ++id) {
+    std::vector<NodeId> walked;
+    rr.ForEachMember(id, [&](NodeId v) { walked.push_back(v); });
+    EXPECT_EQ(walked, rr.DecodeSet(id)) << "set " << id;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<RRId> walked;
+    rr.ForEachCovering(v, [&](RRId id) { walked.push_back(id); });
+    const std::vector<RRId> decoded = rr.DecodeCovering(v);
+    EXPECT_EQ(walked, decoded) << "node " << v;
+    EXPECT_EQ(rr.CoveringCount(v), decoded.size()) << "node " << v;
+    EXPECT_TRUE(std::is_sorted(decoded.begin(), decoded.end()));
+  }
+}
+
 /// Expects identical sets, costs, and inverted index in both collections.
 void ExpectEquivalent(const RRCollection& a, const RRCollection& b) {
   ASSERT_EQ(a.num_sets(), b.num_sets());
   ASSERT_EQ(a.total_size(), b.total_size());
   ASSERT_EQ(a.total_edges_examined(), b.total_edges_examined());
   for (RRId id = 0; id < a.num_sets(); ++id) {
-    auto sa = a.Set(id), sb = b.Set(id);
-    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
-    for (size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
-    EXPECT_EQ(a.SetCost(id), b.SetCost(id));
+    EXPECT_EQ(a.DecodeSet(id), b.DecodeSet(id)) << "set " << id;
+    if (a.retains_set_costs() && b.retains_set_costs()) {
+      EXPECT_EQ(a.SetCost(id), b.SetCost(id));
+    }
   }
   for (NodeId v = 0; v < a.num_nodes(); ++v) {
-    auto ca = a.SetsCovering(v), cb = b.SetsCovering(v);
-    ASSERT_EQ(ca.size(), cb.size()) << "node " << v;
-    for (size_t i = 0; i < ca.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+    EXPECT_EQ(a.DecodeCovering(v), b.DecodeCovering(v)) << "node " << v;
   }
 }
 
@@ -184,16 +245,33 @@ TEST(RRCollectionBatchTest, SuccessiveBatchesAppend) {
   ExpectEquivalent(incremental, batched);
 }
 
-TEST(RRCollectionBatchTest, SingleShardIntoEmptyCollectionMovesPool) {
-  // The fast path adopts the shard's node pool wholesale; the data must
-  // land at the same addresses it occupied in the shard buffer.
+TEST(RRCollectionBatchTest, CompressedStorageBeatsRawForDenseSets) {
+  // Clustered ids delta-encode to ~1 byte per member; the compressed pool
+  // must come in well under the 4 bytes/member raw footprint and decode
+  // back exactly.
+  const uint32_t n = 4096;
+  std::vector<std::vector<NodeId>> sets;
+  for (uint32_t s = 0; s < 64; ++s) {
+    std::vector<NodeId> members;
+    for (uint32_t j = 0; j < 96; ++j) {
+      members.push_back((s * 17 + j * 3) % n);
+    }
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    sets.push_back(std::move(members));
+  }
+  RRCollection rr(n);
   std::vector<RRBatch> shards;
-  shards.push_back(PackShard({{0, 1, 2}, {2, 3}}));
-  const NodeId* shard_data = shards[0].pool.data();
-  RRCollection rr(4);
+  shards.push_back(PackShard(sets));
   rr.AddBatch(std::move(shards));
-  ASSERT_EQ(rr.num_sets(), 2u);
-  EXPECT_EQ(rr.Set(0).data(), shard_data);
+  ASSERT_EQ(rr.num_sets(), sets.size());
+  for (RRId id = 0; id < rr.num_sets(); ++id) {
+    EXPECT_EQ(rr.DecodeSet(id), sets[id]) << "set " << id;
+  }
+  EXPECT_GT(rr.CompressedMemberBytes(), 0u);
+  EXPECT_LT(rr.CompressedMemberBytes(), rr.RawMemberBytes() / 2);
+  EXPECT_EQ(rr.RawMemberBytes(), rr.total_size() * sizeof(NodeId));
 }
 
 TEST(RRCollectionBatchTest, EmptyAndNoopShards) {
@@ -203,12 +281,13 @@ TEST(RRCollectionBatchTest, EmptyAndNoopShards) {
   std::vector<RRBatch> shards(2);  // shards with no sets
   rr.AddBatch(std::move(shards));
   EXPECT_EQ(rr.num_sets(), 0u);
-  EXPECT_EQ(rr.SetsCovering(0).size(), 0u);
+  EXPECT_EQ(rr.CoveringCount(0), 0u);
 }
 
 TEST(RRCollectionBatchTest, ParallelRebuildMatchesSerial) {
-  // Above the size cutoff AddBatch rebuilds the CSR index on the pool;
-  // the chunked counting sort must produce exactly the serial layout.
+  // Above the size cutoff AddBatch rebuilds the inverted index on the
+  // pool; the chunked counting sort must produce exactly the serial
+  // layout.
   const uint32_t n = 400;
   const int num_sets = 30000;  // ~90k pooled nodes > the 2^16 cutoff
   std::vector<std::vector<NodeId>> sets;
@@ -237,18 +316,17 @@ TEST(RRCollectionBatchTest, ParallelRebuildMatchesSerial) {
 }
 
 TEST(RRCollectionBatchTest, AddSetAfterBatchKeepsIndexFresh) {
-  // AddSet defers the index rebuild; the next SetsCovering query must
-  // observe both the batched and the incrementally added sets.
+  // AddSet defers the index rebuild; the next covering query must observe
+  // both the batched and the incrementally added sets.
   RRCollection rr(3);
   std::vector<RRBatch> shards;
   shards.push_back(PackShard({{0, 1}}));
   rr.AddBatch(std::move(shards));
-  EXPECT_EQ(rr.SetsCovering(1).size(), 1u);
+  EXPECT_EQ(rr.CoveringCount(1), 1u);
   rr.AddSet(std::vector<NodeId>{1, 2}, 1);
-  EXPECT_EQ(rr.SetsCovering(1).size(), 2u);
-  EXPECT_EQ(rr.SetsCovering(1)[0], 0u);  // ascending set ids
-  EXPECT_EQ(rr.SetsCovering(1)[1], 1u);
-  EXPECT_EQ(rr.SetsCovering(2).size(), 1u);
+  EXPECT_EQ(rr.CoveringCount(1), 2u);
+  EXPECT_EQ(rr.DecodeCovering(1), (std::vector<RRId>{0, 1}));
+  EXPECT_EQ(rr.CoveringCount(2), 1u);
 }
 
 TEST(RRCollectionTest, ManySetsStressInvertedIndex) {
@@ -260,8 +338,24 @@ TEST(RRCollectionTest, ManySetsStressInvertedIndex) {
   }
   // Sum of per-node cover list lengths equals total stored nodes.
   uint64_t total = 0;
-  for (NodeId v = 0; v < n; ++v) total += rr.SetsCovering(v).size();
+  for (NodeId v = 0; v < n; ++v) total += rr.CoveringCount(v);
   EXPECT_EQ(total, rr.total_size());
+}
+
+TEST(RRCollectionTest, MemoryUsageReflectsCompressedFootprint) {
+  // MemoryUsage() is what the PR 4 budget meters; it must track the
+  // compressed pool, not the raw member bytes.
+  const uint32_t n = 2000;
+  RRCollection rr(n);
+  for (uint32_t i = 0; i < 500; ++i) {
+    std::vector<NodeId> s;
+    for (uint32_t j = 0; j < 20; ++j) s.push_back((i * 37 + j * 7) % n);
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    rr.AddSet(s, 1);
+  }
+  EXPECT_GE(rr.MemoryUsage(), rr.CompressedMemberBytes());
+  EXPECT_LT(rr.CompressedMemberBytes(), rr.RawMemberBytes());
 }
 
 }  // namespace

@@ -59,7 +59,7 @@ void ExpectTraceMatchesBruteForce(const RRCollection& rr, uint32_t k,
                                   const GreedyResult& r) {
   const uint32_t n = rr.num_nodes();
   std::vector<uint64_t> counts(n, 0);
-  for (NodeId v = 0; v < n; ++v) counts[v] = rr.SetsCovering(v).size();
+  for (NodeId v = 0; v < n; ++v) counts[v] = rr.CoveringCount(v);
   std::vector<char> covered(rr.num_sets(), 0);
 
   ASSERT_EQ(r.seeds.size(), static_cast<size_t>(k));  // k pre-clamped
@@ -74,11 +74,11 @@ void ExpectTraceMatchesBruteForce(const RRCollection& rr, uint32_t k,
         << "prefix " << i;
     const NodeId s = r.seeds[i];
     coverage += counts[s];
-    for (RRId id : rr.SetsCovering(s)) {
-      if (covered[id]) continue;
+    rr.ForEachCovering(s, [&](RRId id) {
+      if (covered[id]) return;
       covered[id] = 1;
-      for (NodeId w : rr.Set(id)) --counts[w];
-    }
+      rr.ForEachMember(id, [&](NodeId w) { --counts[w]; });
+    });
   }
   EXPECT_EQ(r.coverage_at[k], coverage);
   EXPECT_EQ(r.coverage_at[k], r.coverage);

@@ -264,6 +264,16 @@ int CmdRun(const Flags& flags) {
     report.AddResult("iterations", r.iterations);
     report.AddResult("i_max", r.i_max);
     report.AddResult("total_rr_size", static_cast<double>(r.total_rr_size));
+    // Storage compression, next to the guardrail bytes: the member pool's
+    // group-varint footprint and raw_bytes/compressed_bytes (inline
+    // singleton sets make the ratio exceed plain codec savings).
+    report.AddResult("compressed_bytes",
+                     static_cast<double>(r.rr_compressed_bytes));
+    report.AddResult("compression_ratio",
+                     r.rr_compressed_bytes > 0
+                         ? static_cast<double>(r.rr_raw_member_bytes) /
+                               static_cast<double>(r.rr_compressed_bytes)
+                         : 0.0);
     for (size_t i = 0; i < r.trace.size(); ++i) {
       const OpimCIteration& it = r.trace[i];
       report.AddIteration()
@@ -275,7 +285,9 @@ int CmdRun(const Flags& flags) {
           .Set("generate_seconds", it.generate_seconds)
           .Set("greedy_seconds", it.greedy_seconds)
           .Set("bounds_seconds", it.bounds_seconds)
-          .Set("rr_bytes", static_cast<double>(it.rr_bytes));
+          .Set("rr_bytes", static_cast<double>(it.rr_bytes))
+          .Set("rr_compressed_bytes",
+               static_cast<double>(it.rr_compressed_bytes));
     }
   } else if (algo == "imm") {
     ImResult r = RunImm(g, model, k, eps, delta, {seed, 0});
@@ -456,6 +468,14 @@ int CmdOnline(const Flags& flags) {
   }
   report.AddResult("rr_sets", static_cast<double>(om.num_rr_sets()));
   report.AddResult("alpha", last_alpha);
+  const uint64_t compressed_bytes =
+      om.r1().CompressedMemberBytes() + om.r2().CompressedMemberBytes();
+  const uint64_t raw_bytes = om.r1().RawMemberBytes() + om.r2().RawMemberBytes();
+  report.AddResult("compressed_bytes", static_cast<double>(compressed_bytes));
+  report.AddResult("compression_ratio",
+                   compressed_bytes > 0 ? static_cast<double>(raw_bytes) /
+                                              static_cast<double>(compressed_bytes)
+                                        : 0.0);
   const OpimCGuardrails gr = SummarizeGuardrails(control);
   ReportGuardrails(gr, &report);
   Status report_st = WriteReportOutputs(
