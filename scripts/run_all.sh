@@ -55,6 +55,18 @@ ctest --test-dir build-asan --output-on-failure \
   -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf|FaultInjection|Guardrails|RunControl|SignalGuard|ThreadPool|LoaderRobustness|VarintCodec|CoverBitset|CoverKernel|SimdDifferential' 2>&1 \
   | tee "$OUT/test_output_sanitized.txt"
 
+# TSan build over the concurrency-heavy subset: the thread pool, parallel
+# RR generation, the lock-free trace recorder, and the progress heartbeat
+# all publish across threads with hand-placed acquire/release pairs, so a
+# missing fence must fail loudly here. TSan and ASan cannot share a build
+# (mutually exclusive runtimes), hence the separate tree.
+cmake -B build-tsan -G Ninja -DOPIM_SANITIZE=thread \
+  -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
+cmake --build build-tsan
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'ThreadPool|ParallelGenerate|AdvanceParallel|Trace|Progress|RunControl|Guardrails|Metrics' 2>&1 \
+  | tee "$OUT/test_output_tsan.txt"
+
 # OPIM_SIMD=OFF build: the portable scalar coverage kernels alone must
 # carry the codec, coverage, selection, and golden suites — this is the
 # configuration every non-x86-64 target gets, and the golden pins prove
@@ -98,5 +110,22 @@ scripts/run_perf_baseline.sh --smoke --build-dir build \
 echo "=== perf baselines (smoke, telemetry off) ==="
 scripts/run_perf_baseline.sh --smoke --build-dir build-notm \
   | tee "$OUT/bench_perf_baseline_smoke_notelemetry.json"
+
+# Opt-in perf gate (CHECK_BENCH_REGRESSION=1): re-measure the headline
+# engine timings and fail if any regressed >10% against the committed
+# baselines. Off by default — shared CI machines make wall-clock numbers
+# too noisy to block every run on.
+if [[ "${CHECK_BENCH_REGRESSION:-0}" == "1" ]]; then
+  echo "=== bench regression gate ==="
+  FRESH_GEN="$OUT/fresh_bench_generate.json"
+  FRESH_SEL="$OUT/fresh_bench_select_ingest.json"
+  build/bench/bench_generate --label=after "--out=$FRESH_GEN"
+  build/bench/bench_select_ingest --label=after --seed=7 "--out=$FRESH_SEL"
+  python3 scripts/check_bench_regression.py \
+    --baseline-generate BENCH_generate.json --fresh-generate "$FRESH_GEN" \
+    --baseline-select BENCH_select_ingest.json --fresh-select "$FRESH_SEL" \
+    --threshold-pct "${BENCH_REGRESSION_THRESHOLD_PCT:-10}" 2>&1 \
+    | tee "$OUT/bench_regression.txt"
+fi
 
 echo "All outputs in $OUT/"

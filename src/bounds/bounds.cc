@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "support/math_util.h"
 
 namespace opim {
@@ -22,6 +23,7 @@ const char* BoundKindName(BoundKind kind) {
 
 double SigmaLower(uint64_t lambda2, uint64_t theta2, double scale,
                   double delta2) {
+  OPIM_TR_SPAN1("sigma_lower", "bounds", "theta2", theta2);
   OPIM_TM_COUNTER_ADD("opim.bounds.eval_lower", 1);
   OPIM_CHECK_GT(theta2, 0u);
   OPIM_CHECK(delta2 > 0.0 && delta2 < 1.0);
@@ -70,6 +72,7 @@ uint64_t LambdaUpperLeskovec(const GreedyResult& greedy) {
 
 double SigmaUpper(BoundKind kind, const GreedyResult& greedy, uint64_t theta1,
                   double scale, double delta1) {
+  OPIM_TR_SPAN1("sigma_upper", "bounds", "theta1", theta1);
   switch (kind) {
     case BoundKind::kBasic:
       OPIM_TM_COUNTER_ADD("opim.bounds.eval_basic", 1);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "rrset/parallel_generate.h"
 
 namespace opim {
@@ -63,6 +64,7 @@ OnlineMaximizer::OnlineMaximizer(const Graph& g, DiffusionModel model,
 
 void OnlineMaximizer::AdvanceParallel(uint64_t count,
                                       unsigned num_threads) {
+  OPIM_TR_SPAN1("advance", "online", "count", count);
   OPIM_TM_SCOPED_TIMER("opim.online.advance_us");
   const uint64_t to_r1 = (count + next_to_r1_) / 2;
   // Batch seeds derive from the shared RNG so successive calls stay
@@ -91,6 +93,7 @@ void OnlineMaximizer::AdvanceParallel(uint64_t count,
 }
 
 void OnlineMaximizer::Advance(uint64_t count) {
+  OPIM_TR_SPAN1("advance", "online", "count", count);
   OPIM_TM_SCOPED_TIMER("opim.online.advance_us");
   const uint64_t alias_before = sampler_->alias_draws();
   uint64_t generated = 0;
@@ -136,6 +139,7 @@ OnlineSnapshot OnlineMaximizer::QuerySequential(BoundKind kind) {
 
 OnlineSnapshot OnlineMaximizer::QueryWithDelta(BoundKind kind,
                                                double delta_each) const {
+  OPIM_TR_SPAN1("query", "online", "theta1", r1_.num_sets());
   OPIM_TM_SCOPED_TIMER("opim.online.query_us");
   OPIM_TM_COUNTER_ADD("opim.online.queries", 1);
   OPIM_CHECK_MSG(r1_.num_sets() > 0 && r2_.num_sets() > 0,
@@ -182,6 +186,7 @@ OnlineSnapshot OnlineMaximizer::RunUntilTarget(BoundKind kind,
 }
 
 OnlineSnapshotAll OnlineMaximizer::QueryAll() const {
+  OPIM_TR_SPAN1("query", "online", "theta1", r1_.num_sets());
   OPIM_TM_SCOPED_TIMER("opim.online.query_us");
   OPIM_TM_COUNTER_ADD("opim.online.queries", 1);
   OPIM_CHECK_MSG(r1_.num_sets() > 0 && r2_.num_sets() > 0,

@@ -7,6 +7,7 @@
 #include "graph/sampling_view.h"
 #include "obs/log.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "rrset/parallel_generate.h"
 #include "rrset/rr_sampler.h"
 #include "rrset/rr_collection.h"
@@ -117,6 +118,7 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   uint64_t batch_counter = 0;
   double pending_generate_seconds = 0.0;
   auto generate = [&](RRCollection* rr, uint64_t count, RunControl* ctl) {
+    OPIM_TR_SPAN1("generate", "opimc", "count", count);
     Stopwatch watch;
     uint64_t state = options.seed ^ (0x6f70634bULL + ++batch_counter);
     ParallelGenerate(g, model, rr, count, SplitMix64(state), num_threads,
@@ -149,6 +151,7 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   const bool needs_trace = options.bound != BoundKind::kBasic;
 
   for (uint32_t i = 1; i <= i_max; ++i) {
+    OPIM_TR_SPAN2("iteration", "opimc", "iter", i, "theta1", r1.num_sets());
     OPIM_TM_COUNTER_ADD("opim.opimc.iterations", 1);
     Stopwatch phase_watch;
     GreedyResult greedy = SelectGreedyCelf(r1, k, needs_trace);

@@ -1,0 +1,84 @@
+// Checked JSON reader for the telemetry artifacts opim emits.
+//
+// obs/json.h is a writer only; this is the matching reader, used by
+// tools/report_lint to machine-check that emitted run reports and trace
+// files are well-formed. It is a strict RFC 8259 recursive-descent parser:
+//
+//   * every syntax error is a Status carrying the byte offset, never a
+//     crash or a partially-filled value,
+//   * nesting depth is bounded (kMaxDepth) so adversarial input cannot
+//     overflow the stack,
+//   * \u escapes are decoded to UTF-8, including surrogate pairs,
+//   * object members preserve document order (run reports and traces are
+//     checked for ordering invariants, so a map would lose information);
+//     duplicate keys are rejected.
+//
+// Numbers are held as double (sufficient for the integer ranges the
+// telemetry schemas emit: timestamps and counters fit in 2^53) with the
+// original token kept for error messages.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.h"
+
+namespace opim {
+
+/// One parsed JSON value. A tree of these is cheap enough for the file
+/// sizes report_lint handles (reports and traces are a few MB at most).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Accessors check the kind (OPIM_CHECK); use the predicates first.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error. Errors are InvalidArgument with a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads `path` and parses it (IOError on read failure).
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+/// Maximum container nesting ParseJson accepts.
+inline constexpr int kJsonMaxDepth = 64;
+
+}  // namespace opim

@@ -1,0 +1,233 @@
+#include "obs/report_lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+namespace opim {
+
+namespace {
+
+void Add(std::vector<std::string>* out, std::string msg) {
+  out->push_back(std::move(msg));
+}
+
+/// Checks that `doc` has a string member `schema` equal to `expected`.
+void CheckSchemaTag(const JsonValue& doc, const std::string& expected,
+                    std::vector<std::string>* out) {
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr) {
+    Add(out, "missing \"schema\" version tag");
+  } else if (!schema->is_string()) {
+    Add(out, "\"schema\" is not a string");
+  } else if (schema->AsString() != expected) {
+    Add(out, "unknown schema version \"" + schema->AsString() +
+                 "\" (expected \"" + expected + "\")");
+  }
+}
+
+/// All members of `obj` must be numbers; `where` names it in messages.
+void CheckNumericObject(const JsonValue& obj, const std::string& where,
+                        std::vector<std::string>* out) {
+  for (const auto& [key, value] : obj.AsObject()) {
+    if (!value.is_number()) {
+      Add(out, where + "." + key + " is not a number");
+    } else if (!std::isfinite(value.AsNumber())) {
+      Add(out, where + "." + key + " is not finite");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> LintRunReportJson(const JsonValue& doc) {
+  std::vector<std::string> out;
+  if (!doc.is_object()) {
+    Add(&out, "run report is not a JSON object");
+    return out;
+  }
+  CheckSchemaTag(doc, "opim.run_report.v1", &out);
+
+  const JsonValue* info = doc.Find("info");
+  if (info == nullptr || !info->is_object()) {
+    Add(&out, "missing or non-object \"info\" section");
+  } else {
+    for (const auto& [key, value] : info->AsObject()) {
+      if (!value.is_string()) Add(&out, "info." + key + " is not a string");
+    }
+  }
+
+  const JsonValue* results = doc.Find("results");
+  if (results == nullptr || !results->is_object()) {
+    Add(&out, "missing or non-object \"results\" section");
+  } else {
+    CheckNumericObject(*results, "results", &out);
+  }
+
+  const JsonValue* iterations = doc.Find("iterations");
+  if (iterations == nullptr || !iterations->is_array()) {
+    Add(&out, "missing or non-array \"iterations\" section");
+  } else {
+    const auto& rows = iterations->AsArray();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!rows[i].is_object()) {
+        Add(&out, "iterations[" + std::to_string(i) + "] is not an object");
+        continue;
+      }
+      CheckNumericObject(rows[i], "iterations[" + std::to_string(i) + "]",
+                         &out);
+      // Every row must repeat the first row's columns in order — the CSV
+      // view assumes it, so the JSON must already satisfy it.
+      if (i > 0 && rows[i].AsObject().size() != rows[0].AsObject().size()) {
+        Add(&out, "iterations[" + std::to_string(i) +
+                      "] has a different column count than iterations[0]");
+      }
+    }
+  }
+
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    Add(&out, "missing or non-object \"metrics\" section");
+  } else {
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+      const JsonValue* sub = metrics->Find(section);
+      if (sub == nullptr || !sub->is_object()) {
+        Add(&out, std::string("metrics.") + section +
+                      " is missing or not an object");
+      }
+    }
+    const JsonValue* counters = metrics->Find("counters");
+    if (counters != nullptr && counters->is_object()) {
+      for (const auto& [key, value] : counters->AsObject()) {
+        if (!value.is_number() || value.AsNumber() < 0.0) {
+          Add(&out, "metrics.counters." + key +
+                        " is not a non-negative number");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> LintTraceJson(const JsonValue& doc) {
+  std::vector<std::string> out;
+  if (!doc.is_object()) {
+    Add(&out, "trace is not a JSON object");
+    return out;
+  }
+  CheckSchemaTag(doc, "opim.trace.v1", &out);
+
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    Add(&out, "missing or non-array \"traceEvents\"");
+    return out;
+  }
+
+  // Per-tid timeline state for the ordering and nesting checks.
+  struct TidState {
+    double last_ts = -1.0;
+    std::vector<std::pair<double, double>> open;  // [begin, end) stack
+  };
+  std::map<int64_t, TidState> tids;
+
+  const auto& items = events->AsArray();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    const JsonValue& ev = items[i];
+    if (!ev.is_object()) {
+      Add(&out, at + " is not an object");
+      continue;
+    }
+    const JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      Add(&out, at + " has no string \"ph\"");
+      continue;
+    }
+    const JsonValue* name = ev.Find("name");
+    if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+      Add(&out, at + " has no non-empty string \"name\"");
+    }
+    const JsonValue* tid = ev.Find("tid");
+    if (tid == nullptr || !tid->is_number()) {
+      Add(&out, at + " has no numeric \"tid\"");
+      continue;
+    }
+    const std::string& phase = ph->AsString();
+    if (phase == "M") continue;  // metadata events carry no timestamps
+    if (phase != "X") {
+      Add(&out, at + " has unsupported phase \"" + phase + "\"");
+      continue;
+    }
+    const JsonValue* ts = ev.Find("ts");
+    const JsonValue* dur = ev.Find("dur");
+    if (ts == nullptr || !ts->is_number()) {
+      Add(&out, at + " (\"ph\":\"X\") has no numeric \"ts\"");
+      continue;
+    }
+    if (dur == nullptr || !dur->is_number()) {
+      Add(&out, at + " (\"ph\":\"X\") has no numeric \"dur\"");
+      continue;
+    }
+    const double begin = ts->AsNumber();
+    const double duration = dur->AsNumber();
+    if (begin < 0.0) {
+      Add(&out, at + " has negative timestamp");
+      continue;
+    }
+    if (duration < 0.0) {
+      Add(&out, at + " has negative duration");
+      continue;
+    }
+    TidState& state = tids[static_cast<int64_t>(tid->AsNumber())];
+    if (begin < state.last_ts) {
+      Add(&out, at + " breaks per-thread timestamp monotonicity (ts=" +
+                    std::to_string(begin) + " after ts=" +
+                    std::to_string(state.last_ts) + ")");
+    }
+    state.last_ts = std::max(state.last_ts, begin);
+    // Nesting: pop finished spans, then the new span must fit inside the
+    // enclosing one (same-thread spans either nest or are disjoint).
+    const double end = begin + duration;
+    while (!state.open.empty() && state.open.back().second <= begin) {
+      state.open.pop_back();
+    }
+    if (!state.open.empty() && end > state.open.back().second) {
+      Add(&out, at + " overlaps the enclosing span without nesting ([" +
+                    std::to_string(begin) + ", " + std::to_string(end) +
+                    ") vs enclosing end " +
+                    std::to_string(state.open.back().second) + ")");
+    }
+    state.open.emplace_back(begin, end);
+  }
+
+  // otherData bookkeeping, when present, must be consistent with the
+  // document (recorded_events counts "ph":"X" events).
+  const JsonValue* other = doc.Find("otherData");
+  if (other != nullptr && other->is_object()) {
+    const JsonValue* dropped = other->Find("dropped_events");
+    if (dropped != nullptr &&
+        (!dropped->is_number() || dropped->AsNumber() < 0.0)) {
+      Add(&out, "otherData.dropped_events is not a non-negative number");
+    }
+    const JsonValue* recorded = other->Find("recorded_events");
+    if (recorded != nullptr && recorded->is_number()) {
+      uint64_t x_events = 0;
+      for (const JsonValue& ev : items) {
+        const JsonValue* ph = ev.is_object() ? ev.Find("ph") : nullptr;
+        if (ph != nullptr && ph->is_string() && ph->AsString() == "X") {
+          ++x_events;
+        }
+      }
+      if (static_cast<double>(x_events) != recorded->AsNumber()) {
+        Add(&out, "otherData.recorded_events (" +
+                      std::to_string(recorded->AsNumber()) +
+                      ") does not match the " + std::to_string(x_events) +
+                      " \"ph\":\"X\" events in the file");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace opim

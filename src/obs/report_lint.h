@@ -1,0 +1,32 @@
+// Schema lint for the telemetry artifacts opim emits: run reports
+// (`--metrics-json`, schema "opim.run_report.v1") and Chrome-trace files
+// (`--trace-json`, schema "opim.trace.v1").
+//
+// Each Lint* function takes an already-parsed document (obs/json_reader.h)
+// and returns every violation it finds as a human-readable string — an
+// empty vector means the document is well-formed. tools/report_lint wraps
+// these in a CLI whose exit code CI can gate on; keeping the checks here
+// makes them unit-testable without process spawning.
+//
+// The trace checks are the interesting ones: beyond shape and version
+// tags, they enforce the timeline invariants the recorder promises —
+// per-thread "ph":"X" events appear with non-decreasing begin timestamps,
+// durations are non-negative, and spans on one thread nest (a span that
+// starts inside another must end inside it too).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json_reader.h"
+
+namespace opim {
+
+/// Violations found in a "--metrics-json" run report document.
+std::vector<std::string> LintRunReportJson(const JsonValue& doc);
+
+/// Violations found in a "--trace-json" Chrome-trace document.
+std::vector<std::string> LintTraceJson(const JsonValue& doc);
+
+}  // namespace opim

@@ -51,13 +51,28 @@ std::string RunReport::ToJson() const {
   return w.str();
 }
 
+std::string RunReport::CsvEscape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';  // RFC 4180: double embedded quotes
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string RunReport::IterationsToCsv() const {
   std::string out;
   if (iterations_.empty()) return out;
   const Row& first = iterations_.front();
   for (size_t i = 0; i < first.values.size(); ++i) {
     if (i > 0) out += ',';
-    out += first.values[i].first;
+    out += CsvEscape(first.values[i].first);
   }
   out += '\n';
   char buf[40];

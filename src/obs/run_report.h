@@ -64,7 +64,14 @@ class RunReport {
   std::string ToJson() const;
 
   /// The iteration rows as CSV (header from the first row's columns).
+  /// Header fields are RFC 4180-quoted, so column names containing
+  /// commas, quotes or newlines survive a strict CSV parser round-trip.
   std::string IterationsToCsv() const;
+
+  /// RFC 4180 field escaping: returns `field` unchanged when it is safe
+  /// to emit bare, otherwise wrapped in quotes with embedded quotes
+  /// doubled. Exposed for tests and other CSV emitters.
+  static std::string CsvEscape(const std::string& field);
 
   /// Writes ToJson() / IterationsToCsv() to `path`.
   Status WriteJson(const std::string& path) const;

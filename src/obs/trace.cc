@@ -1,0 +1,239 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/telemetry.h"
+#include "support/thread_pool.h"
+
+namespace opim {
+
+/// One recording thread's fixed-capacity event arena. Single writer (the
+/// owning thread); `size` is the publish index — the flusher reads it
+/// with acquire and only touches slots below it.
+struct TraceRecorder::ThreadBuffer {
+  explicit ThreadBuffer(uint32_t tid_in, size_t capacity)
+      : tid(tid_in), events(capacity) {}
+
+  const uint32_t tid;
+  std::vector<TraceEvent> events;
+  std::atomic<size_t> size{0};
+  std::atomic<uint64_t> dropped{0};
+};
+
+namespace {
+
+/// The calling thread's cached registration: valid while the session id
+/// matches (StartSession bumps it, invalidating every cached slot). Held
+/// as void* because ThreadBuffer is private to TraceRecorder.
+thread_local uint64_t tls_session = 0;
+thread_local void* tls_buffer = nullptr;
+
+/// Thread-pool task hook, installed for the Default() recorder's session
+/// lifetime: forwards each executed task's interval as a "task" span.
+void RecordPoolTaskSpan(std::chrono::steady_clock::time_point begin,
+                        std::chrono::steady_clock::time_point end) {
+  TraceRecorder::Default().RecordComplete("task", "pool", begin, end);
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Default() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::StartSession(const TraceOptions& options) {
+  OPIM_CHECK_GE(options.events_per_thread, size_t{1});
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();  // drops the previous session's events and tids
+  events_per_thread_ = options.events_per_thread;
+  epoch_ = Clock::now();
+  // Bumping the session id invalidates every thread's cached buffer
+  // pointer before recording is re-enabled.
+  session_.fetch_add(1, std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+  if (this == &Default()) {
+    ThreadPool::SetTaskSpanHook(&RecordPoolTaskSpan);
+  }
+}
+
+void TraceRecorder::StopSession() {
+  active_.store(false, std::memory_order_release);
+  if (this == &Default()) {
+    ThreadPool::SetTaskSpanHook(nullptr);
+  }
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  const uint64_t session = session_.load(std::memory_order_acquire);
+  // Default()-only cache: a second recorder instance (tests) would alias
+  // the slot, so non-default instances always take the registration path.
+  if (this == &Default() && tls_session == session &&
+      tls_buffer != nullptr) {
+    return static_cast<ThreadBuffer*>(tls_buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) return nullptr;
+  const uint32_t tid = static_cast<uint32_t>(buffers_.size() + 1);
+  buffers_.push_back(
+      std::make_unique<ThreadBuffer>(tid, events_per_thread_));
+  ThreadBuffer* buffer = buffers_.back().get();
+  if (this == &Default()) {
+    tls_session = session;
+    tls_buffer = buffer;
+  }
+  return buffer;
+}
+
+void TraceRecorder::RecordComplete(const char* name, const char* category,
+                                   Clock::time_point begin,
+                                   Clock::time_point end, TraceArg arg0,
+                                   TraceArg arg1) {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (buffer == nullptr) return;  // session stopped during registration
+  const size_t n = buffer->size.load(std::memory_order_relaxed);
+  if (n >= buffer->events.size()) {
+    // Bounded memory: full buffers drop new events, never old ones.
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    OPIM_TM_COUNTER_ADD("opim.obs.trace_events_dropped", 1);
+    return;
+  }
+  TraceEvent& ev = buffer->events[n];
+  ev.name = name;
+  ev.category = category;
+  // Both endpoints are floored against the epoch and the duration derived
+  // from the floored values: flooring begin and duration independently
+  // could round a child span to a wider interval than its parent, breaking
+  // the per-thread nesting invariant report_lint checks.
+  const uint64_t begin_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(begin - epoch_)
+          .count());
+  const uint64_t end_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - epoch_)
+          .count());
+  ev.begin_us = begin_us;
+  ev.dur_us = end_us - begin_us;
+  ev.arg0 = arg0;
+  ev.arg1 = arg1;
+  // Publish: the flusher acquire-loads `size` and reads only below it.
+  buffer->size.store(n + 1, std::memory_order_release);
+  OPIM_TM_COUNTER_ADD("opim.obs.trace_events_recorded", 1);
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& b : buffers_) {
+    total += b->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::recorded_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& b : buffers_) {
+    total += b->size.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+TraceSnapshot TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSnapshot snap;
+  snap.threads.reserve(buffers_.size());
+  for (const auto& b : buffers_) {
+    const size_t published = b->size.load(std::memory_order_acquire);
+    TraceSnapshot::ThreadEvents t;
+    t.tid = b->tid;
+    t.events.assign(b->events.begin(),
+                    b->events.begin() + static_cast<ptrdiff_t>(published));
+    snap.threads.push_back(std::move(t));
+    snap.dropped_events += b->dropped.load(std::memory_order_relaxed);
+    snap.recorded_events += published;
+  }
+  return snap;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  TraceSnapshot snap = Snapshot();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").Value("opim.trace.v1");
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("otherData").BeginObject();
+  w.Key("recorded_events").Value(snap.recorded_events);
+  w.Key("dropped_events").Value(snap.dropped_events);
+  w.Key("threads").Value(static_cast<uint64_t>(snap.threads.size()));
+  w.EndObject();
+
+  w.Key("traceEvents").BeginArray();
+  char label[32];
+  for (TraceSnapshot::ThreadEvents& t : snap.threads) {
+    // Thread-name metadata so Perfetto labels the tracks.
+    std::snprintf(label, sizeof(label), "opim-thread-%u", t.tid);
+    w.BeginObject();
+    w.Key("name").Value("thread_name");
+    w.Key("ph").Value("M");
+    w.Key("pid").Value(uint64_t{1});
+    w.Key("tid").Value(static_cast<uint64_t>(t.tid));
+    w.Key("args").BeginObject();
+    w.Key("name").Value(label);
+    w.EndObject();
+    w.EndObject();
+
+    // Events were published in span-end order; re-sort by begin (ties:
+    // wider span first) so parents precede children and per-thread
+    // timestamps are monotone — the order tools/report_lint checks.
+    std::stable_sort(t.events.begin(), t.events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.begin_us != b.begin_us) {
+                         return a.begin_us < b.begin_us;
+                       }
+                       return a.dur_us > b.dur_us;
+                     });
+    for (const TraceEvent& ev : t.events) {
+      w.BeginObject();
+      w.Key("name").Value(ev.name);
+      w.Key("cat").Value(ev.category);
+      w.Key("ph").Value("X");
+      w.Key("pid").Value(uint64_t{1});
+      w.Key("tid").Value(static_cast<uint64_t>(t.tid));
+      w.Key("ts").Value(ev.begin_us);
+      w.Key("dur").Value(ev.dur_us);
+      if (ev.arg0.key != nullptr || ev.arg1.key != nullptr) {
+        w.Key("args").BeginObject();
+        if (ev.arg0.key != nullptr) w.Key(ev.arg0.key).Value(ev.arg0.value);
+        if (ev.arg1.key != nullptr) w.Key(ev.arg1.key).Value(ev.arg1.value);
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  return WriteFile(path, ToChromeJson());
+}
+
+}  // namespace opim

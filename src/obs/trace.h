@@ -1,0 +1,233 @@
+// Execution tracing: per-thread span recording flushed as Chrome-trace
+// JSON (chrome://tracing / Perfetto "traceEvents" format).
+//
+// The metrics layer (obs/metrics.h) answers *how much* work a run did;
+// this file answers *when* and *on which thread*. A TraceRecorder owns one
+// fixed-capacity event buffer per recording thread:
+//
+//   * recording is lock-free on the hot path — the owning thread writes
+//     the next slot and publishes it with one release store; a mutex is
+//     taken only the first time a thread records in a session,
+//   * memory is bounded — a full buffer drops new events and counts them
+//     (`opim.obs.trace_events_dropped`), it never corrupts earlier spans,
+//   * flushing (ToChromeJson / WriteChromeJson) reads only published
+//     slots, so it is safe to call while writers are still running, and
+//     complete once they are quiesced.
+//
+// Spans carry {name, category, tid, begin_us, dur_us, args}: name and
+// category MUST be string literals (or otherwise outlive the recorder) —
+// events store the pointers, never copies. begin_us is relative to the
+// session epoch (StartSession). Up to two named uint64 args per span.
+//
+// The OPIM_TR_* macros are the instrumentation call sites, gated by the
+// same OPIM_TELEMETRY CMake switch as the metrics macros and bound by the
+// same three contracts (docs/observability.md): observe-only (a trace
+// session must not change any algorithmic output), zero cost when the
+// gate is OFF (call sites compile out), and <= 3% overhead when ON with a
+// session active (scripts/check_telemetry_overhead.sh measures the
+// tracing-enabled configuration too). With the gate ON but no session
+// active, a span costs one relaxed atomic load.
+//
+// Thread-pool task spans: support/ must not depend on obs/, so
+// ThreadPool exposes a raw function-pointer hook
+// (ThreadPool::SetTaskSpanHook) that StartSession installs and
+// StopSession removes; the hook forwards each executed task's wall-clock
+// interval into the recorder from the worker thread itself.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/macros.h"
+#include "support/status.h"
+
+namespace opim {
+
+/// One named uint64 span argument. `key == nullptr` means "unset"; keys
+/// must be string literals (stored by pointer).
+struct TraceArg {
+  const char* key = nullptr;
+  uint64_t value = 0;
+};
+
+/// One completed span. `name`/`category` are unowned static strings;
+/// `begin_us` is microseconds since the session epoch.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t begin_us = 0;
+  uint64_t dur_us = 0;
+  TraceArg arg0;
+  TraceArg arg1;
+};
+
+/// Options for one recording session.
+struct TraceOptions {
+  /// Per-thread ring capacity in events (~48 bytes each). A thread that
+  /// fills its buffer drops further events (counted, never corrupting).
+  size_t events_per_thread = 1 << 16;
+};
+
+/// Point-in-time copy of everything recorded this session.
+struct TraceSnapshot {
+  struct ThreadEvents {
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;  // per-thread publish (end-time) order
+  };
+  std::vector<ThreadEvents> threads;  // ascending tid
+  uint64_t dropped_events = 0;
+  uint64_t recorded_events = 0;
+};
+
+/// Owner of the per-thread buffers. Default() is the process-wide
+/// instance every OPIM_TR_* call site records to.
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TraceRecorder() = default;
+  OPIM_DISALLOW_COPY(TraceRecorder);
+
+  static TraceRecorder& Default();
+
+  /// Begins a session: clears previously recorded events, re-arms every
+  /// buffer at the new capacity, sets the epoch, installs the thread-pool
+  /// task hook (on the Default() recorder), and enables recording.
+  /// Must not race with in-flight recording (start before the run).
+  void StartSession(const TraceOptions& options = {});
+
+  /// Disables recording (open spans ending after this are discarded) and
+  /// removes the thread-pool hook. Recorded events stay readable until
+  /// the next StartSession.
+  void StopSession();
+
+  /// True while a session is recording. One relaxed atomic load.
+  bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a completed span with explicit endpoints taken from Clock.
+  /// No-op (uncounted) when no session is active; counted as dropped when
+  /// this thread's buffer is full.
+  void RecordComplete(const char* name, const char* category,
+                      Clock::time_point begin, Clock::time_point end,
+                      TraceArg arg0 = {}, TraceArg arg1 = {});
+
+  /// Events dropped to full buffers this session.
+  uint64_t dropped_events() const;
+  /// Events successfully recorded this session (published slots).
+  uint64_t recorded_events() const;
+
+  /// Copies every published event (see class comment for the mid-run
+  /// caveat).
+  TraceSnapshot Snapshot() const;
+
+  /// The full session as a Chrome-trace JSON document: top-level keys
+  /// `schema` ("opim.trace.v1"), `displayTimeUnit`, `otherData`
+  /// (dropped/recorded/thread counts) and `traceEvents` — one "M"
+  /// thread_name metadata event per thread plus one "ph":"X" complete
+  /// event per span, per-thread in ascending begin_us order (ties: wider
+  /// span first, so parents precede children). Loads directly in
+  /// chrome://tracing and Perfetto.
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer;
+
+  /// The calling thread's buffer for the current session, registering it
+  /// (mutex) on first use. nullptr when no session is active.
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> session_{0};  // bumped by StartSession
+  Clock::time_point epoch_{};
+  size_t events_per_thread_ = TraceOptions{}.events_per_thread;
+
+  mutable std::mutex mu_;  // guards buffers_ registration and snapshots
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: captures the begin time on construction and records a
+/// completed event on destruction. Does nothing (and reads the clock
+/// zero times) when no session is active at construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category,
+                     TraceArg arg0 = {}, TraceArg arg1 = {})
+      : name_(name), category_(category), arg0_(arg0), arg1_(arg1),
+        recording_(TraceRecorder::Default().active()) {
+    if (recording_) begin_ = TraceRecorder::Clock::now();
+  }
+  ~TraceSpan() {
+    if (recording_) {
+      TraceRecorder::Default().RecordComplete(
+          name_, category_, begin_, TraceRecorder::Clock::now(), arg0_,
+          arg1_);
+    }
+  }
+  OPIM_DISALLOW_COPY(TraceSpan);
+
+ private:
+  const char* name_;
+  const char* category_;
+  TraceArg arg0_;
+  TraceArg arg1_;
+  TraceRecorder::Clock::time_point begin_{};
+  bool recording_;
+};
+
+}  // namespace opim
+
+// --- Instrumentation macros (compile-time gated like obs/telemetry.h) ---
+//
+// Arguments must be side-effect free: disabled expansions evaluate them
+// as `(void)(expr)` and rely on the optimizer to discard the result.
+// Names, categories and arg keys must be string literals.
+
+#ifndef OPIM_TELEMETRY_ENABLED
+#define OPIM_TELEMETRY_ENABLED 1
+#endif
+
+#define OPIM_TR_CONCAT_INNER(a, b) a##b
+#define OPIM_TR_CONCAT(a, b) OPIM_TR_CONCAT_INNER(a, b)
+
+#if OPIM_TELEMETRY_ENABLED
+
+/// Declares a scoped span named `name` under `category`.
+#define OPIM_TR_SPAN(name, category)                             \
+  ::opim::TraceSpan OPIM_TR_CONCAT(opim_tr_span_, __LINE__)(     \
+      (name), (category))
+
+/// Scoped span with one named uint64 argument.
+#define OPIM_TR_SPAN1(name, category, key0, value0)              \
+  ::opim::TraceSpan OPIM_TR_CONCAT(opim_tr_span_, __LINE__)(     \
+      (name), (category),                                        \
+      ::opim::TraceArg{(key0), static_cast<uint64_t>(value0)})
+
+/// Scoped span with two named uint64 arguments.
+#define OPIM_TR_SPAN2(name, category, key0, value0, key1, value1) \
+  ::opim::TraceSpan OPIM_TR_CONCAT(opim_tr_span_, __LINE__)(      \
+      (name), (category),                                         \
+      ::opim::TraceArg{(key0), static_cast<uint64_t>(value0)},    \
+      ::opim::TraceArg{(key1), static_cast<uint64_t>(value1)})
+
+#else  // !OPIM_TELEMETRY_ENABLED
+
+#define OPIM_TR_SPAN(name, category) \
+  ((void)(name), (void)(category))
+#define OPIM_TR_SPAN1(name, category, key0, value0) \
+  ((void)(name), (void)(category), (void)(key0), (void)(value0))
+#define OPIM_TR_SPAN2(name, category, key0, value0, key1, value1)     \
+  ((void)(name), (void)(category), (void)(key0), (void)(value0),      \
+   (void)(key1), (void)(value1))
+
+#endif  // OPIM_TELEMETRY_ENABLED

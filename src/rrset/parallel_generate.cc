@@ -9,6 +9,7 @@
 #include <atomic>
 
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "rrset/rr_sampler.h"
 #include "support/fault_inject.h"
 #include "support/random.h"
@@ -24,6 +25,7 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
                       std::span<const double> root_weights, ThreadPool* pool,
                       const SamplingView* view, RunControl* control) {
   if (count == 0) return;
+  OPIM_TR_SPAN1("generate", "rrset", "count", count);
   OPIM_TM_SCOPED_TIMER("opim.rrset.generate_us");
   num_threads = pool != nullptr ? pool->num_threads()
                                 : ThreadPool::ResolveThreadCount(num_threads);
@@ -84,6 +86,7 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
   constexpr uint64_t kBytesPerSet = 3 * sizeof(uint64_t);
 
   auto run_shard = [&](unsigned s) {
+    OPIM_TR_SPAN1("shard", "rrset", "shard", s);
     Stopwatch shard_watch;
     auto sampler = MakeRRSampler(*view, model, shared_root);
     Rng rng(seed, 0x70617267ULL + s);  // "parg" + shard

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "support/thread_pool.h"
 
 namespace opim {
@@ -68,6 +69,7 @@ RRId RRCollection::AddSet(std::span<const NodeId> nodes,
 }
 
 void RRCollection::AddBatch(std::vector<RRBatch> shards, ThreadPool* pool) {
+  OPIM_TR_SPAN1("ingest", "rrset", "shards", shards.size());
   OPIM_TM_SCOPED_TIMER("opim.rrset.ingest_us");
   uint64_t add_nodes = 0;
   uint64_t add_sets = 0;
@@ -165,6 +167,7 @@ void RRCollection::AddBatch(std::vector<RRBatch> shards, ThreadPool* pool) {
 }
 
 void RRCollection::RebuildIndex(ThreadPool* pool) const {
+  OPIM_TR_SPAN1("index_rebuild", "rrset", "sets", num_sets_);
   OPIM_TM_SCOPED_TIMER("opim.rrset.index_rebuild_us");
   OPIM_TM_COUNTER_ADD("opim.rrset.index_rebuilds", 1);
   index_dirty_ = false;

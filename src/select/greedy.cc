@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "rrset/cover_bitset.h"
 
 namespace opim {
@@ -76,6 +77,7 @@ void MarkCoveredBy(const RRCollection& collection, NodeId v,
 
 GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
                           bool with_trace) {
+  OPIM_TR_SPAN2("greedy", "select", "theta", collection.num_sets(), "k", k);
   OPIM_TM_SCOPED_TIMER("opim.select.greedy_us");
   OPIM_TM_COUNTER_ADD("opim.select.greedy_runs", 1);
   const uint32_t n = collection.num_nodes();
@@ -151,6 +153,7 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
 
 GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
                               bool with_trace) {
+  OPIM_TR_SPAN2("celf", "select", "theta", collection.num_sets(), "k", k);
   OPIM_TM_SCOPED_TIMER("opim.select.celf_us");
   OPIM_TM_COUNTER_ADD("opim.select.celf_runs", 1);
   OPIM_TM_GAUGE_SET("opim.select.simd_dispatch",

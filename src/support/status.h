@@ -126,7 +126,13 @@ class Result {
   } while (0)
 
 /// Assigns the value of a Result expression or propagates its error.
-#define OPIM_ASSIGN_OR_RETURN(lhs, rexpr)    \
-  auto _res_##__LINE__ = (rexpr);            \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).ValueOrDie()
+/// The temporary's name goes through a two-level concat so __LINE__
+/// expands, letting multiple uses share one scope.
+#define OPIM_STATUS_CONCAT_INNER(a, b) a##b
+#define OPIM_STATUS_CONCAT(a, b) OPIM_STATUS_CONCAT_INNER(a, b)
+#define OPIM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+#define OPIM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  OPIM_ASSIGN_OR_RETURN_IMPL(OPIM_STATUS_CONCAT(_res_, __LINE__), lhs, rexpr)

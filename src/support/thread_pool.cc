@@ -6,6 +6,17 @@
 
 namespace opim {
 
+namespace {
+
+/// Process-wide task-span observer (see ThreadPool::SetTaskSpanHook).
+std::atomic<ThreadPool::TaskSpanHook> task_span_hook{nullptr};
+
+}  // namespace
+
+void ThreadPool::SetTaskSpanHook(TaskSpanHook hook) {
+  task_span_hook.store(hook, std::memory_order_release);
+}
+
 #if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
 namespace {
 
@@ -121,12 +132,23 @@ void ThreadPool::WorkerLoop() {
 #endif
     }
     if (!drain) {
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+      const TaskSpanHook hook = task_span_hook.load(std::memory_order_acquire);
+      const auto task_start = hook != nullptr
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+#endif
       try {
         task.fn();
       } catch (...) {
         std::unique_lock<std::mutex> lock(mu_);
         if (failure_ == nullptr) failure_ = std::current_exception();
       }
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+      if (hook != nullptr) {
+        hook(task_start, std::chrono::steady_clock::now());
+      }
+#endif
     }
     {
       std::unique_lock<std::mutex> lock(mu_);

@@ -74,6 +74,18 @@ class ThreadPool {
   /// Snapshot of lifetime counters (consistent under the pool mutex).
   ThreadPoolStats Stats() const;
 
+  /// Observer invoked from the worker thread after each executed task with
+  /// the task's wall-clock interval.
+  using TaskSpanHook = void (*)(std::chrono::steady_clock::time_point begin,
+                                std::chrono::steady_clock::time_point end);
+
+  /// Installs (or, with nullptr, removes) the process-wide task-span hook.
+  /// support/ must not depend on obs/, so the trace recorder registers
+  /// itself through this raw function pointer. The hook must be
+  /// thread-safe and observe-only; it is only invoked in builds compiled
+  /// with OPIM_TELEMETRY_ENABLED.
+  static void SetTaskSpanHook(TaskSpanHook hook);
+
  private:
   struct QueuedTask {
     std::function<void()> fn;

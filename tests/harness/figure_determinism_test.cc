@@ -9,6 +9,7 @@
 #include "harness/im_figure.h"
 #include "harness/opim_figure.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace opim {
 namespace {
@@ -115,6 +116,43 @@ TEST(FigureDeterminismTest, TelemetryStateDoesNotSteerResults) {
   EXPECT_EQ(r1.num_rr_sets, r2.num_rr_sets);
   EXPECT_EQ(r1.total_rr_size, r2.total_rr_size);
   EXPECT_EQ(r1.iterations, r2.iterations);
+}
+
+TEST(FigureDeterminismTest, TraceSessionDoesNotSteerResults) {
+  // Tracing inherits the observe-only contract (obs/trace.h): an active
+  // trace session — worker registration, span recording, thread-pool task
+  // hook and all — must leave seeds, α, and RR-set counts byte-identical
+  // to an untraced run. This is the trace analogue of the telemetry test
+  // above, and it is what lets operators enable --trace-json on
+  // production runs without invalidating paper-figure comparisons.
+  Graph g = MakeTinyTestGraph(384, 2);
+  OpimCOptions copt;
+  copt.seed = 99;
+  copt.num_threads = 4;  // exercise the pool hook path too
+  OpimCResult untraced = RunOpimC(g, DiffusionModel::kIndependentCascade, 4,
+                                  0.3, 0.01, copt);
+
+  TraceRecorder::Default().StartSession();
+  OpimCResult traced = RunOpimC(g, DiffusionModel::kIndependentCascade, 4,
+                                0.3, 0.01, copt);
+  TraceRecorder::Default().StopSession();
+
+  EXPECT_EQ(untraced.seeds, traced.seeds);
+  EXPECT_DOUBLE_EQ(untraced.alpha, traced.alpha);
+  EXPECT_EQ(untraced.num_rr_sets, traced.num_rr_sets);
+  EXPECT_EQ(untraced.total_rr_size, traced.total_rr_size);
+  EXPECT_EQ(untraced.iterations, traced.iterations);
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+  // The traced run must actually have recorded spans, or the assertion
+  // above proves nothing.
+  EXPECT_GT(TraceRecorder::Default().recorded_events(), 0u);
+#endif
+
+  // And a run after the session stopped matches the untraced one too.
+  OpimCResult after = RunOpimC(g, DiffusionModel::kIndependentCascade, 4,
+                               0.3, 0.01, copt);
+  EXPECT_EQ(untraced.seeds, after.seeds);
+  EXPECT_DOUBLE_EQ(untraced.alpha, after.alpha);
 }
 
 TEST(FigureDeterminismTest, IncludeTimAddsARowGroup) {

@@ -1,0 +1,254 @@
+// Tests for the checked JSON reader (obs/json_reader.h) and the schema
+// validators behind tools/report_lint (obs/report_lint.h).
+
+#include "obs/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/report_lint.h"
+
+namespace opim {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  Result<JsonValue> result = ParseJson(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+std::string MustFail(const std::string& text) {
+  Result<JsonValue> result = ParseJson(text);
+  EXPECT_FALSE(result.ok()) << "unexpectedly parsed: " << text;
+  return result.ok() ? std::string() : result.status().ToString();
+}
+
+TEST(JsonReaderTest, ParsesScalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool());
+  EXPECT_DOUBLE_EQ(MustParse("42").AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-3.25e2").AsNumber(), -325.0);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonReaderTest, ParsesNestedContainers) {
+  const JsonValue doc =
+      MustParse(R"({"a": [1, 2, {"b": true}], "c": "x", "d": null})");
+  ASSERT_TRUE(doc.is_object());
+  const auto& members = doc.AsObject();
+  ASSERT_EQ(members.size(), 3u);
+  // Document order is preserved, not sorted.
+  EXPECT_EQ(members[0].first, "a");
+  EXPECT_EQ(members[1].first, "c");
+  EXPECT_EQ(members[2].first, "d");
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_TRUE(a->AsArray()[2].Find("b")->AsBool());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, DecodesStringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d\n\t")").AsString(), "a\"b\\c/d\n\t");
+  // \u0041 = 'A'; \u00e9 = é (2-byte UTF-8).
+  EXPECT_EQ(MustParse(R"("\u0041\u00e9")").AsString(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 (4-byte UTF-8).
+  EXPECT_EQ(MustParse(R"("\ud83d\ude00")").AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  EXPECT_NE(MustFail("{").find("expected object key"), std::string::npos);
+  MustFail("[1, 2,]");
+  MustFail("{\"a\" 1}");
+  MustFail("tru");
+  MustFail("\"unterminated");
+  MustFail("\"bad \\q escape\"");
+  MustFail("\"\\ud83d\"");        // unpaired high surrogate
+  MustFail("\"ctrl \x01 char\"");
+  MustFail("01");                 // leading zero
+  MustFail("1.");                 // missing fraction digits
+  MustFail("1e");                 // missing exponent digits
+  MustFail("{} extra");           // trailing characters
+  MustFail("");                   // empty document
+}
+
+TEST(JsonReaderTest, ErrorsCarryByteOffsets) {
+  // The bad token starts at byte 7.
+  const std::string msg = MustFail(R"({"a": [x]})");
+  EXPECT_NE(msg.find("byte 7"), std::string::npos) << msg;
+}
+
+TEST(JsonReaderTest, RejectsDuplicateKeys) {
+  const std::string msg = MustFail(R"({"a": 1, "a": 2})");
+  EXPECT_NE(msg.find("duplicate object key"), std::string::npos) << msg;
+}
+
+TEST(JsonReaderTest, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i <= kJsonMaxDepth + 1; ++i) deep += '[';
+  for (int i = 0; i <= kJsonMaxDepth + 1; ++i) deep += ']';
+  const std::string msg = MustFail(deep);
+  EXPECT_NE(msg.find("nesting deeper"), std::string::npos) << msg;
+  // One level below the limit is fine.
+  std::string ok;
+  for (int i = 0; i < kJsonMaxDepth; ++i) ok += '[';
+  for (int i = 0; i < kJsonMaxDepth; ++i) ok += ']';
+  EXPECT_TRUE(ParseJson(ok).ok());
+}
+
+TEST(JsonReaderTest, ParseJsonFileReportsMissingFile) {
+  Result<JsonValue> result =
+      ParseJsonFile("/nonexistent/opim_json_reader_test.json");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError)
+      << result.status().ToString();
+}
+
+// --- report_lint validators ---
+
+constexpr char kGoodReport[] = R"({
+  "schema": "opim.run_report.v1",
+  "info": {"algo": "opim-c", "dataset": "toy"},
+  "results": {"coverage": 0.5, "seeds": 10},
+  "iterations": [
+    {"iteration": 1, "alpha": 0.5},
+    {"iteration": 2, "alpha": 0.75}
+  ],
+  "metrics": {
+    "counters": {"opim.opimc.iterations": 2},
+    "gauges": {},
+    "histograms": {}
+  }
+})";
+
+TEST(ReportLintTest, AcceptsWellFormedRunReport) {
+  const std::vector<std::string> v = LintRunReportJson(MustParse(kGoodReport));
+  EXPECT_TRUE(v.empty()) << "first violation: " << v.front();
+}
+
+TEST(ReportLintTest, FlagsUnknownRunReportSchema) {
+  std::string doc = kGoodReport;
+  const size_t at = doc.find("opim.run_report.v1");
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, 18, "opim.run_report.v9");
+  const std::vector<std::string> v = LintRunReportJson(MustParse(doc));
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("unknown schema version"), std::string::npos);
+}
+
+TEST(ReportLintTest, FlagsNegativeCounterAndRaggedIterations) {
+  const JsonValue doc = MustParse(R"({
+    "schema": "opim.run_report.v1",
+    "info": {},
+    "results": {},
+    "iterations": [{"iteration": 1, "alpha": 0.5}, {"iteration": 2}],
+    "metrics": {"counters": {"bad": -1}, "gauges": {}, "histograms": {}}
+  })");
+  const std::vector<std::string> v = LintRunReportJson(doc);
+  ASSERT_EQ(v.size(), 2u) << v.front();
+  EXPECT_NE(v[0].find("different column count"), std::string::npos);
+  EXPECT_NE(v[1].find("metrics.counters.bad"), std::string::npos);
+}
+
+TEST(ReportLintTest, FlagsMissingRunReportSections) {
+  const std::vector<std::string> v = LintRunReportJson(MustParse("{}"));
+  // schema + info + results + iterations + metrics all missing.
+  EXPECT_EQ(v.size(), 5u);
+}
+
+std::string TraceDoc(const std::string& events) {
+  return std::string("{\"schema\": \"opim.trace.v1\", \"traceEvents\": [") +
+         events + "]}";
+}
+
+constexpr char kMeta[] =
+    R"({"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": "opim-thread-1"}})";
+
+TEST(ReportLintTest, AcceptsWellFormedTrace) {
+  const JsonValue doc = MustParse(TraceDoc(
+      std::string(kMeta) + R"(,
+      {"name": "outer", "cat": "t", "ph": "X", "pid": 1, "tid": 1,
+       "ts": 0, "dur": 100},
+      {"name": "inner", "cat": "t", "ph": "X", "pid": 1, "tid": 1,
+       "ts": 10, "dur": 20},
+      {"name": "next", "cat": "t", "ph": "X", "pid": 1, "tid": 1,
+       "ts": 200, "dur": 5})"));
+  const std::vector<std::string> v = LintTraceJson(doc);
+  EXPECT_TRUE(v.empty()) << "first violation: " << v.front();
+}
+
+TEST(ReportLintTest, FlagsNonMonotonicTimestamps) {
+  const JsonValue doc = MustParse(TraceDoc(
+      R"({"name": "a", "ph": "X", "tid": 1, "ts": 100, "dur": 1},
+         {"name": "b", "ph": "X", "tid": 1, "ts": 50, "dur": 1})"));
+  const std::vector<std::string> v = LintTraceJson(doc);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v.front().find("monotonicity"), std::string::npos);
+}
+
+TEST(ReportLintTest, MonotonicityIsPerThread) {
+  const JsonValue doc = MustParse(TraceDoc(
+      R"({"name": "a", "ph": "X", "tid": 1, "ts": 100, "dur": 1},
+         {"name": "b", "ph": "X", "tid": 2, "ts": 50, "dur": 1})"));
+  EXPECT_TRUE(LintTraceJson(doc).empty());
+}
+
+TEST(ReportLintTest, FlagsNegativeDurationAndTimestamp) {
+  const JsonValue doc = MustParse(TraceDoc(
+      R"({"name": "a", "ph": "X", "tid": 1, "ts": -5, "dur": 1},
+         {"name": "b", "ph": "X", "tid": 1, "ts": 5, "dur": -1})"));
+  const std::vector<std::string> v = LintTraceJson(doc);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NE(v[0].find("negative timestamp"), std::string::npos);
+  EXPECT_NE(v[1].find("negative duration"), std::string::npos);
+}
+
+TEST(ReportLintTest, FlagsOverlappingSpans) {
+  // [0,100) then [50,150): overlaps without nesting.
+  const JsonValue doc = MustParse(TraceDoc(
+      R"({"name": "a", "ph": "X", "tid": 1, "ts": 0, "dur": 100},
+         {"name": "b", "ph": "X", "tid": 1, "ts": 50, "dur": 100})"));
+  const std::vector<std::string> v = LintTraceJson(doc);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v.front().find("overlaps the enclosing span"), std::string::npos);
+}
+
+TEST(ReportLintTest, FlagsUnsupportedPhaseAndMissingFields) {
+  const JsonValue doc = MustParse(TraceDoc(
+      R"({"name": "a", "ph": "B", "tid": 1, "ts": 0},
+         {"name": "b", "ph": "X", "tid": 1, "dur": 1},
+         {"name": "", "ph": "X", "tid": 1, "ts": 0, "dur": 1})"));
+  const std::vector<std::string> v = LintTraceJson(doc);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NE(v[0].find("unsupported phase"), std::string::npos);
+  EXPECT_NE(v[1].find("no numeric \"ts\""), std::string::npos);
+  EXPECT_NE(v[2].find("non-empty string \"name\""), std::string::npos);
+}
+
+TEST(ReportLintTest, FlagsInconsistentOtherData) {
+  const JsonValue doc = MustParse(
+      R"({"schema": "opim.trace.v1",
+          "otherData": {"recorded_events": 2, "dropped_events": 0},
+          "traceEvents": [
+            {"name": "a", "ph": "X", "tid": 1, "ts": 0, "dur": 1}
+          ]})");
+  const std::vector<std::string> v = LintTraceJson(doc);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v.front().find("recorded_events"), std::string::npos);
+}
+
+TEST(ReportLintTest, FlagsWrongTraceSchema) {
+  const JsonValue doc = MustParse(
+      R"({"schema": "opim.trace.v999", "traceEvents": []})");
+  const std::vector<std::string> v = LintTraceJson(doc);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v.front().find("unknown schema version"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opim

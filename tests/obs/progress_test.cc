@@ -1,0 +1,141 @@
+// Tests for the live progress heartbeat (obs/progress.h): line format,
+// periodic emission, guardrail columns, and Stop() idempotency.
+
+#include "obs/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "support/run_control.h"
+
+namespace opim {
+namespace {
+
+/// Heartbeats in tests write to /dev/null so test output stays clean;
+/// FormatLine is checked directly instead.
+class DevNullFd {
+ public:
+  DevNullFd() : fd_(open("/dev/null", O_WRONLY)) {}
+  ~DevNullFd() {
+    if (fd_ >= 0) close(fd_);
+  }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+TEST(ProgressHeartbeatTest, FormatLineHasCoreColumns) {
+  DevNullFd devnull;
+  ASSERT_GE(devnull.fd(), 0);
+  ProgressHeartbeat::Options options;
+  options.interval_seconds = 60.0;  // no periodic line during the test
+  options.fd = devnull.fd();
+  ProgressHeartbeat hb(nullptr, options);
+  char buf[256];
+  const size_t len = hb.FormatLine(buf, sizeof(buf));
+  ASSERT_GT(len, 0u);
+  const std::string line(buf, len);
+  EXPECT_NE(line.find("opim: progress t="), std::string::npos) << line;
+  EXPECT_NE(line.find(" iter="), std::string::npos) << line;
+  EXPECT_NE(line.find(" rr_sets="), std::string::npos) << line;
+  // No RunControl bound: no guardrail columns.
+  EXPECT_EQ(line.find("peak_rr_mb"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '\n');
+  hb.Stop();
+}
+
+TEST(ProgressHeartbeatTest, FormatLineIncludesGuardrailColumns) {
+  DevNullFd devnull;
+  ASSERT_GE(devnull.fd(), 0);
+  RunControl ctl;
+  ctl.SetDeadlineAfterMillis(3600 * 1000);
+  ctl.Poll(2 * 1024 * 1024);  // records the peak footprint
+  ProgressHeartbeat::Options options;
+  options.interval_seconds = 60.0;
+  options.fd = devnull.fd();
+  ProgressHeartbeat hb(&ctl, options);
+  char buf[256];
+  const size_t len = hb.FormatLine(buf, sizeof(buf));
+  const std::string line(buf, len);
+  EXPECT_NE(line.find(" peak_rr_mb=2.0"), std::string::npos) << line;
+  EXPECT_NE(line.find(" deadline_slack_s="), std::string::npos) << line;
+  EXPECT_EQ(line.find(" stopping="), std::string::npos) << line;
+  hb.Stop();
+}
+
+TEST(ProgressHeartbeatTest, FormatLineShowsStopReason) {
+  DevNullFd devnull;
+  ASSERT_GE(devnull.fd(), 0);
+  RunControl ctl;
+  ctl.RequestCancel();
+  ProgressHeartbeat::Options options;
+  options.interval_seconds = 60.0;
+  options.fd = devnull.fd();
+  ProgressHeartbeat hb(&ctl, options);
+  char buf[256];
+  const size_t len = hb.FormatLine(buf, sizeof(buf));
+  const std::string line(buf, len);
+  EXPECT_NE(line.find(" stopping="), std::string::npos) << line;
+  hb.Stop();
+}
+
+TEST(ProgressHeartbeatTest, WritesPeriodicLines) {
+  DevNullFd devnull;
+  ASSERT_GE(devnull.fd(), 0);
+  ProgressHeartbeat::Options options;
+  options.interval_seconds = 0.01;
+  options.fd = devnull.fd();
+  ProgressHeartbeat hb(nullptr, options);
+  // Wait until at least two periodic lines land (bounded spin, not a
+  // fixed sleep, so the test is slow-machine tolerant).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (hb.lines_written() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(hb.lines_written(), 2u);
+  hb.Stop();
+}
+
+TEST(ProgressHeartbeatTest, StopIsIdempotentAndEmitsFinalLine) {
+  DevNullFd devnull;
+  ASSERT_GE(devnull.fd(), 0);
+  ProgressHeartbeat::Options options;
+  options.interval_seconds = 60.0;
+  options.fd = devnull.fd();
+  ProgressHeartbeat hb(nullptr, options);
+  hb.Stop();
+  const uint64_t after_first = hb.lines_written();
+  EXPECT_GE(after_first, 1u);  // the final status line
+  hb.Stop();
+  hb.Stop();
+  EXPECT_EQ(hb.lines_written(), after_first);
+  // Destructor runs after Stop(): must also be a no-op.
+}
+
+TEST(ProgressHeartbeatTest, TruncatesToSmallBuffer) {
+  DevNullFd devnull;
+  ASSERT_GE(devnull.fd(), 0);
+  ProgressHeartbeat::Options options;
+  options.interval_seconds = 60.0;
+  options.fd = devnull.fd();
+  ProgressHeartbeat hb(nullptr, options);
+  char tiny[8];
+  std::memset(tiny, 'Z', sizeof(tiny));
+  const size_t len = hb.FormatLine(tiny, sizeof(tiny));
+  EXPECT_LT(len, sizeof(tiny));
+  EXPECT_EQ(tiny[len], '\0');
+  hb.Stop();
+}
+
+}  // namespace
+}  // namespace opim

@@ -271,6 +271,31 @@ TEST(RunReportTest, IterationsToCsv) {
   EXPECT_TRUE(RunReport().IterationsToCsv().empty());
 }
 
+TEST(RunReportTest, CsvEscapeQuotesOnlyWhenNeeded) {
+  // Plain fields pass through unquoted.
+  EXPECT_EQ(RunReport::CsvEscape("alpha"), "alpha");
+  EXPECT_EQ(RunReport::CsvEscape(""), "");
+  // RFC 4180: fields containing separators, quotes, or line breaks are
+  // quoted, with embedded quotes doubled.
+  EXPECT_EQ(RunReport::CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(RunReport::CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(RunReport::CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(RunReport::CsvEscape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(RunReportTest, CsvHeaderEscapesHostileColumnNames) {
+  RunReport report;
+  report.AddIteration()
+      .Set("time, seconds", 1.5)
+      .Set("theta \"lower\"", 128);
+  const std::string csv = report.IterationsToCsv();
+  // Strict-CSV round-trip: the header line must stay one record with two
+  // fields, so the comma and quotes in the names are escaped.
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header, "\"time, seconds\",\"theta \"\"lower\"\"\"");
+  EXPECT_EQ(csv.substr(csv.find('\n') + 1), "1.5,128\n");
+}
+
 TEST(RunReportTest, WriteJsonToFile) {
   RunReport report;
   report.AddInfo("k", "v");

@@ -196,6 +196,100 @@ TEST(CliSmokeTest, TelemetryFlagsDoNotPerturbResults) {
   std::remove(json.c_str());
 }
 
+std::string ReportLint() { return OPIM_REPORT_LINT_PATH; }
+
+TEST(CliSmokeTest, RunWritesTraceJsonThatLintsClean) {
+  std::string bin = TmpFile("cli_trace.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  std::string trace = TmpFile("cli_trace.json");
+  std::string json = TmpFile("cli_trace_metrics.json");
+  auto [rc, out] = RunCommand(
+      Cli() + " run --graph=" + bin +
+      " --algo=opim-c+ --k=3 --eps=0.3 --threads=2 --trace-json=" + trace +
+      " --metrics-json=" + json);
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("trace_json=" + trace), std::string::npos) << out;
+
+  const std::string doc = ReadFile(trace);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_NE(doc.find("\"opim.trace.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+#if defined(OPIM_TELEMETRY_ENABLED) && OPIM_TELEMETRY_ENABLED
+  // Spans from the instrumented modules; telemetry-OFF builds still write
+  // a valid (empty) trace document.
+  for (const char* cat : {"\"opimc\"", "\"rrset\"", "\"select\"",
+                          "\"bounds\"", "\"pool\""}) {
+    EXPECT_NE(doc.find(cat), std::string::npos) << "missing category " << cat;
+  }
+#endif
+
+  // The shipped validator accepts both artifacts.
+  auto [lint_rc, lint_out] = RunCommand(ReportLint() + " --trace-json=" +
+                                        trace + " --metrics-json=" + json);
+  EXPECT_EQ(ExitCode(lint_rc), 0) << lint_out;
+  EXPECT_NE(lint_out.find("report_lint: ok"), std::string::npos) << lint_out;
+
+  std::remove(bin.c_str());
+  std::remove(trace.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(CliSmokeTest, OnlineWritesTraceJson) {
+  std::string bin = TmpFile("cli_online_trace.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  std::string trace = TmpFile("cli_online_trace.json");
+  auto [rc, out] = RunCommand(Cli() + " online --graph=" + bin +
+                       " --k=3 --rounds=3 --batch=256 --trace-json=" + trace);
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("trace_json=" + trace), std::string::npos) << out;
+  auto [lint_rc, lint_out] = RunCommand(ReportLint() + " --trace-json=" +
+                                        trace);
+  EXPECT_EQ(ExitCode(lint_rc), 0) << lint_out;
+  std::remove(bin.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(CliSmokeTest, ProgressFlagEmitsHeartbeatLine) {
+  std::string bin = TmpFile("cli_progress.bin");
+  ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +
+                bin).first, 0);
+
+  // Even a short run sees at least the final heartbeat line (stderr is
+  // merged into the captured output).
+  auto [rc, out] = RunCommand(Cli() + " run --graph=" + bin +
+                       " --algo=opim-c+ --k=3 --eps=0.3 --progress");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("opim: progress t="), std::string::npos) << out;
+  EXPECT_NE(out.find("alpha="), std::string::npos) << out;
+  std::remove(bin.c_str());
+}
+
+TEST(CliSmokeTest, ReportLintRejectsBadArtifacts) {
+  // No inputs at all is a usage error.
+  auto [rc_usage, out_usage] = RunCommand(ReportLint());
+  EXPECT_EQ(ExitCode(rc_usage), 2) << out_usage;
+
+  // A syntactically valid JSON file that violates the schema fails with 1.
+  std::string bad = TmpFile("cli_bad_trace.json");
+  {
+    FILE* f = fopen(bad.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("{\"schema\": \"opim.trace.v1\", \"traceEvents\": ["
+          "{\"name\": \"a\", \"ph\": \"X\", \"tid\": 1, "
+          "\"ts\": 5, \"dur\": -1}]}",
+          f);
+    fclose(f);
+  }
+  auto [rc_bad, out_bad] = RunCommand(ReportLint() + " --trace-json=" + bad);
+  EXPECT_EQ(ExitCode(rc_bad), 1) << out_bad;
+  EXPECT_NE(out_bad.find("negative duration"), std::string::npos) << out_bad;
+  std::remove(bad.c_str());
+}
+
 TEST(CliGuardrailTest, ExpiredDeadlineDegradesGracefullyWithExitCode3) {
   std::string bin = TmpFile("cli_deadline.bin");
   ASSERT_EQ(RunCommand(Cli() + " gen --dataset=pokec-sim --scale=9 --out=" +

@@ -37,12 +37,22 @@
 // MetricsSnapshot of the telemetry registry. --metrics-csv writes just the
 // iteration rows as CSV. See docs/observability.md.
 //
+// --trace-json=<path> (run, online) records execution spans for the whole
+// command and writes a Chrome-trace/Perfetto file (schema "opim.trace.v1")
+// at exit; spans are only captured in OPIM_TELEMETRY builds (other builds
+// emit a valid file with zero spans). --progress (run, online) prints a
+// once-per-second status line to stderr: elapsed time, iterations, RR
+// sets, peak RR footprint, and deadline slack. Both are validated by
+// tools/report_lint.
+//
 // Algorithms for `run`: opim-c+ (default), opim-c0, opim-c', imm, tim,
 // ssa-fix, dssa-fix, mc-greedy, degree, degree-discount, pagerank,
 // two-hop, irie.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "baselines/dssa_fix.h"
 #include "baselines/heuristics.h"
@@ -60,7 +70,9 @@
 #include "harness/flags.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "support/fault_inject.h"
 #include "support/run_control.h"
 #include "support/signal_guard.h"
@@ -145,6 +157,40 @@ Status WriteReportOutputs(RunReport* report, const std::string& json_path,
     std::printf("metrics_csv=%s\n", csv_path.c_str());
   }
   return Status::OK();
+}
+
+/// Scopes one --trace-json recording session: starts it when a path was
+/// given, and Finish() stops it and writes the Chrome-trace file (printing
+/// the `trace_json=<path>` line scripts grep for).
+class TraceSessionScope {
+ public:
+  explicit TraceSessionScope(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) TraceRecorder::Default().StartSession();
+  }
+  ~TraceSessionScope() {
+    if (!path_.empty()) TraceRecorder::Default().StopSession();
+  }
+
+  Status Finish() {
+    if (path_.empty()) return Status::OK();
+    TraceRecorder& recorder = TraceRecorder::Default();
+    recorder.StopSession();
+    Status st = recorder.WriteChromeJson(path_);
+    if (!st.ok()) return st;
+    std::printf("trace_json=%s\n", path_.c_str());
+    return Status::OK();
+  }
+
+ private:
+  const std::string path_;
+};
+
+/// Starts the --progress heartbeat when requested; the unique_ptr's
+/// destruction (or reset) emits the final line and joins the thread.
+std::unique_ptr<ProgressHeartbeat> MaybeStartProgress(const Flags& flags,
+                                                      const RunControl* ctl) {
+  if (!flags.GetBool("progress", false)) return nullptr;
+  return std::make_unique<ProgressHeartbeat>(ctl);
 }
 
 int CmdGen(const Flags& flags) {
@@ -242,6 +288,10 @@ int CmdRun(const Flags& flags) {
   RunControl control;
   ArmRunControl(flags, guard, &control);
   StopReason stop_reason = StopReason::kConverged;
+
+  TraceSessionScope trace_scope(flags.GetString("trace-json", ""));
+  std::unique_ptr<ProgressHeartbeat> progress =
+      MaybeStartProgress(flags, &control);
 
   Stopwatch sw;
   std::vector<NodeId> seeds;
@@ -344,6 +394,9 @@ int CmdRun(const Flags& flags) {
                 spread, static_cast<unsigned long long>(mc));
     report.AddResult("expected_spread", spread);
   }
+  progress.reset();  // final heartbeat line before the report outputs
+  Status trace_st = trace_scope.Finish();
+  if (!trace_st.ok()) return Fail(trace_st);
   Status report_st =
       WriteReportOutputs(&report, flags.GetString("metrics-json", ""),
                          flags.GetString("metrics-csv", ""));
@@ -419,6 +472,9 @@ int CmdOnline(const Flags& flags) {
   RunControl control;
   ArmRunControl(flags, sig_guard, &control);
   om.set_run_control(&control);
+  TraceSessionScope trace_scope(flags.GetString("trace-json", ""));
+  std::unique_ptr<ProgressHeartbeat> progress =
+      MaybeStartProgress(flags, &control);
   auto advance = [&](uint64_t count) {
     if (threads == 0) {
       om.Advance(count);
@@ -478,6 +534,9 @@ int CmdOnline(const Flags& flags) {
                                         : 0.0);
   const OpimCGuardrails gr = SummarizeGuardrails(control);
   ReportGuardrails(gr, &report);
+  progress.reset();  // final heartbeat line before the report outputs
+  Status trace_st = trace_scope.Finish();
+  if (!trace_st.ok()) return Fail(trace_st);
   Status report_st = WriteReportOutputs(
       &report, flags.GetString("metrics-json", ""),
       flags.GetString("metrics-csv", ""));

@@ -1,0 +1,56 @@
+// report_lint: machine check that opim's emitted telemetry artifacts are
+// well-formed, for CI gating.
+//
+//   report_lint --metrics-json=report.json --trace-json=trace.json
+//
+// Either flag may be given alone; at least one is required. Each file is
+// parsed with the checked JSON reader and validated against its schema
+// (obs/report_lint.h): version tags, section shapes, and — for traces —
+// per-thread timestamp monotonicity, non-negative durations, and span
+// nesting. Exit code 0 when every given file is clean, 1 when any
+// violation or read error was found, 2 on usage errors. Violations are
+// printed one per line as "<path>: <violation>".
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/flags.h"
+#include "obs/json_reader.h"
+#include "obs/report_lint.h"
+
+namespace {
+
+int LintFile(const std::string& path,
+             std::vector<std::string> (*lint)(const opim::JsonValue&)) {
+  opim::Result<opim::JsonValue> doc = opim::ParseJsonFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> violations = lint(doc.ValueOrDie());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), v.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  opim::Flags flags(argc, argv);
+  const std::string metrics = flags.GetString("metrics-json", "");
+  const std::string trace = flags.GetString("trace-json", "");
+  if (metrics.empty() && trace.empty()) {
+    std::fprintf(stderr,
+                 "usage: report_lint [--metrics-json=<path>] "
+                 "[--trace-json=<path>]\n");
+    return 2;
+  }
+  int rc = 0;
+  if (!metrics.empty()) rc |= LintFile(metrics, &opim::LintRunReportJson);
+  if (!trace.empty()) rc |= LintFile(trace, &opim::LintTraceJson);
+  if (rc == 0) std::fprintf(stdout, "report_lint: ok\n");
+  return rc;
+}
