@@ -6,7 +6,12 @@ Compares freshly measured bench results against the checked-in artifacts
 headline timing regressed by more than the threshold:
 
   bench_generate      timings_us: IC_kernel_1t, LT_kernel_1t,
-                                  IC_generate_1t, LT_generate_1t
+                                  IC_generate_1t, LT_generate_1t,
+                                  IC_generate_nt, LT_generate_nt
+                      (the *_generate_nt pair is the pipelined-engine
+                      headline: run-owned pool + cached sampling view at
+                      the config's threads_n; baseline and fresh runs
+                      must use the same --threads)
   bench_select_ingest timings_us: ingest, select_celf_trace,
                                   generate_ingest
 
@@ -38,6 +43,8 @@ GENERATE_METRICS = [
     "LT_kernel_1t",
     "IC_generate_1t",
     "LT_generate_1t",
+    "IC_generate_nt",
+    "LT_generate_nt",
 ]
 SELECT_METRICS = [
     "ingest",
@@ -91,6 +98,19 @@ def compare(name, baseline, fresh, metrics, threshold_pct):
     return failures
 
 
+def warn_on_threads_mismatch(name, baseline, fresh):
+    base_t = baseline.get("config", {}).get("threads_n")
+    fresh_t = fresh.get("config", {}).get("threads_n")
+    if base_t is not None and fresh_t is not None and base_t != fresh_t:
+        print(
+            f"warning: {name} threads_n mismatch ({base_t} vs {fresh_t}) — "
+            "the *_generate_nt comparison measures different "
+            "configurations; rerun the fresh bench with "
+            f"--threads={base_t}",
+            file=sys.stderr,
+        )
+
+
 def warn_on_checksum_mismatch(name, baseline, fresh):
     base_sum = baseline.get("config", {}).get("pool_checksum")
     fresh_sum = fresh.get("config", {}).get("pool_checksum")
@@ -141,6 +161,8 @@ def main():
         baseline = load_run(baseline_path, args.label)
         fresh = load_run(fresh_path, args.label)
         warn_on_checksum_mismatch(name, baseline, fresh)
+        if name == "generate":
+            warn_on_threads_mismatch(name, baseline, fresh)
         all_failures += [
             f"{name}.{m}"
             for m in compare(name, baseline, fresh, metrics,

@@ -56,15 +56,16 @@ ctest --test-dir build-asan --output-on-failure \
   | tee "$OUT/test_output_sanitized.txt"
 
 # TSan build over the concurrency-heavy subset: the thread pool, parallel
-# RR generation, the lock-free trace recorder, and the progress heartbeat
-# all publish across threads with hand-placed acquire/release pairs, so a
-# missing fence must fail loudly here. TSan and ASan cannot share a build
+# RR generation, the pipelined doubling loop's speculative staging
+# (OpimCPipeline), the lock-free trace recorder, and the progress
+# heartbeat all publish across threads with hand-placed acquire/release
+# pairs, so a missing fence must fail loudly here. TSan and ASan cannot share a build
 # (mutually exclusive runtimes), hence the separate tree.
 cmake -B build-tsan -G Ninja -DOPIM_SANITIZE=thread \
   -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
 cmake --build build-tsan
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPool|ParallelGenerate|AdvanceParallel|Trace|Progress|RunControl|Guardrails|Metrics' 2>&1 \
+  -R 'ThreadPool|ParallelGenerate|AdvanceParallel|OpimCPipeline|Trace|Progress|RunControl|Guardrails|Metrics' 2>&1 \
   | tee "$OUT/test_output_tsan.txt"
 
 # OPIM_SIMD=OFF build: the portable scalar coverage kernels alone must
@@ -119,7 +120,9 @@ if [[ "${CHECK_BENCH_REGRESSION:-0}" == "1" ]]; then
   echo "=== bench regression gate ==="
   FRESH_GEN="$OUT/fresh_bench_generate.json"
   FRESH_SEL="$OUT/fresh_bench_select_ingest.json"
-  build/bench/bench_generate --label=after "--out=$FRESH_GEN"
+  # --threads must match the committed baseline's config.threads_n so the
+  # *_generate_nt engine-path headline compares like with like.
+  build/bench/bench_generate --label=after --threads=2 "--out=$FRESH_GEN"
   build/bench/bench_select_ingest --label=after --seed=7 "--out=$FRESH_SEL"
   python3 scripts/check_bench_regression.py \
     --baseline-generate BENCH_generate.json --fresh-generate "$FRESH_GEN" \

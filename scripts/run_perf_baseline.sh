@@ -8,6 +8,7 @@
 #
 #   scripts/run_perf_baseline.sh [--smoke] [--label NAME] [--build-dir DIR]
 #                                [--json FILE] [--gen-json FILE] [--seed S]
+#                                [--gen-threads T]
 #
 #   --smoke       tiny config (~1 s) for CI wiring; the JSON artifacts are
 #                 left untouched, output goes to stdout only
@@ -21,6 +22,10 @@
 #                 reference sampler, so before/after binaries given the
 #                 same seed replay the identical pool (the config block's
 #                 pool_checksum must match across labels)
+#   --gen-threads T  thread count for bench_generate's engine-path config
+#                 (*_generate_nt: run-owned pool + cached sampling view;
+#                 default 2). The cold *_generate_1t headline is always
+#                 measured at 1 thread
 #
 # Each artifact keeps one run object per label plus, when both "before"
 # and "after" are present, a derived speedup block: for select/ingest the
@@ -36,6 +41,7 @@ BUILD=build
 JSON=BENCH_select_ingest.json
 GEN_JSON=BENCH_generate.json
 SEED=7
+GEN_THREADS=2
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
@@ -44,6 +50,7 @@ while [[ $# -gt 0 ]]; do
     --json) JSON="$2"; shift ;;
     --gen-json) GEN_JSON="$2"; shift ;;
     --seed) SEED="$2"; shift ;;
+    --gen-threads) GEN_THREADS="$2"; shift ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -118,12 +125,15 @@ jq 'if ([.runs[].label] | contains(["before", "after"])) then
 rm -f "$JSON.tmp"
 echo "updated $JSON (label=$LABEL)"
 
-"$GEN_BIN" "--label=$LABEL" "--out=$TMP"
+"$GEN_BIN" "--label=$LABEL" "--threads=$GEN_THREADS" "--out=$TMP"
 merge_run "$GEN_JSON" bench_generate "$TMP"
 
 # Kernel speedups: IC/LT pure sampling kernels (the acceptance number for
 # the quantized-threshold + geometric-skip rewrite) plus the end-to-end
-# single-thread generate path.
+# single-thread generate path. When a "pre_pipeline" anchor run exists
+# (the committed pre-pipelining engine headline), also derive the
+# end-to-end generate+ingest speedup of the pipelined engine path
+# (*_generate_nt: run-owned pool + cached view) against it.
 jq 'if ([.runs[].label] | contains(["before", "after"])) then
       ((.runs[] | select(.label == "before")).timings_us) as $b
       | ((.runs[] | select(.label == "after")).timings_us) as $a
@@ -137,6 +147,16 @@ jq 'if ([.runs[].label] | contains(["before", "after"])) then
           lt_generate_1t: (($b.LT_generate_1t / $a.LT_generate_1t) * 100
                            | round / 100)
         }
-    else . end' "$GEN_JSON.tmp" > "$GEN_JSON"
+    else . end
+    | if ([.runs[].label] | contains(["pre_pipeline", "after"])) then
+        ((.runs[] | select(.label == "pre_pipeline")).timings_us) as $p
+        | ((.runs[] | select(.label == "after")).timings_us) as $a
+        | .generate_speedup_vs_pre_pipeline = {
+            ic_generate_nt: (($p.IC_generate_1t / $a.IC_generate_nt) * 100
+                             | round / 100),
+            lt_generate_nt: (($p.LT_generate_1t / $a.LT_generate_nt) * 100
+                             | round / 100)
+          }
+      else . end' "$GEN_JSON.tmp" > "$GEN_JSON"
 rm -f "$GEN_JSON.tmp"
 echo "updated $GEN_JSON (label=$LABEL)"

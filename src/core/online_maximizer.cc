@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <optional>
 
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rrset/parallel_generate.h"
+#include "support/thread_pool.h"
 
 namespace opim {
 
@@ -67,14 +70,68 @@ void OnlineMaximizer::AdvanceParallel(uint64_t count,
   OPIM_TR_SPAN1("advance", "online", "count", count);
   OPIM_TM_SCOPED_TIMER("opim.online.advance_us");
   const uint64_t to_r1 = (count + next_to_r1_) / 2;
+  const uint64_t to_r2 = count - to_r1;
   // Batch seeds derive from the shared RNG so successive calls stay
   // decorrelated and the whole sequence remains reproducible.
-  uint64_t seed1 = rng_.NextU64();
-  uint64_t seed2 = rng_.NextU64();
-  ParallelGenerate(graph_, model_, &r1_, to_r1, seed1, num_threads,
-                   node_weights_, /*pool=*/nullptr, &sampling_view_, control_);
-  ParallelGenerate(graph_, model_, &r2_, count - to_r1, seed2, num_threads,
-                   node_weights_, /*pool=*/nullptr, &sampling_view_, control_);
+  const uint64_t seed1 = rng_.NextU64();
+  const uint64_t seed2 = rng_.NextU64();
+  num_threads = ThreadPool::ResolveThreadCount(num_threads);
+  const unsigned shards1 = GenerateShardCount(to_r1, num_threads);
+  const unsigned shards2 = GenerateShardCount(to_r2, num_threads);
+
+  // Both batches are staged onto ONE pool instead of two back-to-back
+  // ParallelGenerate calls: their shards interleave on the same workers
+  // (a straggler shard of one batch no longer idles threads the other
+  // could use) and both ingestions reuse the pool for the index merge.
+  // The RR streams are unchanged from the sequential schedule — per-batch
+  // seeds and shard counts are identical; only scheduling overlaps.
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1 && shards1 + shards2 > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  const uint64_t base_bytes =
+      control_ != nullptr ? r1_.MemoryUsage() + r2_.MemoryUsage() : 0;
+  const AliasSampler* const root =
+      root_sampler_.empty() ? nullptr : &root_sampler_;
+  std::optional<StagedGeneration> stage1, stage2;
+  if (to_r1 > 0) {
+    stage1.emplace(sampling_view_, model_, to_r1, seed1, shards1, root,
+                   control_, base_bytes, /*speculative=*/false);
+  }
+  if (to_r2 > 0) {
+    stage2.emplace(sampling_view_, model_, to_r2, seed2, shards2, root,
+                   control_, base_bytes, /*speculative=*/false);
+  }
+  // Worker-failure contract matches ParallelGenerate: degrade under a
+  // control (keeping every completed staged shard), propagate without one.
+  try {
+    if (pool == nullptr) {
+      if (stage1) stage1->RunShard(0);
+      if (stage2) stage2->RunShard(0);
+    } else {
+      for (StagedGeneration* stage : {stage1 ? &*stage1 : nullptr,
+                                      stage2 ? &*stage2 : nullptr}) {
+        if (stage == nullptr) continue;
+        for (unsigned s = 0; s < stage->shards(); ++s) {
+          pool->Submit([stage, s] { stage->RunShard(s); });
+        }
+      }
+      pool->Wait();
+    }
+  } catch (...) {
+    if (control_ == nullptr) throw;
+    control_->TripWorkerFailure();
+  }
+  if (stage1) IngestStaged(&*stage1, &r1_, pool.get());
+  if (stage2) IngestStaged(&*stage2, &r2_, pool.get());
+  OPIM_TM_STMT({
+    if (pool != nullptr) {
+      const ThreadPoolStats stats = pool->Stats();
+      OPIM_TM_COUNTER_ADD("opim.pool.tasks_run", stats.tasks_run);
+      OPIM_TM_COUNTER_ADD("opim.pool.queue_wait_us", stats.queue_wait_us);
+      OPIM_TM_COUNTER_ADD("opim.pool.idle_wait_us", stats.idle_wait_us);
+    }
+  });
   if (count % 2 == 1) next_to_r1_ = !next_to_r1_;
   // Anytime floor: a trip before/during the first batch can leave a pool
   // empty, and Query needs one set per pool. Uncontrolled single-set

@@ -12,6 +12,7 @@
 #include "rrset/rr_sampler.h"
 #include "rrset/rr_collection.h"
 #include "select/greedy.h"
+#include "support/alias_sampler.h"
 #include "support/math_util.h"
 #include "support/random.h"
 #include "support/stopwatch.h"
@@ -112,19 +113,34 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
 
   // Generation goes through ParallelGenerate even in the serial case so
   // the RR stream depends only on (seed, num_threads); each batch gets a
-  // distinct derived seed. `pending_generate_seconds` accumulates the wall
-  // time of every generate() since the last iteration record, so the θ0
-  // fill and each doubling land on the iteration that consumes them.
+  // distinct derived seed. The speculative path below *peeks* the next two
+  // batch seeds without consuming them, and bumps the counter only when a
+  // staged doubling is actually merged — so the RR stream stays
+  // byte-identical whether a batch was sampled eagerly or speculatively.
+  // `pending_generate_seconds` accumulates the wall time of every
+  // generate() since the last iteration record, so the θ0 fill and each
+  // doubling land on the iteration that consumes them.
   uint64_t batch_counter = 0;
   double pending_generate_seconds = 0.0;
+  auto batch_seed = [&options](uint64_t counter) {
+    uint64_t state = options.seed ^ (0x6f70634bULL + counter);
+    return SplitMix64(state);
+  };
   auto generate = [&](RRCollection* rr, uint64_t count, RunControl* ctl) {
     OPIM_TR_SPAN1("generate", "opimc", "count", count);
     Stopwatch watch;
-    uint64_t state = options.seed ^ (0x6f70634bULL + ++batch_counter);
-    ParallelGenerate(g, model, rr, count, SplitMix64(state), num_threads,
-                     options.node_weights, pool.get(), &sampling_view, ctl);
+    ParallelGenerate(g, model, rr, count, batch_seed(++batch_counter),
+                     num_threads, options.node_weights, pool.get(),
+                     &sampling_view, ctl);
     pending_generate_seconds += watch.ElapsedSeconds();
   };
+  // Weighted roots for the speculative samplers: built once per run
+  // (eager generate calls build their own inside ParallelGenerate).
+  AliasSampler spec_root;
+  if (weighted) spec_root.Build(options.node_weights);
+  const AliasSampler* const spec_root_ptr =
+      spec_root.empty() ? nullptr : &spec_root;
+  const bool pipelined = options.pipeline && pool != nullptr;
   RunControl* const control = options.control;
   // Engine pools never answer SetCost (only aggregate γ), so they drop
   // the 8 bytes/set cost column on top of the compressed member storage.
@@ -154,7 +170,53 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     OPIM_TR_SPAN2("iteration", "opimc", "iter", i, "theta1", r1.num_sets());
     OPIM_TM_COUNTER_ADD("opim.opimc.iterations", 1);
     Stopwatch phase_watch;
-    GreedyResult greedy = SelectGreedyCelf(r1, k, needs_trace);
+
+    // Pipelined schedule: CELF parallelizes its initial marginal-gain pass
+    // on the run pool, and — right after that pass, the last pool use
+    // inside selection — launches the *next* doubling's two batches as
+    // speculative staging work on the same workers. The serial recount
+    // phase of CELF, Λ2, and the bounds then overlap with sampling. The
+    // staged batches use exactly the seeds the eager schedule would derive
+    // (batch_counter + 1, + 2, consumed only on merge), so the RR stream
+    // is byte-identical; only the final iteration's speculation is wasted.
+    // Declaration order matters: spec_group's destructor joins the group's
+    // tasks, so it must precede the stages it samples into on unwind.
+    std::unique_ptr<StagedGeneration> spec1, spec2;
+    std::unique_ptr<TaskGroup> spec_group;
+    CelfOptions celf_options;
+    celf_options.pool = pool.get();
+    if (pipelined && i < i_max &&
+        !(control != nullptr && control->Stopped())) {
+      celf_options.after_initial_gains = [&] {
+        // Guardrail metering: each stage polls with both frozen pools
+        // plus its own compressed staging bytes (published in RunShard) —
+        // the same running-estimate contract as eager generation.
+        const uint64_t spec_base =
+            control != nullptr ? r1.MemoryUsage() + r2.MemoryUsage() : 0;
+        const uint64_t c1 = r1.num_sets();
+        const uint64_t c2 = r2.num_sets();
+        spec1 = std::make_unique<StagedGeneration>(
+            sampling_view, model, c1, batch_seed(batch_counter + 1),
+            GenerateShardCount(c1, num_threads), spec_root_ptr, control,
+            spec_base, /*speculative=*/true);
+        spec2 = std::make_unique<StagedGeneration>(
+            sampling_view, model, c2, batch_seed(batch_counter + 2),
+            GenerateShardCount(c2, num_threads), spec_root_ptr, control,
+            spec_base, /*speculative=*/true);
+        // A TaskGroup (not the pool's global barrier) tracks the
+        // speculative tasks: their completion — and any exception they
+        // raise — stays out of foreground Wait()/ParallelFor calls that
+        // CoverBitset kernels or the index merge may issue meanwhile.
+        spec_group = std::make_unique<TaskGroup>(pool.get());
+        for (unsigned s = 0; s < spec1->shards(); ++s) {
+          spec_group->Submit([&stage = *spec1, s] { stage.RunShard(s); });
+        }
+        for (unsigned s = 0; s < spec2->shards(); ++s) {
+          spec_group->Submit([&stage = *spec2, s] { stage.RunShard(s); });
+        }
+      };
+    }
+    GreedyResult greedy = SelectGreedyCelf(r1, k, needs_trace, celf_options);
     const double greedy_seconds = phase_watch.ElapsedSeconds();
 
     phase_watch.Restart();
@@ -194,14 +256,63 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     // iteration's seeds and α: the bounds were just evaluated on whatever
     // RR sets exist, so the certificate is valid at this pause point.
     const bool stopped = control != nullptr && control->Poll(iter.rr_bytes);
-    if (iter.alpha >= target || i == i_max || stopped) {
+    const bool exiting = iter.alpha >= target || i == i_max || stopped;
+
+    const bool speculated = spec_group != nullptr;
+    if (speculated) {
+      if (exiting) {
+        // The eager schedule would never have sampled these batches, so
+        // their outcome — including a speculative worker exception — must
+        // not affect the result: abort, join, swallow, count the waste.
+        OPIM_TR_SPAN1("speculate_discard", "opimc", "iter", i);
+        spec1->Abort();
+        spec2->Abort();
+        try {
+          spec_group->Wait();
+        } catch (...) {
+        }
+        const uint64_t discarded = spec1->TotalSets() + spec2->TotalSets();
+        result.speculative_sets_discarded += discarded;
+        OPIM_TM_COUNTER_ADD("opim.rrset.speculative_sets_discarded",
+                            discarded);
+      } else {
+        // The staged batches *are* the doubling (Line 9 of Algorithm 2):
+        // consume their two peeked seeds and ingest. A speculative failure
+        // here is exactly a generate failure on the eager schedule —
+        // degrade under a control, propagate without one.
+        OPIM_TR_SPAN1("speculate_merge", "opimc", "iter", i);
+        Stopwatch merge_watch;
+        try {
+          spec_group->Wait();
+        } catch (...) {
+          if (control == nullptr) throw;
+          control->TripWorkerFailure();
+        }
+        batch_counter += 2;
+        const uint64_t used = spec1->TotalSets() + spec2->TotalSets();
+        result.speculative_sets_used += used;
+        OPIM_TM_COUNTER_ADD("opim.rrset.speculative_sets_used", used);
+        IngestStaged(spec1.get(), &r1, pool.get());
+        IngestStaged(spec2.get(), &r2, pool.get());
+        pending_generate_seconds += merge_watch.ElapsedSeconds();
+      }
+      spec_group.reset();
+      spec1.reset();
+      spec2.reset();
+    }
+
+    if (exiting) {
       result.seeds = std::move(greedy.seeds);
       result.alpha = iter.alpha;
       break;
     }
-    // Double both pools with fresh RR sets (Line 9 of Algorithm 2).
-    generate(&r1, r1.num_sets(), control);
-    generate(&r2, r2.num_sets(), control);
+    if (!speculated) {
+      // Eager doubling of both pools (Line 9 of Algorithm 2) — the only
+      // path on serial runs, and the fallback when no speculation was
+      // launched this iteration.
+      generate(&r1, r1.num_sets(), control);
+      generate(&r2, r2.num_sets(), control);
+    }
   }
 
   result.num_rr_sets =

@@ -35,6 +35,15 @@ struct OpimCOptions {
   /// Worker threads for RR-set generation (1 = serial; 0 = hardware
   /// default). Results are deterministic in (seed, num_threads).
   unsigned num_threads = 1;
+  /// Pipelined doubling loop: while CELF and the bounds run on the frozen
+  /// pools, background workers speculatively sample the next doubling's
+  /// batches into compressed staging buffers; if the iteration does not
+  /// converge they are merged as the doubling (shard-order, seeds derived
+  /// exactly as the serial schedule's), otherwise discarded. Output is
+  /// byte-identical to `pipeline = false` for the same (seed,
+  /// num_threads); only wall-clock differs. Inert when num_threads == 1
+  /// (speculation needs pool workers).
+  bool pipeline = true;
   /// Optional node weights (one per node, non-negative, not all zero):
   /// switches the objective to the weighted spread σ_w (see IcRRSampler).
   /// The guarantee becomes (1 - 1/e - ε) w.r.t. the weighted optimum.
@@ -115,6 +124,13 @@ struct OpimCResult {
   uint64_t rr_raw_member_bytes = 0;
   /// Iterations executed (1-based; <= i_max).
   uint32_t iterations = 0;
+  /// Speculation accounting (pipelined runs only): RR sets sampled ahead
+  /// of need that were merged as a doubling, and sets discarded because
+  /// the loop converged (or tripped) first — only the final iteration's
+  /// staged work is ever discarded. Mirrors the telemetry counters
+  /// opim.rrset.speculative_sets_used / _discarded.
+  uint64_t speculative_sets_used = 0;
+  uint64_t speculative_sets_discarded = 0;
   /// The i_max bound computed from Eqs. (16)/(17).
   uint32_t i_max = 0;
   /// The thread count actually used (OpimCOptions::num_threads with 0

@@ -1,12 +1,9 @@
 #include "rrset/parallel_generate.h"
 
-#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
-
-#include <atomic>
 
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -19,6 +16,117 @@
 
 namespace opim {
 
+StagedGeneration::StagedGeneration(const SamplingView& view,
+                                   DiffusionModel model, uint64_t count,
+                                   uint64_t seed, unsigned shards,
+                                   const AliasSampler* root_table,
+                                   RunControl* control, uint64_t base_bytes,
+                                   bool speculative)
+    : view_(view),
+      model_(model),
+      count_(count),
+      seed_(seed),
+      root_table_(root_table),
+      control_(control),
+      base_bytes_(base_bytes),
+      speculative_(speculative),
+      shards_(shards) {
+  OPIM_CHECK_GE(shards, 1u);
+  OPIM_CHECK_LE(shards, count);
+}
+
+void StagedGeneration::RunShard(unsigned s) {
+  OPIM_TR_SPAN1(speculative_ ? "speculate_shard" : "shard", "rrset", "shard",
+                s);
+  Stopwatch shard_watch;
+  auto sampler = MakeRRSampler(view_, model_, root_table_);
+  Rng rng(seed_, 0x70617267ULL + s);  // "parg" + shard
+  const unsigned shards = this->shards();
+  const uint64_t lo = count_ * s / shards;
+  const uint64_t hi = count_ * (s + 1) / shards;
+  Shard& shard = shards_[s];
+  std::vector<NodeId> scratch;
+  uint64_t last_published = 0;
+  for (uint64_t i = lo; i < hi; ++i) {
+    if ((i - lo) % kControlPollStride == 0) {
+      if (abort_.load(std::memory_order_relaxed)) break;
+      if (control_ != nullptr) {
+        // Publish this shard's staging delta, then poll with the shared
+        // total: the footprint the control sees is the caller's base plus
+        // what all shards hold *compressed* (the raw member lists are
+        // never materialized on this path).
+        const uint64_t bytes = shard.encoder.StagingBytes();
+        published_bytes_.fetch_add(bytes - last_published,
+                                   std::memory_order_relaxed);
+        last_published = bytes;
+        if (control_->Poll(base_bytes_ +
+                           published_bytes_.load(std::memory_order_relaxed))) {
+          break;
+        }
+      }
+    }
+    if (OPIM_FAULT_POINT("rrset.worker_throw")) {
+      throw std::runtime_error("injected fault: rrset.worker_throw");
+    }
+    if (speculative_ && OPIM_FAULT_POINT("rrset.speculation_throw")) {
+      throw std::runtime_error("injected fault: rrset.speculation_throw");
+    }
+    const uint64_t cost = sampler->SampleInto(rng, &scratch);
+    // The encoder sorts and compresses the set immediately, while its
+    // members are cache-hot; a mid-Add failure leaves the shard
+    // ingestable (see ShardEncoder).
+    shard.encoder.Add(&scratch, cost);
+    ++shard.sets;
+    shard.nodes += scratch.size();
+    shard.edges += cost;
+  }
+  shard.alias = sampler->alias_draws();
+  OPIM_TM_HISTOGRAM_RECORD("opim.rrset.shard_us",
+                           shard_watch.ElapsedSeconds() * 1e6);
+}
+
+uint64_t StagedGeneration::TotalSets() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.sets;
+  return total;
+}
+
+uint64_t StagedGeneration::TotalNodes() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.nodes;
+  return total;
+}
+
+uint64_t StagedGeneration::TotalEdges() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.edges;
+  return total;
+}
+
+uint64_t StagedGeneration::TotalAliasDraws() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.alias;
+  return total;
+}
+
+std::vector<CompressedRRShard> StagedGeneration::TakeShards() {
+  std::vector<CompressedRRShard> out;
+  out.reserve(shards_.size());
+  for (Shard& s : shards_) {
+    out.push_back(s.encoder.Finish(view_.graph().num_nodes()));
+  }
+  return out;
+}
+
+void IngestStaged(StagedGeneration* stage, RRCollection* collection,
+                  ThreadPool* pool) {
+  collection->AddCompressedShards(stage->TakeShards(), pool);
+  OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", stage->TotalSets());
+  OPIM_TM_COUNTER_ADD("opim.rrset.nodes_total", stage->TotalNodes());
+  OPIM_TM_COUNTER_ADD("opim.rrset.edges_examined", stage->TotalEdges());
+  OPIM_TM_COUNTER_ADD("opim.rrset.alias_draws", stage->TotalAliasDraws());
+}
+
 void ParallelGenerate(const Graph& g, DiffusionModel model,
                       RRCollection* collection, uint64_t count,
                       uint64_t seed, unsigned num_threads,
@@ -29,13 +137,12 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
   OPIM_TM_SCOPED_TIMER("opim.rrset.generate_us");
   num_threads = pool != nullptr ? pool->num_threads()
                                 : ThreadPool::ResolveThreadCount(num_threads);
-  const unsigned shards =
-      static_cast<unsigned>(std::min<uint64_t>(count, num_threads));
+  const unsigned shards = GenerateShardCount(count, num_threads);
 
   // A temporary pool is only created when the caller did not supply one
   // (and more than one shard exists); it parallelizes the view build below,
-  // the shards, and the index rebuild inside AddBatch, then reports its
-  // stats before destruction.
+  // the shards, and the index merge inside AddCompressedShards, then
+  // reports its stats before destruction.
   std::unique_ptr<ThreadPool> local_pool;
   if (shards > 1 && pool == nullptr) {
     local_pool = std::make_unique<ThreadPool>(shards);
@@ -63,84 +170,21 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
   }
   const AliasSampler* shared_root = root_table.empty() ? nullptr : &root_table;
 
-  // Per-shard RRBatch buffers, filled so the append order is exactly
-  // shard-major, sample-minor; AddBatch moves the node pools wholesale.
-  std::vector<RRBatch> buffers(shards);
-  std::vector<uint64_t> shard_edges(shards, 0);
-  std::vector<uint64_t> shard_alias(shards, 0);
-
-  // Guardrail bookkeeping: shards publish buffered nodes/sets to shared
-  // counters once per poll stride, so the footprint estimate the control
-  // sees is base (the destination collection as it stands, compressed) +
-  // what the in-flight batch holds *raw*: shard buffers are plain NodeId
-  // vectors until AddBatch sorts and group-varint-compresses them, so
-  // mid-batch the raw bytes are what the allocator really holds (plus
-  // roughly one inverted-index posting per node and slot/cost/record
-  // bytes per set after ingestion). Iteration-boundary accounting in the
-  // engines is exact and compressed; this deliberately conservative
-  // estimate only has to catch runaway pools mid-batch.
-  const uint64_t base_bytes = control != nullptr ? collection->MemoryUsage() : 0;
-  std::atomic<uint64_t> buffered_nodes{0};
-  std::atomic<uint64_t> buffered_sets{0};
-  constexpr uint64_t kBytesPerNode = sizeof(NodeId) + sizeof(RRId);
-  constexpr uint64_t kBytesPerSet = 3 * sizeof(uint64_t);
-
-  auto run_shard = [&](unsigned s) {
-    OPIM_TR_SPAN1("shard", "rrset", "shard", s);
-    Stopwatch shard_watch;
-    auto sampler = MakeRRSampler(*view, model, shared_root);
-    Rng rng(seed, 0x70617267ULL + s);  // "parg" + shard
-    const uint64_t lo = count * s / shards;
-    const uint64_t hi = count * (s + 1) / shards;
-    std::vector<NodeId> scratch;
-    RRBatch& buf = buffers[s];
-    uint64_t unpublished_nodes = 0;
-    uint64_t unpublished_sets = 0;
-    for (uint64_t i = lo; i < hi; ++i) {
-      if (control != nullptr && (i - lo) % kControlPollStride == 0) {
-        const uint64_t nodes =
-            buffered_nodes.fetch_add(unpublished_nodes,
-                                     std::memory_order_relaxed) +
-            unpublished_nodes;
-        const uint64_t sets =
-            buffered_sets.fetch_add(unpublished_sets,
-                                    std::memory_order_relaxed) +
-            unpublished_sets;
-        unpublished_nodes = 0;
-        unpublished_sets = 0;
-        if (control->Poll(base_bytes + nodes * kBytesPerNode +
-                          sets * kBytesPerSet)) {
-          break;
-        }
-      }
-      if (OPIM_FAULT_POINT("rrset.worker_throw")) {
-        throw std::runtime_error("injected fault: rrset.worker_throw");
-      }
-      uint64_t cost = sampler->SampleInto(rng, &scratch);
-      // Pool nodes first, set record second: if either append throws
-      // (allocation failure), the buffer never holds a set record whose
-      // nodes are missing, so partial shard buffers stay ingestable.
-      buf.pool.insert(buf.pool.end(), scratch.begin(), scratch.end());
-      buf.sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
-      shard_edges[s] += cost;
-      unpublished_nodes += scratch.size();
-      ++unpublished_sets;
-    }
-    shard_alias[s] = sampler->alias_draws();
-    OPIM_TM_HISTOGRAM_RECORD("opim.rrset.shard_us",
-                             shard_watch.ElapsedSeconds() * 1e6);
-  };
+  const uint64_t base_bytes =
+      control != nullptr ? collection->MemoryUsage() : 0;
+  StagedGeneration stage(*view, model, count, seed, shards, shared_root,
+                         control, base_bytes, /*speculative=*/false);
 
   // A worker exception is captured by the pool and rethrown from Wait()
   // (support/thread_pool.h); with a control we degrade — record the
-  // failure, keep every completed shard buffer — and without one we
+  // failure, keep every completed staged shard — and without one we
   // propagate, preserving the uncontrolled contract.
   try {
     if (shards == 1) {
-      run_shard(0);
+      stage.RunShard(0);
     } else {
       for (unsigned s = 0; s < shards; ++s) {
-        pool->Submit([&, s] { run_shard(s); });
+        pool->Submit([&stage, s] { stage.RunShard(s); });
       }
       pool->Wait();
     }
@@ -149,22 +193,8 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
     control->TripWorkerFailure();
   }
 
-  uint64_t sets_total = 0;
-  uint64_t nodes_total = 0;
-  uint64_t edges_total = 0;
-  uint64_t alias_total = 0;
-  for (unsigned s = 0; s < shards; ++s) {
-    sets_total += buffers[s].sets.size();
-    nodes_total += buffers[s].pool.size();
-    edges_total += shard_edges[s];
-    alias_total += shard_alias[s];
-  }
-  collection->AddBatch(std::move(buffers), pool);
+  IngestStaged(&stage, collection, pool);
 
-  OPIM_TM_COUNTER_ADD("opim.rrset.sets_generated", sets_total);
-  OPIM_TM_COUNTER_ADD("opim.rrset.nodes_total", nodes_total);
-  OPIM_TM_COUNTER_ADD("opim.rrset.edges_examined", edges_total);
-  OPIM_TM_COUNTER_ADD("opim.rrset.alias_draws", alias_total);
   OPIM_TM_STMT({
     // Caller-owned pools accumulate lifetime stats the caller reports once
     // (e.g. RunOpimC after its final doubling); report here only for the

@@ -1,11 +1,21 @@
-// Parallel RR-set generation.
+// Parallel RR-set generation with streaming per-shard ingestion.
 //
 // RR sets are independent samples, so generation parallelizes trivially:
 // each worker owns a private sampler and an RNG stream derived from
-// (seed, shard), fills a local RRBatch, and the batches are ingested in
-// shard order via RRCollection::AddBatch — so the result is deterministic
-// for a fixed (seed, num_threads) pair, and single-threaded generation
-// with the same derivation reproduces num_threads = 1 exactly.
+// (seed, shard), and streams its sets straight into a shard-local
+// CompressedShard — members sorted and group-varint-compressed while they
+// are cache-hot, partial inverted-index postings built in the worker — so
+// ingestion after the barrier is a cheap deterministic shard-order merge
+// (RRCollection::AddCompressedShards + parallel MergeIndex) instead of a
+// serial sort/compress/rebuild pass. The result is deterministic for a
+// fixed (seed, num_threads) pair, and single-threaded generation with the
+// same derivation reproduces num_threads = 1 exactly.
+//
+// StagedGeneration exposes the two halves separately: RunShard() calls
+// can overlap other work on the same pool (the pipelined doubling loop
+// runs them speculatively during CELF + bounds, see docs/performance.md)
+// and IngestStaged() merges the staged shards — or drops them, if the
+// speculation was not needed — at a point the caller chooses.
 //
 // Callers that generate repeatedly (OPIM-C's doublings) should construct
 // one ThreadPool and pass it to every call: the workers and their stacks
@@ -19,8 +29,11 @@
 
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "diffusion/cascade.h"
 #include "graph/graph.h"
@@ -28,6 +41,7 @@
 
 namespace opim {
 
+class AliasSampler;
 class RunControl;
 class SamplingView;
 class ThreadPool;
@@ -71,5 +85,94 @@ void ParallelGenerate(const Graph& g, DiffusionModel model,
 /// Samples between RunControl polls in each ParallelGenerate shard: the
 /// cancellation-latency bound is this many samples' work per worker.
 inline constexpr uint64_t kControlPollStride = 32;
+
+/// Shard count ParallelGenerate uses for `count` sets on `num_threads`
+/// workers — the quantity the per-shard RNG stream derivation is keyed
+/// on. Exposed so speculative staging reproduces the schedule exactly.
+inline unsigned GenerateShardCount(uint64_t count, unsigned num_threads) {
+  return static_cast<unsigned>(std::min<uint64_t>(count, num_threads));
+}
+
+/// One batch of RR sets being sampled and compressed shard by shard —
+/// either synchronously inside ParallelGenerate, or speculatively ahead
+/// of the doubling that will consume it, overlapped with selection.
+///
+/// Construction fixes the sampling schedule (count, seed, shard count):
+/// the same derivation ParallelGenerate uses, so a staged batch is
+/// byte-identical to a synchronous one. RunShard(s) runs shard s's
+/// sample+compress loop on the calling thread; callers pick the execution
+/// context — ParallelGenerate submits every shard to its pool and waits,
+/// the pipelined engine submits them through a TaskGroup and joins only
+/// at the merge point. Abort() asks shards to stop at the next
+/// poll-stride boundary: the discard path when the doubling loop
+/// converges before the staged batch is needed.
+///
+/// Guardrails: shards publish their compressed staging footprint to a
+/// shared counter once per kControlPollStride samples and poll `control`
+/// with `base_bytes` plus that total, so speculative staging is metered
+/// against the same memory budget as synchronous generation. A shard
+/// that throws (fault injection, allocation failure) leaves its completed
+/// sets ingestable (ShardEncoder's exception-safety contract).
+class StagedGeneration {
+ public:
+  /// Fixes the schedule; nothing is sampled until RunShard. `view` must
+  /// have the part for `model` built and, like `root_table` (nullptr for
+  /// uniform roots) and `control`, must outlive the staging run.
+  /// `speculative` selects the rrset.speculation_throw fault site and the
+  /// speculative trace span names.
+  StagedGeneration(const SamplingView& view, DiffusionModel model,
+                   uint64_t count, uint64_t seed, unsigned shards,
+                   const AliasSampler* root_table, RunControl* control,
+                   uint64_t base_bytes, bool speculative);
+
+  /// Samples shard `s` (thread-safe for distinct `s`; call once per `s`).
+  void RunShard(unsigned s);
+
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+
+  /// Asks running shards to stop at their next poll-stride boundary.
+  void Abort() { abort_.store(true, std::memory_order_relaxed); }
+
+  /// Compressed staging footprint published so far (poll-stride stale).
+  uint64_t StagingBytes() const {
+    return published_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregate sample stats; valid once every RunShard has returned.
+  uint64_t TotalSets() const;
+  uint64_t TotalNodes() const;
+  uint64_t TotalEdges() const;
+  uint64_t TotalAliasDraws() const;
+
+  /// Finalizes and takes the per-shard wire-format buffers (call after
+  /// every RunShard returned; the stats above remain valid).
+  std::vector<CompressedRRShard> TakeShards();
+
+ private:
+  const SamplingView& view_;
+  DiffusionModel model_;
+  uint64_t count_;
+  uint64_t seed_;
+  const AliasSampler* root_table_;
+  RunControl* control_;
+  uint64_t base_bytes_;
+  bool speculative_;
+  std::atomic<bool> abort_{false};
+  std::atomic<uint64_t> published_bytes_{0};
+  struct alignas(64) Shard {
+    ShardEncoder encoder;
+    uint64_t sets = 0;
+    uint64_t nodes = 0;
+    uint64_t edges = 0;
+    uint64_t alias = 0;
+  };
+  std::vector<Shard> shards_;
+};
+
+/// Ingests a fully sampled staged batch into `collection` (shard-order
+/// merge; RRCollection::AddCompressedShards) and reports the batch's
+/// generation counters to telemetry. Every RunShard must have returned.
+void IngestStaged(StagedGeneration* stage, RRCollection* collection,
+                  ThreadPool* pool);
 
 }  // namespace opim

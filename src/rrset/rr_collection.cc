@@ -20,6 +20,87 @@ constexpr uint32_t kBlockCostRatio = 3;
 
 }  // namespace
 
+void ShardEncoder::Add(std::vector<NodeId>* members, uint64_t cost) {
+  std::sort(members->begin(), members->end());
+  AddSorted(*members, cost);
+}
+
+void ShardEncoder::AddSorted(std::span<const NodeId> members, uint64_t cost) {
+#if OPIM_DEBUG_CHECKS
+  for (size_t i = 1; i < members.size(); ++i) {
+    OPIM_DCHECK_LT(members[i - 1], members[i]);  // distinct by contract
+  }
+#endif
+  uint32_t rec;
+  if (members.empty()) {
+    rec = rrslot::kEmpty;
+  } else if (members.size() == 1) {
+    rec = rrslot::kInlineTag | members[0];
+  } else {
+    // Bytes precede the record: a failed record push can only orphan
+    // trailing bytes, which Finalize strips (see header).
+    const size_t len = EncodeRRMembers(members, &shard_.bytes);
+    OPIM_CHECK_LT(len, rrslot::kInlineTag);
+    rec = static_cast<uint32_t>(len);
+  }
+  shard_.sets.push_back({rec, cost});
+}
+
+CompressedRRShard ShardEncoder::Finish(uint32_t num_nodes) {
+  Finalize(&shard_, num_nodes);
+  CompressedRRShard out = std::move(shard_);
+  shard_ = {};
+  return out;
+}
+
+void ShardEncoder::Finalize(CompressedRRShard* shard, uint32_t num_nodes) {
+  if (shard->finalized()) return;
+  // Drop orphan trailing bytes (a worker that threw mid-Add may have
+  // appended an encoding without its record), then add temporary decode
+  // slack: the counting-sort passes below read via the fast decoder.
+  uint64_t used = 0;
+  for (const CompressedRRShard::SetRec& s : shard->sets) {
+    if (!(s.rec & rrslot::kInlineTag)) used += s.rec;
+  }
+  shard->bytes.resize(used);
+  shard->bytes.resize(used + kVarintDecodeSlackBytes, 0);
+
+  const uint32_t sets = static_cast<uint32_t>(shard->sets.size());
+  auto for_each_member = [&](auto&& fn) {
+    const uint8_t* p = shard->bytes.data();
+    for (uint32_t local = 0; local < sets; ++local) {
+      const uint32_t rec = shard->sets[local].rec;
+      if (rec & rrslot::kInlineTag) {
+        if (rec != rrslot::kEmpty) {
+          fn(static_cast<RRId>(local),
+             static_cast<NodeId>(rec & ~rrslot::kInlineTag));
+        }
+      } else {
+        DecodeRRMembersForEach(
+            p, [&](NodeId v) { fn(static_cast<RRId>(local), v); });
+        p += rec;
+      }
+    }
+  };
+  shard->post_offsets.assign(num_nodes + 1, 0);
+  uint64_t members = 0;
+  for_each_member([&](RRId, NodeId v) {
+    OPIM_DCHECK_LT(v, num_nodes);
+    ++shard->post_offsets[v + 1];
+    ++members;
+  });
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    shard->post_offsets[v + 1] += shard->post_offsets[v];
+  }
+  shard->postings.resize(members);
+  std::vector<uint32_t> cursor(shard->post_offsets.begin(),
+                               shard->post_offsets.end() - 1);
+  for_each_member(
+      [&](RRId local, NodeId v) { shard->postings[cursor[v]++] = local; });
+  shard->total_members = members;
+  shard->bytes.resize(used);  // strip the temporary slack again
+}
+
 RRCollection::RRCollection(uint32_t num_nodes, RRStoreOptions options)
     : num_nodes_(num_nodes),
       retain_costs_(options.retain_set_costs),
@@ -69,12 +150,8 @@ RRId RRCollection::AddSet(std::span<const NodeId> nodes,
 }
 
 void RRCollection::AddBatch(std::vector<RRBatch> shards, ThreadPool* pool) {
-  OPIM_TR_SPAN1("ingest", "rrset", "shards", shards.size());
-  OPIM_TM_SCOPED_TIMER("opim.rrset.ingest_us");
-  uint64_t add_nodes = 0;
   uint64_t add_sets = 0;
   for (const RRBatch& shard : shards) {
-    add_nodes += shard.pool.size();
     add_sets += shard.sets.size();
 #if OPIM_DEBUG_CHECKS
     for (NodeId v : shard.pool) OPIM_DCHECK_LT(v, num_nodes_);
@@ -85,61 +162,58 @@ void RRCollection::AddBatch(std::vector<RRBatch> shards, ThreadPool* pool) {
   }
   if (add_sets == 0) return;
 
-  // Per-shard sort + compress, in parallel: each worker sorts its shard's
-  // sets in place and emits one encoded byte stream plus one uint32
-  // record per set — an inline slot value (tag bit set) or the set's
-  // encoded byte length.
-  struct ShardEnc {
-    std::vector<uint8_t> bytes;
-    std::vector<uint32_t> rec;
-  };
-  std::vector<ShardEnc> enc(shards.size());
+  // Per-shard sort + compress + local postings, in parallel; ingestion
+  // proper is the shard-order merge in AddCompressedShards.
+  std::vector<CompressedRRShard> enc(shards.size());
   auto encode_shard = [&](uint64_t s) {
+    OPIM_TM_SCOPED_TIMER("opim.rrset.shard_encode_us");
     RRBatch& shard = shards[s];
-    ShardEnc& e = enc[s];
-    e.rec.reserve(shard.sets.size());
+    ShardEncoder encoder;
     NodeId* cursor = shard.pool.data();
     for (const auto& [size, cost] : shard.sets) {
       std::span<NodeId> members(cursor, size);
       cursor += size;
       std::sort(members.begin(), members.end());
-#if OPIM_DEBUG_CHECKS
-      for (size_t i = 1; i < members.size(); ++i) {
-        OPIM_DCHECK_LT(members[i - 1], members[i]);  // distinct by contract
-      }
-#endif
-      if (size == 0) {
-        e.rec.push_back(kEmptySlot);
-      } else if (size == 1) {
-        e.rec.push_back(kSlotInlineTag | members[0]);
-      } else {
-        const size_t len = EncodeRRMembers(members, &e.bytes);
-        OPIM_CHECK_LT(len, kSlotInlineTag);
-        e.rec.push_back(static_cast<uint32_t>(len));
-      }
+      encoder.AddSorted(members, cost);
     }
+    enc[s] = encoder.Finish(num_nodes_);
   };
   if (pool != nullptr && pool->num_threads() > 1 && shards.size() > 1) {
     pool->ParallelFor(shards.size(), encode_shard);
   } else {
     for (uint64_t s = 0; s < shards.size(); ++s) encode_shard(s);
   }
+  AddCompressedShards(std::move(enc), pool);
+}
+
+void RRCollection::AddCompressedShards(std::vector<CompressedRRShard> shards,
+                                       ThreadPool* pool) {
+  OPIM_TR_SPAN1("ingest", "rrset", "shards", shards.size());
+  OPIM_TM_SCOPED_TIMER("opim.rrset.ingest_us");
+  uint64_t add_sets = 0;
+  uint64_t total_bytes = 0;
+  for (CompressedRRShard& shard : shards) {
+    ShardEncoder::Finalize(&shard, num_nodes_);  // no-op on Finish output
+    add_sets += shard.sets.size();
+    total_bytes += shard.bytes.size();
+  }
+  if (add_sets == 0) return;
 
   // Serial assembly: shard byte streams are appended wholesale (sets are
   // consecutive within a shard), slots/chunk bases/costs follow the
   // record walk in shard-major, sample-minor append order.
+  std::vector<RRId> shard_bases;
+  shard_bases.reserve(shards.size());
   uint64_t encoded_end =
       pool_.empty() ? 0 : pool_.size() - kVarintDecodeSlackBytes;
-  uint64_t total_bytes = 0;
-  for (const ShardEnc& e : enc) total_bytes += e.bytes.size();
   pool_.resize(encoded_end);  // strip tail slack before bulk appends
   pool_.reserve(encoded_end + total_bytes + kVarintDecodeSlackBytes);
   slot_.reserve(slot_.size() + add_sets);
   if (retain_costs_) set_cost_.reserve(set_cost_.size() + add_sets);
-  for (size_t s = 0; s < shards.size(); ++s) {
-    const ShardEnc& e = enc[s];
-    pool_.insert(pool_.end(), e.bytes.begin(), e.bytes.end());
-    for (uint32_t rec : e.rec) {
+  for (const CompressedRRShard& shard : shards) {
+    shard_bases.push_back(num_sets_);
+    pool_.insert(pool_.end(), shard.bytes.begin(), shard.bytes.end());
+    for (const auto& [rec, cost] : shard.sets) {
       const RRId id = num_sets_;
       if ((id & ((1u << kChunkShift) - 1)) == 0) {
         chunk_base_.push_back(encoded_end);
@@ -153,17 +227,173 @@ void RRCollection::AddBatch(std::vector<RRBatch> shards, ThreadPool* pool) {
         encoded_end += rec;
       }
       ++num_sets_;
-    }
-    for (const auto& [size, cost] : shards[s].sets) {
       if (retain_costs_) set_cost_.push_back(cost);
       total_edges_examined_ += cost;
-      total_members_ += size;
     }
+    total_members_ += shard.total_members;
   }
   OPIM_CHECK_EQ(encoded_end, pool_.size());
   pool_.resize(pool_.size() + kVarintDecodeSlackBytes, 0);
   OPIM_TM_GAUGE_SET("opim.rrset.compressed_bytes", pool_.size());
-  RebuildIndex(pool);
+  if (index_dirty_) {
+    RebuildIndex(pool);  // single-set appends left no merge base
+  } else {
+    MergeIndex(shards, shard_bases, pool);
+  }
+}
+
+void RRCollection::MergeIndex(std::span<const CompressedRRShard> shards,
+                              std::span<const RRId> shard_bases,
+                              ThreadPool* pool) const {
+  OPIM_TR_SPAN1("index_merge", "rrset", "sets", num_sets_);
+  OPIM_TM_SCOPED_TIMER("opim.rrset.index_merge_us");
+  OPIM_TM_COUNTER_ADD("opim.rrset.index_merges", 1);
+  index_dirty_ = false;
+  const uint32_t n = num_nodes_;
+  OPIM_CHECK_LE(total_members_, 0xFFFFFFFFull);
+
+  // Every phase runs over the same fixed node ranges; per-node output
+  // never depends on the split, so the result is identical for any worker
+  // count. More ranges than workers keeps the merge balanced when posting
+  // mass is skewed toward hubs.
+  const unsigned workers = pool != nullptr ? pool->num_threads() : 1;
+  const uint32_t ranges =
+      workers > 1 && total_members_ >= kParallelRebuildMinNodes
+          ? std::min<uint32_t>(n, workers * 4)
+          : 1;
+  auto range_lo = [n, ranges](uint32_t r) {
+    return static_cast<uint32_t>(uint64_t{n} * r / ranges);
+  };
+  auto for_ranges = [&](auto&& fn) {
+    if (ranges == 1) {
+      fn(0);
+    } else {
+      pool->ParallelFor(ranges,
+                        [&](uint64_t r) { fn(static_cast<uint32_t>(r)); });
+    }
+  };
+
+  // Phase 1: merged per-node posting counts, then a serial prefix sum.
+  std::vector<uint32_t> offsets(n + 1, 0);
+  for_ranges([&](uint32_t r) {
+    for (uint32_t v = range_lo(r); v < range_lo(r + 1); ++v) {
+      uint32_t count = raw_offsets_[v + 1] - raw_offsets_[v];
+      for (uint32_t b = block_offsets_[v]; b < block_offsets_[v + 1]; ++b) {
+        count += static_cast<uint32_t>(std::popcount(block_masks_[b]));
+      }
+      for (const CompressedRRShard& shard : shards) {
+        count += shard.post_offsets[v + 1] - shard.post_offsets[v];
+      }
+      offsets[v + 1] = count;
+    }
+  });
+  for (uint32_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  OPIM_CHECK_EQ(offsets[n], static_cast<uint32_t>(total_members_));
+
+  // Phase 2: fill the merged raw postings. Old ids first (ascending out
+  // of either representation), then shard postings in shard order —
+  // local indices ascend per node and bases increase, so every node's
+  // merged list comes out ascending without any sort.
+  std::vector<RRId> merged(offsets[n]);
+  for_ranges([&](uint32_t r) {
+    for (uint32_t v = range_lo(r); v < range_lo(r + 1); ++v) {
+      uint32_t w = offsets[v];
+      for (uint32_t i = raw_offsets_[v]; i < raw_offsets_[v + 1]; ++i) {
+        merged[w++] = cover_ids_[i];
+      }
+      for (uint32_t b = block_offsets_[v]; b < block_offsets_[v + 1]; ++b) {
+        uint64_t mask = block_masks_[b];
+        const uint64_t base = uint64_t{block_words_[b]} << 6;
+        while (mask != 0) {
+          merged[w++] = static_cast<RRId>(base + std::countr_zero(mask));
+          mask &= mask - 1;
+        }
+      }
+      for (size_t s = 0; s < shards.size(); ++s) {
+        const CompressedRRShard& shard = shards[s];
+        for (uint32_t i = shard.post_offsets[v];
+             i < shard.post_offsets[v + 1]; ++i) {
+          merged[w++] = shard_bases[s] + shard.postings[i];
+        }
+      }
+      OPIM_DCHECK_EQ(w, offsets[v + 1]);
+    }
+  });
+
+  // Phase 3: per-node representation selection + compaction, two passes
+  // over the same ranges: per-range output sizes, a serial prefix fixing
+  // each range's write base, then emission. The choice rule matches
+  // RebuildIndex exactly (blocks win iff 3·blocks <= postings).
+  auto node_blocks = [&](uint32_t lo, uint32_t hi) {
+    uint32_t blocks = 1;
+    for (uint32_t i = lo + 1; i < hi; ++i) {
+      blocks += (merged[i] >> 6) != (merged[i - 1] >> 6);
+    }
+    return blocks;
+  };
+  std::vector<uint64_t> range_raw(ranges + 1, 0);
+  std::vector<uint64_t> range_blocks(ranges + 1, 0);
+  for_ranges([&](uint32_t r) {
+    uint64_t raw = 0;
+    uint64_t blk = 0;
+    for (uint32_t v = range_lo(r); v < range_lo(r + 1); ++v) {
+      const uint32_t p = offsets[v + 1] - offsets[v];
+      if (p == 0) continue;
+      const uint32_t blocks = node_blocks(offsets[v], offsets[v + 1]);
+      if (kBlockCostRatio * blocks <= p) {
+        blk += blocks;
+      } else {
+        raw += p;
+      }
+    }
+    range_raw[r + 1] = raw;
+    range_blocks[r + 1] = blk;
+  });
+  for (uint32_t r = 0; r < ranges; ++r) {
+    range_raw[r + 1] += range_raw[r];
+    range_blocks[r + 1] += range_blocks[r];
+  }
+  cover_ids_.resize(range_raw[ranges]);
+  block_words_.resize(range_blocks[ranges]);
+  block_masks_.resize(range_blocks[ranges]);
+  for_ranges([&](uint32_t r) {
+    uint32_t w_raw = static_cast<uint32_t>(range_raw[r]);
+    uint32_t w_blk = static_cast<uint32_t>(range_blocks[r]);
+    for (uint32_t v = range_lo(r); v < range_lo(r + 1); ++v) {
+      raw_offsets_[v] = w_raw;
+      block_offsets_[v] = w_blk;
+      const uint32_t lo = offsets[v];
+      const uint32_t hi = offsets[v + 1];
+      const uint32_t p = hi - lo;
+      if (p == 0) continue;
+      const uint32_t blocks = node_blocks(lo, hi);
+      if (kBlockCostRatio * blocks <= p) {
+        uint32_t word = merged[lo] >> 6;
+        uint64_t mask = 0;
+        for (uint32_t i = lo; i < hi; ++i) {
+          const uint32_t w = merged[i] >> 6;
+          if (w != word) {
+            block_words_[w_blk] = word;
+            block_masks_[w_blk] = mask;
+            ++w_blk;
+            word = w;
+            mask = 0;
+          }
+          mask |= uint64_t{1} << (merged[i] & 63);
+        }
+        block_words_[w_blk] = word;
+        block_masks_[w_blk] = mask;
+        ++w_blk;
+      } else {
+        for (uint32_t i = lo; i < hi; ++i) cover_ids_[w_raw++] = merged[i];
+      }
+    }
+  });
+  raw_offsets_[n] = static_cast<uint32_t>(range_raw[ranges]);
+  block_offsets_[n] = static_cast<uint32_t>(range_blocks[ranges]);
+  cover_ids_.shrink_to_fit();
+  block_words_.shrink_to_fit();
+  block_masks_.shrink_to_fit();
 }
 
 void RRCollection::RebuildIndex(ThreadPool* pool) const {

@@ -50,6 +50,15 @@ namespace opim {
 
 class ThreadPool;
 
+/// Slot encoding shared by RRCollection and the shard-side compressors:
+/// a set's 4-byte slot either carries the inline tag (empty/singleton
+/// sets; low 31 bits hold the member id, or kEmpty's payload) or a pool
+/// byte offset / encoded length.
+namespace rrslot {
+inline constexpr uint32_t kInlineTag = 0x80000000u;
+inline constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+}  // namespace rrslot
+
 /// One producer shard of sampled RR sets, in append order: `pool` is the
 /// concatenation of the sets' nodes and `sets` holds each set's (size,
 /// traversal cost). This is exactly the per-worker buffer shape of
@@ -58,6 +67,82 @@ class ThreadPool;
 struct RRBatch {
   std::vector<NodeId> pool;
   std::vector<std::pair<uint32_t, uint64_t>> sets;  // (size, edges examined)
+};
+
+/// One producer shard already in wire format: the concatenation of the
+/// sets' group-varint encodings (no tail slack), one record per set (an
+/// inline slot value for empty/singleton sets — tag bit set — or the
+/// set's encoded byte length, paired with its traversal cost), and the
+/// shard-local inverted postings (per node, the ascending *local* set
+/// indices within this shard). Built inside generation workers by
+/// ShardEncoder so ingestion is a cheap shard-order merge: byte streams
+/// are appended wholesale and the index update is a parallel per-node
+/// merge of old postings with each shard's postings (global id = shard
+/// base + local index) instead of a full re-decode of every stored set.
+struct CompressedRRShard {
+  std::vector<uint8_t> bytes;
+  struct SetRec {
+    uint32_t rec;    // inline slot (tag bit set) or encoded byte length
+    uint64_t cost;   // edges examined sampling this set
+  };
+  std::vector<SetRec> sets;
+  std::vector<uint32_t> post_offsets;  // num_nodes + 1 once finalized
+  std::vector<RRId> postings;          // local set indices, per node asc
+  uint64_t total_members = 0;
+
+  bool finalized() const { return !post_offsets.empty(); }
+
+  /// Heap footprint (capacity-based) — what RunControl staging-buffer
+  /// metering charges for a speculatively sampled shard.
+  uint64_t StagingBytes() const {
+    return bytes.capacity() * sizeof(uint8_t) +
+           sets.capacity() * sizeof(SetRec) +
+           post_offsets.capacity() * sizeof(uint32_t) +
+           postings.capacity() * sizeof(RRId);
+  }
+};
+
+/// Streaming per-shard compressor: generation workers feed it one sampled
+/// set at a time (sorted + encoded immediately, while the members are
+/// cache-hot) and Finish() builds the shard-local postings, yielding a
+/// CompressedRRShard ready for RRCollection::AddCompressedShards. The raw
+/// member pool of the RRBatch path is never materialized.
+///
+/// Exception safety: Add() appends the encoding before the set record, so
+/// an allocation failure mid-append can orphan trailing bytes but never a
+/// record whose bytes are missing; Finalize/merge walk the records and
+/// ignore orphan bytes, keeping a partially filled encoder ingestable
+/// (the worker-failure degradation path relies on this).
+class ShardEncoder {
+ public:
+  ShardEncoder() = default;
+
+  /// Sorts `*members` in place (distinct nodes by sampler contract) and
+  /// appends its encoding. `cost` is the traversal cost (γ accounting).
+  void Add(std::vector<NodeId>* members, uint64_t cost);
+
+  /// Same for members already strictly ascending (validated in debug
+  /// builds) — the AddBatch path sorts spans of its pool in place first.
+  void AddSorted(std::span<const NodeId> members, uint64_t cost);
+
+  /// Sets encoded so far (readable mid-stream, e.g. for poll metering).
+  uint64_t num_sets() const { return shard_.sets.size(); }
+
+  /// Current heap footprint of the staged shard.
+  uint64_t StagingBytes() const { return shard_.StagingBytes(); }
+
+  /// Builds the shard-local postings (counting sort over this shard's
+  /// decoded members) and returns the finished shard. The encoder is left
+  /// empty and reusable. `num_nodes` is the graph's node-id bound.
+  CompressedRRShard Finish(uint32_t num_nodes);
+
+  /// Finalizes `shard` in place (used when a worker threw before its own
+  /// Finish ran: records stay consistent, so postings can be rebuilt by
+  /// any thread afterwards). No-op when already finalized.
+  static void Finalize(CompressedRRShard* shard, uint32_t num_nodes);
+
+ private:
+  CompressedRRShard shard_;
 };
 
 /// Storage knobs fixed at construction.
@@ -85,8 +170,21 @@ class RRCollection {
   /// compressing each shard's members (parallelized over shards when
   /// `pool` is provided), then rebuilds the inverted index. The index is
   /// valid on return. Per-node range validation is debug-only on this
-  /// path (OPIM_DCHECK).
+  /// path (OPIM_DCHECK). Implemented as encode-to-CompressedRRShard +
+  /// AddCompressedShards, so the result is byte-identical to the
+  /// streaming producer path.
   void AddBatch(std::vector<RRBatch> shards, ThreadPool* pool = nullptr);
+
+  /// Appends pre-compressed shards (ShardEncoder output), in shard order:
+  /// byte streams are appended wholesale, and the inverted index is
+  /// updated by a parallel per-node merge of the existing postings with
+  /// each shard's local postings — existing sets are never re-decoded.
+  /// Non-finalized shards (worker threw before Finish) are finalized
+  /// here first. The index is valid on return; deterministic for any
+  /// worker count. Falls back to a full rebuild when single-set appends
+  /// left the index stale.
+  void AddCompressedShards(std::vector<CompressedRRShard> shards,
+                           ThreadPool* pool = nullptr);
 
   /// Number of RR sets θ.
   uint32_t num_sets() const { return num_sets_; }
@@ -213,10 +311,9 @@ class RRCollection {
   double EstimateSpread(std::span<const NodeId> seeds) const;
 
  private:
-  /// Slot tag for sets stored inline (empty or singleton): the low 31
-  /// bits hold the member id, or kEmptySlot's payload for empty sets.
-  static constexpr uint32_t kSlotInlineTag = 0x80000000u;
-  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+  /// Slot tag for sets stored inline (empty or singleton); see rrslot.
+  static constexpr uint32_t kSlotInlineTag = rrslot::kInlineTag;
+  static constexpr uint32_t kEmptySlot = rrslot::kEmpty;
   /// Sets per chunk-base entry; a slot offset is relative to its chunk's
   /// base so 31 bits suffice no matter how large the pool grows.
   static constexpr uint32_t kChunkShift = 12;
@@ -235,6 +332,16 @@ class RRCollection {
   /// selection and compaction. Deterministic: the result is identical
   /// for any worker count.
   void RebuildIndex(ThreadPool* pool) const;
+
+  /// Merges per-shard local postings into the hybrid index without
+  /// re-decoding existing sets: per node, the old postings (enumerated
+  /// from whichever representation holds them) are concatenated with each
+  /// shard's postings offset by its id base, then the representation is
+  /// re-chosen. Parallel over node ranges when `pool` has > 1 worker;
+  /// output is identical to a full RebuildIndex for any worker count.
+  /// `shard_bases[s]` is the first global RRId of shard s.
+  void MergeIndex(std::span<const CompressedRRShard> shards,
+                  std::span<const RRId> shard_bases, ThreadPool* pool) const;
 
   uint32_t num_nodes_ = 0;
   uint32_t num_sets_ = 0;

@@ -18,19 +18,18 @@ SamplingView::Parts SamplingViewPartsFor(DiffusionModel model) {
 
 void RRSampler::Generate(RRCollection* collection, uint64_t count, Rng& rng) {
   if (count == 0) return;
-  // Even the serial path goes through the bulk-ingest batch: one pooled
-  // allocation and one inverted-index rebuild instead of `count` validated
-  // per-set appends.
-  std::vector<RRBatch> batch(1);
-  RRBatch& buf = batch[0];
-  buf.sets.reserve(count);
+  // Each set is sorted and compressed the moment it is sampled (members
+  // still cache-hot) — the raw member pool of the old RRBatch path is
+  // never materialized — and ingestion is one shard-merge.
+  ShardEncoder encoder;
   std::vector<NodeId> scratch;
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t cost = SampleInto(rng, &scratch);
-    buf.sets.emplace_back(static_cast<uint32_t>(scratch.size()), cost);
-    buf.pool.insert(buf.pool.end(), scratch.begin(), scratch.end());
+    encoder.Add(&scratch, cost);
   }
-  collection->AddBatch(std::move(batch));
+  std::vector<CompressedRRShard> shards;
+  shards.push_back(encoder.Finish(graph().num_nodes()));
+  collection->AddCompressedShards(std::move(shards));
 }
 
 namespace {

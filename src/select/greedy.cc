@@ -6,10 +6,49 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rrset/cover_bitset.h"
+#include "support/thread_pool.h"
 
 namespace opim {
 
 namespace {
+
+/// Below this much total posting mass the parallel initial-gain pass
+/// loses to fan-out overhead.
+constexpr uint64_t kParallelInitMinWork = 1u << 16;
+
+/// Fills `gains[v] = CoveringCount(v)` for every node, over node ranges
+/// on `pool` when the posting mass warrants it; per-node results are
+/// independent, so the output is identical for any worker count. Runs
+/// `after` (if set) once the pass — the only pool use in CELF — is done.
+void InitialGains(const RRCollection& collection, const CelfOptions& options,
+                  std::vector<uint64_t>* gains) {
+  OPIM_TR_SPAN1("celf_init", "select", "n", collection.num_nodes());
+  OPIM_TM_SCOPED_TIMER("opim.select.celf_init_us");
+  const uint32_t n = collection.num_nodes();
+  gains->resize(n);
+  ThreadPool* pool = options.pool;
+  if (pool != nullptr && pool->num_threads() > 1 && n > 0 &&
+      collection.total_size() >= kParallelInitMinWork) {
+    // One serial touch first: Covering() lazily rebuilds a stale index,
+    // which must not race across workers.
+    (*gains)[0] = collection.CoveringCount(0);
+    const uint32_t ranges = std::min<uint32_t>(n, pool->num_threads() * 4);
+    pool->ParallelFor(ranges, [&](uint64_t r) {
+      const uint32_t lo =
+          std::max<uint32_t>(1, static_cast<uint32_t>(uint64_t{n} * r / ranges));
+      const uint32_t hi =
+          static_cast<uint32_t>(uint64_t{n} * (r + 1) / ranges);
+      for (NodeId v = lo; v < hi; ++v) {
+        (*gains)[v] = collection.CoveringCount(v);
+      }
+    });
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      (*gains)[v] = collection.CoveringCount(v);
+    }
+  }
+  if (options.after_initial_gains) options.after_initial_gains();
+}
 
 /// Sum of the k largest values of `scratch` (consumed: partially sorted).
 /// Zeros never contribute, so callers pass only nonzero entries.
@@ -152,7 +191,7 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
 }
 
 GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
-                              bool with_trace) {
+                              bool with_trace, const CelfOptions& options) {
   OPIM_TR_SPAN2("celf", "select", "theta", collection.num_sets(), "k", k);
   OPIM_TM_SCOPED_TIMER("opim.select.celf_us");
   OPIM_TM_COUNTER_ADD("opim.select.celf_runs", 1);
@@ -174,6 +213,12 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
   uint64_t rescans = 0;
   uint64_t words_scanned = 0;  // bitset words the counting kernels touched
 
+  // Initial marginal gains Λ({v}) for every node — parallel over node
+  // ranges when options.pool is set (see InitialGains); everything after
+  // this pass is serial and bit-identical to the pool-less path.
+  std::vector<uint64_t> gains;
+  InitialGains(collection, options, &gains);
+
   if (!with_trace) {
     // Classic CELF: no marginal bookkeeping at all — a stale entry's gain
     // is recomputed on demand by intersecting the node's postings with
@@ -184,7 +229,7 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
     std::vector<CelfEntry> entries;
     entries.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
-      entries.push_back({collection.CoveringCount(v), v, 0});
+      entries.push_back({gains[v], v, 0});
     }
     std::priority_queue<CelfEntry> queue(std::less<CelfEntry>{},
                                          std::move(entries));
@@ -230,13 +275,12 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
   // walk down the histogram from the current maximum: the only sum the
   // bound needs is Σ value·|bucket| over the k largest entries, so no
   // per-pick O(n) scan, copy, or nth_element happens at all.
-  std::vector<uint64_t> counts(n, 0);
+  std::vector<uint64_t> counts = std::move(gains);
   uint64_t max_count = 0;
   std::vector<CelfEntry> entries;  // heapified in one O(n) make_heap below
   entries.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    const uint64_t g = collection.CoveringCount(v);
-    counts[v] = g;
+    const uint64_t g = counts[v];
     if (g > 0) entries.push_back({g, v, 0});
     max_count = std::max(max_count, g);
   }

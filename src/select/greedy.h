@@ -23,11 +23,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "rrset/rr_collection.h"
 
 namespace opim {
+
+class ThreadPool;
 
 /// Output of greedy selection, including the per-prefix trace used by the
 /// Λ1ᵘ(S°) bound of Eq. (10).
@@ -52,10 +55,23 @@ struct GreedyResult {
 GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
                           bool with_trace = false);
 
+/// Execution options for SelectGreedyCelf. Neither changes any output bit:
+/// `pool` only parallelizes the initial marginal-gain pass (one
+/// CoveringCount per node — the dominant CELF cost at large n) over node
+/// ranges; every recount stays serial. `after_initial_gains`, when set,
+/// runs on the calling thread right after that pass — the last pool use —
+/// and before the serial heap phase: the pipelined engine uses it to
+/// launch speculative sampling that overlaps the rest of selection.
+struct CelfOptions {
+  ThreadPool* pool = nullptr;
+  std::function<void()> after_initial_gains;
+};
+
 /// CELF lazy-forward greedy; identical output to SelectGreedy (seeds,
 /// coverage, and — with `with_trace` — the trace arrays), usually much
 /// faster. This is the engine selection path.
 GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
-                              bool with_trace = false);
+                              bool with_trace = false,
+                              const CelfOptions& options = {});
 
 }  // namespace opim

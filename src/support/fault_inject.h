@@ -19,6 +19,14 @@
 //                        ParallelGenerate shard; firing throws from the
 //                        worker task (exercises ThreadPool exception
 //                        capture and StopReason::kWorkerFailure).
+//   rrset.speculation_throw
+//                        evaluated once per RR sample inside *speculative*
+//                        staged shards only (the pipelined doubling loop's
+//                        lookahead sampling; dead on eager paths). Firing
+//                        throws from the speculative task: swallowed when
+//                        the staged batches are discarded, kWorkerFailure
+//                        (or propagation without a control) when they
+//                        would have been merged as the doubling.
 //   runctl.clock_skew    evaluated once per RunControl::Poll; firing
 //                        permanently skews the control's observed clock
 //                        far past any deadline (StopReason::kDeadline).

@@ -158,4 +158,36 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (failure_ == nullptr) failure_ = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+  if (failure_ != nullptr) {
+    std::exception_ptr failure = std::exchange(failure_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(failure);
+  }
+}
+
 }  // namespace opim

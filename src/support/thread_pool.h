@@ -109,4 +109,42 @@ class ThreadPool {
   ThreadPoolStats stats_;
 };
 
+/// Completion tracking for a subset of a pool's tasks, independent of the
+/// pool-global Wait(): each submission is wrapped so the group keeps its
+/// own pending count and captures its own first exception — a throwing
+/// group task never reaches the pool's failure slot, so it cannot poison
+/// an unrelated Wait() or cause queued foreground tasks to be drained.
+/// The pipelined engine uses this to overlap speculative sampling with
+/// serial selection and join only the speculative tasks at the merge
+/// point. Note the asymmetry: the pool-global Wait() still counts group
+/// tasks (callers must join the group before pool-wide barriers), while
+/// group Wait() never counts foreground tasks.
+///
+/// The group must outlive its tasks; Wait() — or destruction, which joins
+/// and discards any unconsumed exception — must complete before the pool
+/// is destroyed.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  OPIM_DISALLOW_COPY(TaskGroup);
+
+  /// Enqueues a task on the pool, tracked by this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every group task has completed; rethrows the group's
+  /// first exception since the last Wait(). The group stays reusable.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_;
+  uint64_t pending_ = 0;
+  /// First exception thrown by a group task since the last Wait();
+  /// guarded by mu_.
+  std::exception_ptr failure_;
+};
+
 }  // namespace opim

@@ -67,6 +67,56 @@ TEST_F(FaultInjectionTest, WorkerThrowWithControlTripsWorkerFailure) {
   EXPECT_GE(r.guardrails.stop_latency_seconds, 0.0);
 }
 
+TEST_F(FaultInjectionTest, SpeculationThrowWithControlTripsWorkerFailure) {
+  // rrset.speculation_throw is evaluated only inside *speculative* staged
+  // shards (the pipelined doubling loop's lookahead sampling). When the
+  // iteration does not converge, the staged batches ARE the doubling, so
+  // a speculative worker exception follows the eager generate contract:
+  // trip kWorkerFailure and finalize with a valid certificate.
+  Graph g = TestGraph();
+  fault::Arm("rrset.speculation_throw", 1);
+  RunControl control;
+  OpimCOptions o;
+  o.seed = 7;
+  o.num_threads = 2;
+  o.pipeline = true;
+  o.control = &control;
+  OpimCResult r = RunOpimC(g, DiffusionModel::kIndependentCascade, 5, 0.3,
+                           0.01, o);
+  EXPECT_EQ(r.guardrails.stop_reason, StopReason::kWorkerFailure);
+  EXPECT_EQ(r.seeds.size(), 5u);
+  EXPECT_TRUE(std::isfinite(r.alpha));
+  EXPECT_GE(r.alpha, 0.0);
+}
+
+TEST_F(FaultInjectionTest, SpeculationThrowWithoutControlPropagates) {
+  Graph g = TestGraph();
+  fault::Arm("rrset.speculation_throw", 1);
+  OpimCOptions o;
+  o.seed = 7;
+  o.num_threads = 2;
+  o.pipeline = true;
+  EXPECT_THROW(
+      RunOpimC(g, DiffusionModel::kIndependentCascade, 5, 0.3, 0.01, o),
+      std::runtime_error);
+}
+
+TEST_F(FaultInjectionTest, SpeculationThrowNeverFiresOnEagerSchedule) {
+  // The site must be dead on every non-speculative path: a pipeline=false
+  // run samples the same batches eagerly and must complete untouched even
+  // with the site armed on its first evaluation.
+  Graph g = TestGraph();
+  fault::Arm("rrset.speculation_throw", 1);
+  OpimCOptions o;
+  o.seed = 7;
+  o.num_threads = 2;
+  o.pipeline = false;
+  OpimCResult r = RunOpimC(g, DiffusionModel::kIndependentCascade, 5, 0.3,
+                           0.01, o);
+  EXPECT_EQ(r.seeds.size(), 5u);
+  EXPECT_EQ(fault::Hits("rrset.speculation_throw"), 0u);
+}
+
 TEST_F(FaultInjectionTest, ClockSkewTripsDeadlineMidGeneration) {
   Graph g = TestGraph();
   // Fire on a later poll so the trip lands mid-generation rather than at

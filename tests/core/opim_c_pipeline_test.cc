@@ -1,0 +1,220 @@
+// The pipelined doubling loop's determinism contract: with
+// OpimCOptions::pipeline on (speculative next-doubling sampling overlapped
+// with CELF + bounds, parallel CELF seeding) the entire output — seed set,
+// α, per-iteration bounds, RR-pool sizes and compressed bytes — is
+// byte-identical to the eager serial schedule (pipeline off) for the same
+// (seed, num_threads). Also pins the speculation accounting invariants and
+// that guardrail trips through the pipelined path still return valid
+// anytime certificates (see docs/robustness.md).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/opim_c.h"
+#include "harness/datasets.h"
+#include "obs/json_reader.h"
+#include "obs/metrics.h"
+#include "obs/report_lint.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "support/run_control.h"
+
+namespace opim {
+namespace {
+
+OpimCResult RunOnce(DiffusionModel model, unsigned threads, bool pipeline,
+                RunControl* control = nullptr) {
+  Graph graph = MakeTinyTestGraph(512, 3);
+  OpimCOptions options;
+  options.seed = 42;
+  options.num_threads = threads;
+  options.pipeline = pipeline;
+  options.control = control;
+  return RunOpimC(graph, model, /*k=*/5, /*eps=*/0.2, /*delta=*/0.05,
+                  options);
+}
+
+void ExpectByteIdentical(const OpimCResult& a, const OpimCResult& b) {
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.alpha, b.alpha);  // exact, not approximate
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.num_rr_sets, b.num_rr_sets);
+  EXPECT_EQ(a.total_rr_size, b.total_rr_size);
+  // Compressed pool bytes are a strong checksum: any divergence in set
+  // membership, ordering, or batching changes the varint stream length.
+  EXPECT_EQ(a.rr_compressed_bytes, b.rr_compressed_bytes);
+  EXPECT_EQ(a.rr_raw_member_bytes, b.rr_raw_member_bytes);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].theta1, b.trace[i].theta1);
+    EXPECT_EQ(a.trace[i].sigma_lower, b.trace[i].sigma_lower);
+    EXPECT_EQ(a.trace[i].sigma_upper, b.trace[i].sigma_upper);
+    EXPECT_EQ(a.trace[i].alpha, b.trace[i].alpha);
+  }
+}
+
+TEST(OpimCPipelineTest, PipelinedMatchesEagerScheduleByteIdentical) {
+  for (DiffusionModel model : {DiffusionModel::kIndependentCascade,
+                               DiffusionModel::kLinearThreshold}) {
+    SCOPED_TRACE(testing::Message() << "model=" << static_cast<int>(model));
+    OpimCResult eager = RunOnce(model, /*threads=*/4, /*pipeline=*/false);
+    OpimCResult pipelined = RunOnce(model, /*threads=*/4, /*pipeline=*/true);
+    ExpectByteIdentical(eager, pipelined);
+    // The eager schedule never stages ahead; the pipelined one must have
+    // merged every doubling from speculation (untripped multi-iteration
+    // run) and discarded the final iteration's staged batches.
+    EXPECT_EQ(eager.speculative_sets_used, 0u);
+    EXPECT_EQ(eager.speculative_sets_discarded, 0u);
+    ASSERT_GT(pipelined.iterations, 1u);
+    EXPECT_GT(pipelined.speculative_sets_used, 0u);
+  }
+}
+
+TEST(OpimCPipelineTest, SerialRunsIgnoreThePipelineFlag) {
+  // num_threads == 1 has no pool, so speculation cannot overlap anything;
+  // the flag must be inert and the run identical to the pinned serial
+  // goldens either way.
+  for (DiffusionModel model : {DiffusionModel::kIndependentCascade,
+                               DiffusionModel::kLinearThreshold}) {
+    SCOPED_TRACE(testing::Message() << "model=" << static_cast<int>(model));
+    OpimCResult on = RunOnce(model, /*threads=*/1, /*pipeline=*/true);
+    OpimCResult off = RunOnce(model, /*threads=*/1, /*pipeline=*/false);
+    ExpectByteIdentical(on, off);
+    EXPECT_EQ(on.speculative_sets_used, 0u);
+    EXPECT_EQ(on.speculative_sets_discarded, 0u);
+  }
+}
+
+TEST(OpimCPipelineTest, SpeculationAccountingInvariants) {
+  for (DiffusionModel model : {DiffusionModel::kIndependentCascade,
+                               DiffusionModel::kLinearThreshold}) {
+    SCOPED_TRACE(testing::Message() << "model=" << static_cast<int>(model));
+    OpimCResult r = RunOnce(model, /*threads=*/4, /*pipeline=*/true);
+    ASSERT_FALSE(r.trace.empty());
+    // Untripped run: every set beyond the two θ0 fills was merged from a
+    // speculative staging buffer, exactly once.
+    const uint64_t theta0_fill = 2 * r.trace.front().theta1;
+    EXPECT_EQ(r.speculative_sets_used, r.num_rr_sets - theta0_fill);
+    // Discards can only come from the final iteration's staged batches
+    // (aborted at a poll boundary, so anywhere from 0 to a full doubling).
+    EXPECT_LE(r.speculative_sets_discarded, r.num_rr_sets);
+  }
+}
+
+TEST(OpimCPipelineTest, PreCancelledControlStillReturnsCertificate) {
+  RunControl control;
+  control.RequestCancel();
+  OpimCResult r = RunOnce(DiffusionModel::kIndependentCascade, /*threads=*/4,
+                      /*pipeline=*/true, &control);
+  EXPECT_EQ(r.guardrails.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(r.seeds.size(), 5u);
+  EXPECT_TRUE(std::isfinite(r.alpha));
+  EXPECT_GE(r.alpha, 0.0);
+  // A stopped control suppresses speculation launches entirely.
+  EXPECT_EQ(r.speculative_sets_used, 0u);
+  EXPECT_EQ(r.speculative_sets_discarded, 0u);
+}
+
+TEST(OpimCPipelineTest, ExpiredDeadlineTripsThroughPipelinedPath) {
+  RunControl control;
+  control.SetDeadlineAfterMillis(0);
+  OpimCResult r = RunOnce(DiffusionModel::kLinearThreshold, /*threads=*/4,
+                      /*pipeline=*/true, &control);
+  EXPECT_EQ(r.guardrails.stop_reason, StopReason::kDeadline);
+  EXPECT_EQ(r.seeds.size(), 5u);
+  EXPECT_TRUE(std::isfinite(r.alpha));
+}
+
+TEST(OpimCPipelineTest, TinyMemoryBudgetTripsThroughPipelinedPath) {
+  RunControl control;
+  control.SetMemoryBudgetBytes(1);
+  OpimCResult r = RunOnce(DiffusionModel::kIndependentCascade, /*threads=*/4,
+                      /*pipeline=*/true, &control);
+  EXPECT_EQ(r.guardrails.stop_reason, StopReason::kMemoryBudget);
+  EXPECT_EQ(r.seeds.size(), 5u);
+  EXPECT_TRUE(std::isfinite(r.alpha));
+  // Whatever was staged when the budget tripped was either merged (the
+  // boundary had not exited yet) or discarded — never dropped on the
+  // floor silently: the totals must still reconcile with the pools.
+  EXPECT_GE(r.num_rr_sets, 2u);
+}
+
+#if OPIM_TELEMETRY_ENABLED
+TEST(OpimCPipelineTest, SpeculationTelemetryLintsCleanAndMatchesResult) {
+  // The pipelined loop's observability surface: the speculation counters
+  // land in the default registry mirroring the result fields, the report
+  // they are embedded in passes LintRunReportJson, and the overlap spans
+  // (speculate_shard / speculate_merge / speculate_discard) produce a
+  // Chrome trace that satisfies the timeline invariants LintTraceJson
+  // enforces (per-thread monotone begins, non-negative durations,
+  // nesting) even with speculative shards racing the selection spans.
+  MetricsRegistry::Default().ResetValues();
+  TraceRecorder& rec = TraceRecorder::Default();
+  rec.StartSession();
+  OpimCResult r = RunOnce(DiffusionModel::kIndependentCascade,
+                          /*threads=*/4, /*pipeline=*/true);
+  const std::string trace_json = rec.ToChromeJson();
+  rec.StopSession();
+
+  MetricsSnapshot snapshot = MetricsRegistry::Default().Snapshot();
+  const CounterSample* used =
+      snapshot.FindCounter("opim.rrset.speculative_sets_used");
+  const CounterSample* discarded =
+      snapshot.FindCounter("opim.rrset.speculative_sets_discarded");
+  ASSERT_NE(used, nullptr);
+  ASSERT_NE(discarded, nullptr);
+  EXPECT_EQ(used->value, r.speculative_sets_used);
+  EXPECT_EQ(discarded->value, r.speculative_sets_discarded);
+  EXPECT_GT(used->value, 0u);
+
+  RunReport report;
+  report.AddInfo("algo", "opim-c");
+  report.AddResult("alpha", r.alpha);
+  report.AddResult("rr_sets", static_cast<double>(r.num_rr_sets));
+  report.SetMetrics(std::move(snapshot));
+  Result<JsonValue> report_doc = ParseJson(report.ToJson());
+  ASSERT_TRUE(report_doc.ok()) << report_doc.status().ToString();
+  const std::vector<std::string> report_violations =
+      LintRunReportJson(report_doc.ValueOrDie());
+  EXPECT_TRUE(report_violations.empty())
+      << "first violation: " << report_violations.front();
+
+  Result<JsonValue> trace_doc = ParseJson(trace_json);
+  ASSERT_TRUE(trace_doc.ok()) << trace_doc.status().ToString();
+  const std::vector<std::string> trace_violations =
+      LintTraceJson(trace_doc.ValueOrDie());
+  EXPECT_TRUE(trace_violations.empty())
+      << "first violation: " << trace_violations.front();
+  size_t spec_shards = 0, merges = 0, discards = 0;
+  for (const JsonValue& ev :
+       trace_doc.ValueOrDie().Find("traceEvents")->AsArray()) {
+    const JsonValue* name = ev.Find("name");
+    if (name == nullptr) continue;
+    if (name->AsString() == "speculate_shard") ++spec_shards;
+    if (name->AsString() == "speculate_merge") ++merges;
+    if (name->AsString() == "speculate_discard") ++discards;
+  }
+  EXPECT_GT(spec_shards, 0u);
+  EXPECT_GT(merges, 0u);
+  // This configuration runs >1 iteration and exits with batches staged.
+  EXPECT_EQ(discards, 1u);
+}
+#endif  // OPIM_TELEMETRY_ENABLED
+
+TEST(OpimCPipelineTest, RepeatedPipelinedRunsAreBitIdentical) {
+  for (DiffusionModel model : {DiffusionModel::kIndependentCascade,
+                               DiffusionModel::kLinearThreshold}) {
+    SCOPED_TRACE(testing::Message() << "model=" << static_cast<int>(model));
+    OpimCResult a = RunOnce(model, /*threads=*/4, /*pipeline=*/true);
+    OpimCResult b = RunOnce(model, /*threads=*/4, /*pipeline=*/true);
+    ExpectByteIdentical(a, b);
+    EXPECT_EQ(a.speculative_sets_used, b.speculative_sets_used);
+  }
+}
+
+}  // namespace
+}  // namespace opim
