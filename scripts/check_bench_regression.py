@@ -14,15 +14,19 @@ headline timing regressed by more than the threshold:
                       must use the same --threads)
   bench_select_ingest timings_us: ingest, select_celf_trace,
                                   generate_ingest
+  bench_load          timings_us: text_parse_load, opimg_mmap_cold,
+                                  opimg_mmap_warm, opimg_heap_load
 
 Usage:
   check_bench_regression.py --baseline-generate BENCH_generate.json \
                             --fresh-generate fresh_gen.json \
                             --baseline-select BENCH_select_ingest.json \
                             --fresh-select fresh_sel.json \
+                            --baseline-load BENCH_load.json \
+                            --fresh-load fresh_load.json \
                             [--threshold-pct 10] [--label after]
 
-Either pair (generate / select) may be given alone. Each file may be a
+Any pair (generate / select / load) may be given alone. Each file may be a
 full artifact ({"benchmark": ..., "runs": [...]}, the committed shape) or
 a single run object (the shape `bench_* --out=FILE` writes); for
 artifacts, the run with the requested label is compared. Exit codes:
@@ -51,6 +55,12 @@ SELECT_METRICS = [
     "select_celf_trace",
     "generate_ingest",
 ]
+LOAD_METRICS = [
+    "text_parse_load",
+    "opimg_mmap_cold",
+    "opimg_mmap_warm",
+    "opimg_heap_load",
+]
 
 
 def load_run(path, label):
@@ -69,14 +79,22 @@ def load_run(path, label):
     return doc
 
 
-def compare(name, baseline, fresh, metrics, threshold_pct):
+def compare(name, baseline, fresh, metrics, threshold_pct, baseline_path):
     """Prints one line per metric; returns the list of failed metrics."""
     failures = []
     base_t = baseline.get("timings_us", {})
     fresh_t = fresh.get("timings_us", {})
     for metric in metrics:
         if metric not in base_t:
-            print(f"{name}.{metric}: SKIP (not in baseline)")
+            # A gated metric absent from the committed artifact means the
+            # baseline predates the metric (or the wrong file was passed);
+            # silently skipping would let real regressions through.
+            print(
+                f"{name}.{metric}: FAIL (baseline {baseline_path} has no "
+                f"timings_us[{metric!r}]; regenerate the artifact with "
+                "scripts/run_perf_baseline.sh)"
+            )
+            failures.append(metric)
             continue
         if metric not in fresh_t:
             print(f"{name}.{metric}: FAIL (missing from fresh run)")
@@ -131,6 +149,8 @@ def main():
     parser.add_argument("--fresh-generate")
     parser.add_argument("--baseline-select")
     parser.add_argument("--fresh-select")
+    parser.add_argument("--baseline-load")
+    parser.add_argument("--fresh-load")
     parser.add_argument("--threshold-pct", type=float, default=10.0)
     parser.add_argument("--label", default="after")
     args = parser.parse_args()
@@ -140,6 +160,8 @@ def main():
         parser.error("--baseline-generate and --fresh-generate go together")
     if bool(args.baseline_select) != bool(args.fresh_select):
         parser.error("--baseline-select and --fresh-select go together")
+    if bool(args.baseline_load) != bool(args.fresh_load):
+        parser.error("--baseline-load and --fresh-load go together")
     if args.baseline_generate:
         pairs.append(
             (
@@ -152,6 +174,10 @@ def main():
     if args.baseline_select:
         pairs.append(
             ("select", args.baseline_select, args.fresh_select, SELECT_METRICS)
+        )
+    if args.baseline_load:
+        pairs.append(
+            ("load", args.baseline_load, args.fresh_load, LOAD_METRICS)
         )
     if not pairs:
         parser.error("give at least one baseline/fresh pair")
@@ -166,7 +192,7 @@ def main():
         all_failures += [
             f"{name}.{m}"
             for m in compare(name, baseline, fresh, metrics,
-                             args.threshold_pct)
+                             args.threshold_pct, baseline_path)
         ]
 
     if all_failures:

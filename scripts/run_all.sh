@@ -52,7 +52,7 @@ cmake -B build-asan -G Ninja -DOPIM_SANITIZE=ON -DOPIM_FAULT_INJECT=ON \
   -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure \
-  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf|FaultInjection|Guardrails|RunControl|SignalGuard|ThreadPool|LoaderRobustness|VarintCodec|CoverBitset|CoverKernel|SimdDifferential' 2>&1 \
+  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf|FaultInjection|Guardrails|RunControl|SignalGuard|ThreadPool|LoaderRobustness|VarintCodec|CoverBitset|CoverKernel|SimdDifferential|GraphMmap|MmapArena|RRSpill|SpillDifferential|GraphPack|ResourceUsage' 2>&1 \
   | tee "$OUT/test_output_sanitized.txt"
 
 # TSan build over the concurrency-heavy subset: the thread pool, parallel
@@ -65,7 +65,7 @@ cmake -B build-tsan -G Ninja -DOPIM_SANITIZE=thread \
   -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
 cmake --build build-tsan
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPool|ParallelGenerate|AdvanceParallel|OpimCPipeline|Trace|Progress|RunControl|Guardrails|Metrics' 2>&1 \
+  -R 'ThreadPool|ParallelGenerate|AdvanceParallel|OpimCPipeline|Trace|Progress|RunControl|Guardrails|Metrics|SpillDifferential' 2>&1 \
   | tee "$OUT/test_output_tsan.txt"
 
 # OPIM_SIMD=OFF build: the portable scalar coverage kernels alone must
@@ -88,7 +88,8 @@ for b in build/bench/*; do
   name="$(basename "$b")"
   # The RR-set engine perf baselines have their own driver (run below
   # against both telemetry configurations).
-  if [[ "$name" == bench_select_ingest || "$name" == bench_generate ]]; then
+  if [[ "$name" == bench_select_ingest || "$name" == bench_generate \
+        || "$name" == bench_load ]]; then
     continue
   fi
   echo "=== $name ==="
@@ -101,7 +102,8 @@ for b in build/bench/*; do
   fi
 done
 
-# Perf-baseline smoke (select/ingest + generation kernels) against both
+# Perf-baseline smoke (select/ingest + generation kernels + graph
+# loading) against both
 # telemetry configurations: with telemetry the JSON carries engine
 # counters/timers, without it the counters section is empty but timings
 # must still be produced.
@@ -120,13 +122,16 @@ if [[ "${CHECK_BENCH_REGRESSION:-0}" == "1" ]]; then
   echo "=== bench regression gate ==="
   FRESH_GEN="$OUT/fresh_bench_generate.json"
   FRESH_SEL="$OUT/fresh_bench_select_ingest.json"
+  FRESH_LOAD="$OUT/fresh_bench_load.json"
   # --threads must match the committed baseline's config.threads_n so the
   # *_generate_nt engine-path headline compares like with like.
   build/bench/bench_generate --label=after --threads=2 "--out=$FRESH_GEN"
   build/bench/bench_select_ingest --label=after --seed=7 "--out=$FRESH_SEL"
+  build/bench/bench_load --label=after "--out=$FRESH_LOAD"
   python3 scripts/check_bench_regression.py \
     --baseline-generate BENCH_generate.json --fresh-generate "$FRESH_GEN" \
     --baseline-select BENCH_select_ingest.json --fresh-select "$FRESH_SEL" \
+    --baseline-load BENCH_load.json --fresh-load "$FRESH_LOAD" \
     --threshold-pct "${BENCH_REGRESSION_THRESHOLD_PCT:-10}" 2>&1 \
     | tee "$OUT/bench_regression.txt"
 fi

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # RR-set engine perf baselines: runs bench_select_ingest (batch ingestion,
 # greedy/CELF selection with and without the §5 trace, bound assembly, and
-# the end-to-end generate+ingest path) and bench_generate (the sampling
+# the end-to-end generate+ingest path), bench_generate (the sampling
 # kernel itself plus ParallelGenerate at 1 and N threads, IC and LT under
-# weighted-cascade weights), recording each run under its label in
-# BENCH_select_ingest.json and BENCH_generate.json.
+# weighted-cascade weights), and bench_load (text parsing vs the
+# memory-mapped .opimg container, plus the out-of-core spill smoke),
+# recording each run under its label in BENCH_select_ingest.json,
+# BENCH_generate.json, and BENCH_load.json.
 #
 #   scripts/run_perf_baseline.sh [--smoke] [--label NAME] [--build-dir DIR]
-#                                [--json FILE] [--gen-json FILE] [--seed S]
+#                                [--json FILE] [--gen-json FILE]
+#                                [--load-json FILE] [--seed S]
 #                                [--gen-threads T]
 #
 #   --smoke       tiny config (~1 s) for CI wiring; the JSON artifacts are
@@ -17,6 +20,7 @@
 #   --build-dir   build tree containing the bench binaries (default: build)
 #   --json FILE   select/ingest artifact (default: BENCH_select_ingest.json)
 #   --gen-json F  generation artifact (default: BENCH_generate.json)
+#   --load-json F graph-loading artifact (default: BENCH_load.json)
 #   --seed S      RR-stream seed for bench_select_ingest (default 7). The
 #                 stream comes from the bench's version-independent
 #                 reference sampler, so before/after binaries given the
@@ -40,6 +44,7 @@ LABEL=after
 BUILD=build
 JSON=BENCH_select_ingest.json
 GEN_JSON=BENCH_generate.json
+LOAD_JSON=BENCH_load.json
 SEED=7
 GEN_THREADS=2
 while [[ $# -gt 0 ]]; do
@@ -49,6 +54,7 @@ while [[ $# -gt 0 ]]; do
     --build-dir) BUILD="$2"; shift ;;
     --json) JSON="$2"; shift ;;
     --gen-json) GEN_JSON="$2"; shift ;;
+    --load-json) LOAD_JSON="$2"; shift ;;
     --seed) SEED="$2"; shift ;;
     --gen-threads) GEN_THREADS="$2"; shift ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
@@ -58,21 +64,26 @@ done
 
 SELECT_BIN="$BUILD/bench/bench_select_ingest"
 GEN_BIN="$BUILD/bench/bench_generate"
+LOAD_BIN="$BUILD/bench/bench_load"
 if [[ ! -x "$SELECT_BIN" ]]; then
   cmake --build "$BUILD" --target bench_select_ingest
 fi
 if [[ ! -x "$GEN_BIN" ]]; then
   cmake --build "$BUILD" --target bench_generate
 fi
+if [[ ! -x "$LOAD_BIN" ]]; then
+  cmake --build "$BUILD" --target bench_load
+fi
 
 if [[ "$SMOKE" -eq 1 ]]; then
   "$SELECT_BIN" --smoke "--label=$LABEL-smoke"
   "$GEN_BIN" --smoke "--label=$LABEL-smoke"
+  "$LOAD_BIN" --smoke "--label=$LABEL-smoke"
   exit 0
 fi
 
 TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$JSON.tmp" "$GEN_JSON.tmp"' EXIT
+trap 'rm -f "$TMP" "$JSON.tmp" "$GEN_JSON.tmp" "$LOAD_JSON.tmp"' EXIT
 
 # merge_run ARTIFACT BENCH_NAME RESULT_FILE: upsert the labeled run object.
 merge_run() {
@@ -160,3 +171,27 @@ jq 'if ([.runs[].label] | contains(["before", "after"])) then
       else . end' "$GEN_JSON.tmp" > "$GEN_JSON"
 rm -f "$GEN_JSON.tmp"
 echo "updated $GEN_JSON (label=$LABEL)"
+
+"$LOAD_BIN" "--label=$LABEL" "--out=$TMP"
+merge_run "$LOAD_JSON" bench_load "$TMP"
+
+# Loading speedups: each run already carries its own load_speedup block
+# (text parse vs the .opimg container); once a before/after pair exists,
+# also derive the per-path after-vs-before ratios so format or loader
+# changes are gated the same way as the engine paths.
+jq 'if ([.runs[].label] | contains(["before", "after"])) then
+      ((.runs[] | select(.label == "before")).timings_us) as $b
+      | ((.runs[] | select(.label == "after")).timings_us) as $a
+      | .speedup_after_vs_before = {
+          text_parse_load: (($b.text_parse_load / $a.text_parse_load) * 100
+                            | round / 100),
+          opimg_mmap_cold: (($b.opimg_mmap_cold / $a.opimg_mmap_cold) * 100
+                            | round / 100),
+          opimg_mmap_warm: (($b.opimg_mmap_warm / $a.opimg_mmap_warm) * 100
+                            | round / 100),
+          opimg_heap_load: (($b.opimg_heap_load / $a.opimg_heap_load) * 100
+                            | round / 100)
+        }
+    else . end' "$LOAD_JSON.tmp" > "$LOAD_JSON"
+rm -f "$LOAD_JSON.tmp"
+echo "updated $LOAD_JSON (label=$LABEL)"

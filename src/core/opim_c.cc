@@ -109,7 +109,8 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   // One sampling view for the whole run: every doubling of both pools
   // borrows the same precomputed kernel state (quantized thresholds /
   // alias arena) instead of rebuilding it per generate call.
-  const SamplingView sampling_view(g, SamplingViewPartsFor(model), pool.get());
+  const SamplingView sampling_view(g, SamplingViewPartsFor(model), pool.get(),
+                                   {.seal_arena = options.view_arena});
 
   // Generation goes through ParallelGenerate even in the serial case so
   // the RR stream depends only on (seed, num_threads); each batch gets a
@@ -146,6 +147,46 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   // the 8 bytes/set cost column on top of the compressed member storage.
   const RRStoreOptions store{.retain_set_costs = false};
   RRCollection r1(n, store), r2(n, store);
+  if (!options.spill_dir.empty()) {
+    for (RRCollection* rr : {&r1, &r2}) {
+      const Status armed = rr->EnableSpill({.dir = options.spill_dir});
+      if (!armed.ok()) {
+        // Fully-resident is always a valid state: the run proceeds and a
+        // memory budget (if armed) stops it the classic way instead.
+        OPIM_LOG(kWarn) << "opim-c: spill tier unavailable: "
+                        << armed.ToString();
+        break;
+      }
+    }
+  }
+  // Out-of-core policy, checked at iteration boundaries where the exact
+  // footprint is known: once the pools cross half of an armed memory
+  // budget, write cold compressed chunks to the spill file until each
+  // pool keeps at most a quarter of its member bytes resident. The
+  // target scales with the pool — not the budget — so eviction bites
+  // even when the unspillable index dominates the footprint, and the
+  // sticky target keeps CELF's fault-ins from re-accumulating the whole
+  // pool. CELF's recount phase faults chunks back in on demand, so the
+  // seed stream is untouched. A spill I/O failure trips the control
+  // with the distinct kSpillFailure reason; the run then degrades
+  // exactly like a memory-budget stop.
+  auto maybe_spill = [&] {
+    if (control == nullptr || control->Stopped()) return;
+    const uint64_t budget = control->memory_budget_bytes();
+    if (budget == 0) return;
+    if (r1.MemoryUsage() + r2.MemoryUsage() <= budget / 2) return;
+    for (RRCollection* rr : {&r1, &r2}) {
+      if (!rr->spill_enabled()) continue;
+      const Result<uint64_t> spilled =
+          rr->SpillColdChunks(rr->CompressedMemberBytes() / 4);
+      if (!spilled.ok()) {
+        OPIM_LOG(kError) << "opim-c: spill failed: "
+                         << spilled.status().ToString();
+        control->TripSpillFailure();
+        return;
+      }
+    }
+  };
   generate(&r1, theta0, control);
   generate(&r2, theta0, control);
 
@@ -169,6 +210,9 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   for (uint32_t i = 1; i <= i_max; ++i) {
     OPIM_TR_SPAN2("iteration", "opimc", "iter", i, "theta1", r1.num_sets());
     OPIM_TM_COUNTER_ADD("opim.opimc.iterations", 1);
+    // Footprint peaks right after a doubling lands — shed cold chunks
+    // before CELF touches the pools, not after.
+    maybe_spill();
     Stopwatch phase_watch;
 
     // Pipelined schedule: CELF parallelizes its initial marginal-gain pass
@@ -321,6 +365,13 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   result.rr_compressed_bytes =
       r1.CompressedMemberBytes() + r2.CompressedMemberBytes();
   result.rr_raw_member_bytes = r1.RawMemberBytes() + r2.RawMemberBytes();
+  const RRSpillStats spill1 = r1.SpillStats();
+  const RRSpillStats spill2 = r2.SpillStats();
+  result.spill_chunks_spilled =
+      spill1.chunks_spilled + spill2.chunks_spilled;
+  result.spill_chunks_faulted =
+      spill1.chunks_faulted + spill2.chunks_faulted;
+  result.spilled_bytes = r1.SpilledBytes() + r2.SpilledBytes();
   if (control != nullptr) {
     result.guardrails = SummarizeGuardrails(*control);
     const OpimCGuardrails& gr = result.guardrails;
@@ -346,6 +397,9 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
         break;
       case StopReason::kWorkerFailure:
         OPIM_TM_COUNTER_ADD("opim.runctl.stop.worker_failure", 1);
+        break;
+      case StopReason::kSpillFailure:
+        OPIM_TM_COUNTER_ADD("opim.runctl.stop.spill_failure", 1);
         break;
     }
   }

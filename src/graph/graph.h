@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,13 +24,66 @@ using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
 class GraphBuilder;
+class MmapArena;
+
+/// Read-only view of a graph's seven CSR arrays. The `.opimg` codec
+/// serializes exactly these arrays in this order; WrapStorage rebuilds a
+/// Graph over them without copying (the mmap load path).
+struct GraphStorageView {
+  std::span<const uint64_t> out_offsets;  // n + 1
+  std::span<const NodeId> out_neighbors;  // m
+  std::span<const double> out_probs;      // m
+  std::span<const uint64_t> in_offsets;   // n + 1
+  std::span<const NodeId> in_neighbors;   // m
+  std::span<const double> in_probs;       // m
+  std::span<const double> in_weight_sum;  // n
+};
 
 /// Immutable directed graph with per-edge propagation probabilities.
 /// Construct via GraphBuilder; copy is allowed but deliberate (the CSR can
 /// be large), and all queries are O(1) or O(degree).
+///
+/// Storage is span-based: the spans bind either to heap vectors owned by
+/// this Graph (builder / text-parse path) or to a shared read-only
+/// MmapArena (`.opimg` load path), so the engine above never sees the
+/// difference. Copying an arena-backed graph shares the mapping; copying
+/// a vector-backed graph deep-copies the CSR.
 class Graph {
  public:
   Graph() = default;
+
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+
+  /// Wraps externally owned storage (typically sections of a mapped
+  /// `.opimg` payload) without copying. `arena` keeps the backing pages
+  /// alive; spans in `view` must point into it (or outlive the graph).
+  /// Performs no validation — callers (the codec) validate first.
+  static Graph WrapStorage(uint32_t num_nodes, const GraphStorageView& view,
+                           std::shared_ptr<MmapArena> arena);
+
+  /// Takes ownership of seven pre-built CSR arrays (the codec's
+  /// heap-fallback path when mapping fails). Performs no validation.
+  static Graph AdoptStorage(uint32_t num_nodes,
+                            std::vector<uint64_t> out_offsets,
+                            std::vector<NodeId> out_neighbors,
+                            std::vector<double> out_probs,
+                            std::vector<uint64_t> in_offsets,
+                            std::vector<NodeId> in_neighbors,
+                            std::vector<double> in_probs,
+                            std::vector<double> in_weight_sum);
+
+  /// Read-only view of the seven CSR arrays (the `.opimg` writer's
+  /// input).
+  GraphStorageView storage_view() const {
+    return {out_offsets_, out_neighbors_, out_probs_,    in_offsets_,
+            in_neighbors_, in_probs_,     in_weight_sum_};
+  }
+
+  /// True when the CSR lives in a mapped arena rather than heap vectors.
+  bool arena_backed() const { return arena_ != nullptr; }
 
   /// Number of nodes n.
   uint32_t num_nodes() const { return num_nodes_; }
@@ -89,14 +143,31 @@ class Graph {
  private:
   friend class GraphBuilder;
 
+  /// Rebinds the span members to the own_* vectors (heap-backed state).
+  void BindOwned();
+
   uint32_t num_nodes_ = 0;
-  std::vector<uint64_t> out_offsets_;  // n + 1
-  std::vector<NodeId> out_neighbors_;  // m
-  std::vector<double> out_probs_;      // m
-  std::vector<uint64_t> in_offsets_;   // n + 1
-  std::vector<NodeId> in_neighbors_;   // m
-  std::vector<double> in_probs_;       // m
-  std::vector<double> in_weight_sum_;  // n
+
+  // Active views; bound to own_* (heap) or into arena_ (mapped).
+  std::span<const uint64_t> out_offsets_;  // n + 1
+  std::span<const NodeId> out_neighbors_;  // m
+  std::span<const double> out_probs_;      // m
+  std::span<const uint64_t> in_offsets_;   // n + 1
+  std::span<const NodeId> in_neighbors_;   // m
+  std::span<const double> in_probs_;       // m
+  std::span<const double> in_weight_sum_;  // n
+
+  // Heap storage; empty when arena-backed.
+  std::vector<uint64_t> own_out_offsets_;
+  std::vector<NodeId> own_out_neighbors_;
+  std::vector<double> own_out_probs_;
+  std::vector<uint64_t> own_in_offsets_;
+  std::vector<NodeId> own_in_neighbors_;
+  std::vector<double> own_in_probs_;
+  std::vector<double> own_in_weight_sum_;
+
+  // Keeps mapped pages alive for arena-backed graphs; null otherwise.
+  std::shared_ptr<MmapArena> arena_;
 };
 
 /// Edge-weighting schemes applied at build time when edges were added

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/metrics.h"
+#include "support/resource_usage.h"
 #include "support/run_control.h"
 
 namespace opim {
@@ -84,6 +85,14 @@ size_t ProgressHeartbeat::FormatLine(char* buf, size_t buf_size) const {
       append(" stopping=%s", StopReasonName(control_->reason()));
     }
   }
+  // Process residency next to the pool accounting: rss is the kernel's
+  // view, and the major-fault delta exposes disk traffic (cold mmap
+  // loads, spill fault-ins) the byte counters can't see.
+  const ResourceUsage ru = ReadResourceUsage();
+  append(" rss_mb=%.1f maj_flt=%llu min_flt=%llu",
+         static_cast<double>(ru.peak_rss_bytes) / (1024.0 * 1024.0),
+         static_cast<unsigned long long>(ru.major_page_faults),
+         static_cast<unsigned long long>(ru.minor_page_faults));
   append("\n");
   return pos;
 }
@@ -92,7 +101,7 @@ void ProgressHeartbeat::Loop() {
   const auto interval = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(options_.interval_seconds));
-  char line[256];
+  char line[320];
   for (;;) {
     bool last = false;
     {

@@ -63,6 +63,19 @@ std::vector<std::string> LintRunReportJson(const JsonValue& doc) {
     Add(&out, "missing or non-object \"results\" section");
   } else {
     CheckNumericObject(*results, "results", &out);
+    // Resource accounting, when present, must be plausible: a live
+    // process always has a positive peak RSS, and fault counters cannot
+    // be negative. (Absence is fine — older reports predate the fields.)
+    const JsonValue* rss = results->Find("peak_rss_bytes");
+    if (rss != nullptr && rss->is_number() && !(rss->AsNumber() > 0.0)) {
+      Add(&out, "results.peak_rss_bytes is not positive");
+    }
+    for (const char* key : {"major_page_faults", "minor_page_faults"}) {
+      const JsonValue* flt = results->Find(key);
+      if (flt != nullptr && flt->is_number() && flt->AsNumber() < 0.0) {
+        Add(&out, std::string("results.") + key + " is negative");
+      }
+    }
   }
 
   const JsonValue* iterations = doc.Find("iterations");

@@ -1,9 +1,17 @@
 #include "rrset/rr_collection.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "support/fault_inject.h"
 #include "support/thread_pool.h"
 
 namespace opim {
@@ -110,26 +118,39 @@ RRCollection::RRCollection(uint32_t num_nodes, RRStoreOptions options)
   OPIM_CHECK_LT(num_nodes, kSlotInlineTag);
 }
 
+RRCollection::~RRCollection() = default;
+RRCollection::RRCollection(RRCollection&&) noexcept = default;
+RRCollection& RRCollection::operator=(RRCollection&&) noexcept = default;
+
+void RRCollection::AppendRunToOpenChunk(const uint8_t* src, uint64_t len) {
+  PoolChunk& c = chunks_.back();
+  c.bytes.resize(c.encoded_bytes);  // strip the decode slack
+  c.bytes.insert(c.bytes.end(), src, src + len);
+  c.encoded_bytes += len;
+  c.bytes.resize(c.encoded_bytes + kVarintDecodeSlackBytes, 0);
+  c.data = c.bytes.data();
+  pool_bytes_ += len;
+}
+
 void RRCollection::AppendEncodedSet(std::vector<NodeId>* nodes) {
   std::sort(nodes->begin(), nodes->end());
   nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
   const RRId id = num_sets_;
-  const uint64_t encoded_end =
-      pool_.empty() ? 0 : pool_.size() - kVarintDecodeSlackBytes;
-  if ((id & ((1u << kChunkShift) - 1)) == 0) {
-    chunk_base_.push_back(encoded_end);
-  }
+  if ((id & ((1u << kChunkShift) - 1)) == 0) chunks_.emplace_back();
+  PoolChunk& c = chunks_.back();
   if (nodes->empty()) {
     slot_.push_back(kEmptySlot);
   } else if (nodes->size() == 1) {
     slot_.push_back(kSlotInlineTag | (*nodes)[0]);
   } else {
-    const uint64_t rel = encoded_end - chunk_base_[id >> kChunkShift];
-    OPIM_CHECK_LT(rel, kSlotInlineTag);
-    slot_.push_back(static_cast<uint32_t>(rel));
-    if (!pool_.empty()) pool_.resize(encoded_end);  // strip tail slack
-    EncodeRRMembers(*nodes, &pool_);
-    pool_.resize(pool_.size() + kVarintDecodeSlackBytes, 0);
+    OPIM_CHECK_LT(c.encoded_bytes, kSlotInlineTag);
+    slot_.push_back(static_cast<uint32_t>(c.encoded_bytes));
+    c.bytes.resize(c.encoded_bytes);  // strip the decode slack
+    const uint64_t len = EncodeRRMembers(*nodes, &c.bytes);
+    c.encoded_bytes += len;
+    c.bytes.resize(c.encoded_bytes + kVarintDecodeSlackBytes, 0);
+    c.data = c.bytes.data();
+    pool_bytes_ += len;
   }
   ++num_sets_;
   total_members_ += nodes->size();
@@ -191,50 +212,55 @@ void RRCollection::AddCompressedShards(std::vector<CompressedRRShard> shards,
   OPIM_TR_SPAN1("ingest", "rrset", "shards", shards.size());
   OPIM_TM_SCOPED_TIMER("opim.rrset.ingest_us");
   uint64_t add_sets = 0;
-  uint64_t total_bytes = 0;
   for (CompressedRRShard& shard : shards) {
     ShardEncoder::Finalize(&shard, num_nodes_);  // no-op on Finish output
     add_sets += shard.sets.size();
-    total_bytes += shard.bytes.size();
   }
   if (add_sets == 0) return;
 
-  // Serial assembly: shard byte streams are appended wholesale (sets are
-  // consecutive within a shard), slots/chunk bases/costs follow the
-  // record walk in shard-major, sample-minor append order.
+  // Serial assembly: each shard's byte stream is appended in contiguous
+  // runs split only at chunk boundaries (sets are consecutive within a
+  // shard), slots/costs follow the record walk in shard-major,
+  // sample-minor append order.
   std::vector<RRId> shard_bases;
   shard_bases.reserve(shards.size());
-  uint64_t encoded_end =
-      pool_.empty() ? 0 : pool_.size() - kVarintDecodeSlackBytes;
-  pool_.resize(encoded_end);  // strip tail slack before bulk appends
-  pool_.reserve(encoded_end + total_bytes + kVarintDecodeSlackBytes);
   slot_.reserve(slot_.size() + add_sets);
   if (retain_costs_) set_cost_.reserve(set_cost_.size() + add_sets);
   for (const CompressedRRShard& shard : shards) {
     shard_bases.push_back(num_sets_);
-    pool_.insert(pool_.end(), shard.bytes.begin(), shard.bytes.end());
+    const uint8_t* src = shard.bytes.data();
+    uint64_t src_pos = 0;  // bytes of this shard already flushed
+    uint64_t run_len = 0;  // bytes pending for the open chunk
     for (const auto& [rec, cost] : shard.sets) {
       const RRId id = num_sets_;
       if ((id & ((1u << kChunkShift) - 1)) == 0) {
-        chunk_base_.push_back(encoded_end);
+        if (run_len > 0) {
+          AppendRunToOpenChunk(src + src_pos, run_len);
+          src_pos += run_len;
+          run_len = 0;
+        }
+        chunks_.emplace_back();
       }
       if (rec & kSlotInlineTag) {
         slot_.push_back(rec);
       } else {
-        const uint64_t rel = encoded_end - chunk_base_[id >> kChunkShift];
+        const uint64_t rel = chunks_.back().encoded_bytes + run_len;
         OPIM_CHECK_LT(rel, kSlotInlineTag);
         slot_.push_back(static_cast<uint32_t>(rel));
-        encoded_end += rec;
+        run_len += rec;
       }
       ++num_sets_;
       if (retain_costs_) set_cost_.push_back(cost);
       total_edges_examined_ += cost;
     }
+    if (run_len > 0) {
+      AppendRunToOpenChunk(src + src_pos, run_len);
+      src_pos += run_len;
+    }
+    OPIM_CHECK_EQ(src_pos, shard.bytes.size());
     total_members_ += shard.total_members;
   }
-  OPIM_CHECK_EQ(encoded_end, pool_.size());
-  pool_.resize(pool_.size() + kVarintDecodeSlackBytes, 0);
-  OPIM_TM_GAUGE_SET("opim.rrset.compressed_bytes", pool_.size());
+  OPIM_TM_GAUGE_SET("opim.rrset.compressed_bytes", pool_bytes_);
   if (index_dirty_) {
     RebuildIndex(pool);  // single-set appends left no merge base
   } else {
@@ -410,9 +436,11 @@ void RRCollection::RebuildIndex(ThreadPool* pool) const {
 
   // Stage 1: counting-sort the decoded sets into full raw postings
   // (ascending RR ids per node), exactly the PR-2 rebuild but reading
-  // members through the codec.
+  // members through the codec. With the spill tier armed, decodes can
+  // fault chunks in, so the rebuild must stay on one thread.
   std::vector<uint32_t> full_offsets(n + 1, 0);
-  const unsigned workers = pool != nullptr ? pool->num_threads() : 1;
+  const unsigned workers =
+      pool != nullptr && spill_ == nullptr ? pool->num_threads() : 1;
   if (workers <= 1 || total_members_ < kParallelRebuildMinNodes) {
     // Serial two-pass counting sort: count into full_offsets[v + 1],
     // prefix-sum, then place ids in ascending set order per node.
@@ -515,6 +543,183 @@ void RRCollection::RebuildIndex(ThreadPool* pool) const {
   cover_ids_.shrink_to_fit();
   block_words_.shrink_to_fit();
   block_masks_.shrink_to_fit();
+}
+
+/// Spill-file bookkeeping behind unique_ptr so the collection stays
+/// movable; the mutex guards the file cursor and chunk transitions
+/// (belt and suspenders — decode-side faulting is single-threaded by
+/// contract, but SpillColdChunks may be called while no reads run).
+struct RRCollection::SpillState {
+  int fd = -1;
+  std::mutex mu;
+  uint64_t append_cursor = 0;  // next free byte of the spill file
+  uint64_t lru_clock = 0;      // advanced on every decode / fault-in
+  uint64_t resident_target = ~uint64_t{0};  // sticky; set by SpillColdChunks
+  RRSpillStats stats;
+
+  ~SpillState() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status RRCollection::EnableSpill(const RRSpillOptions& options) {
+  if (spill_ != nullptr) return Status::OK();
+  // Create-and-unlink: the spill file has no name from here on, so it
+  // disappears with the process no matter how the run exits.
+  std::string tmpl = options.dir + "/opim_rr_spill_XXXXXX";
+  std::vector<char> path(tmpl.begin(), tmpl.end());
+  path.push_back('\0');
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    return Status::IOError("cannot create RR spill file in " + options.dir +
+                           ": " + std::strerror(errno));
+  }
+  ::unlink(path.data());
+  auto state = std::make_unique<SpillState>();
+  state->fd = fd;
+  spill_ = std::move(state);
+  return Status::OK();
+}
+
+Result<uint64_t> RRCollection::SpillColdChunks(
+    uint64_t target_resident_bytes) {
+  if (spill_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SpillColdChunks before EnableSpill");
+  }
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  spill_->resident_target = target_resident_bytes;
+  if (chunks_.size() <= 1) return uint64_t{0};  // nothing sealed yet
+
+  uint64_t resident = 0;
+  for (const PoolChunk& c : chunks_) resident += c.bytes.capacity();
+  // Coldest first: chunks never decoded since the last fault carry the
+  // oldest stamps, ties broken by chunk index (oldest sets first).
+  std::vector<uint32_t> sealed;
+  for (uint32_t i = 0; i + 1 < chunks_.size(); ++i) {
+    if (chunks_[i].data != nullptr && chunks_[i].encoded_bytes > 0) {
+      sealed.push_back(i);
+    }
+  }
+  std::sort(sealed.begin(), sealed.end(), [this](uint32_t a, uint32_t b) {
+    return chunks_[a].lru_stamp != chunks_[b].lru_stamp
+               ? chunks_[a].lru_stamp < chunks_[b].lru_stamp
+               : a < b;
+  });
+
+  uint64_t evicted = 0;
+  for (uint32_t i : sealed) {
+    if (resident <= target_resident_bytes) break;
+    PoolChunk& c = chunks_[i];
+    if (c.spill_offset == PoolChunk::kNotSpilled) {
+      // First eviction pays the write; nothing is mutated until it
+      // lands, so a failure leaves the collection fully usable and the
+      // caller can degrade to the stop-at-budget path.
+      if (OPIM_FAULT_POINT("io.short_write")) {
+        return Status::IOError("injected short write on RR spill file");
+      }
+      const uint64_t off = spill_->append_cursor;
+      uint64_t written = 0;
+      while (written < c.encoded_bytes) {
+        const ssize_t w =
+            ::pwrite(spill_->fd, c.bytes.data() + written,
+                     c.encoded_bytes - written,
+                     static_cast<off_t>(off + written));
+        if (w <= 0) {
+          return Status::IOError(
+              "short write on RR spill file: " +
+              std::string(w < 0 ? std::strerror(errno) : "no progress"));
+        }
+        written += static_cast<uint64_t>(w);
+      }
+      c.spill_offset = off;
+      spill_->append_cursor = off + c.encoded_bytes;
+    }
+    resident -= c.bytes.capacity();
+    // swap with a temporary: `bytes = {}` would keep the capacity.
+    std::vector<uint8_t>().swap(c.bytes);
+    c.data = nullptr;
+    ++evicted;
+    ++spill_->stats.chunks_spilled;
+  }
+  OPIM_TM_COUNTER_ADD("opim.rrset.spill_chunks_spilled", evicted);
+  OPIM_TM_GAUGE_SET("opim.rrset.spilled_bytes", SpilledBytes());
+  return evicted;
+}
+
+const uint8_t* RRCollection::SpillAwareChunkData(uint32_t chunk) const {
+  PoolChunk& c = chunks_[chunk];
+  if (c.data == nullptr) FaultChunk(chunk);
+  c.lru_stamp = ++spill_->lru_clock;
+  return c.data;
+}
+
+void RRCollection::FaultChunk(uint32_t chunk) const {
+  OPIM_CHECK_MSG(spill_ != nullptr,
+                 "decode of an evicted chunk without spill state");
+  std::lock_guard<std::mutex> lock(spill_->mu);
+  PoolChunk& c = chunks_[chunk];
+  if (c.data != nullptr) return;
+  OPIM_CHECK_MSG(c.spill_offset != PoolChunk::kNotSpilled,
+                 "evicted chunk has no spill offset");
+  c.bytes.assign(c.encoded_bytes + kVarintDecodeSlackBytes, 0);
+  uint64_t got = 0;
+  while (got < c.encoded_bytes) {
+    const ssize_t r =
+        ::pread(spill_->fd, c.bytes.data() + got, c.encoded_bytes - got,
+                static_cast<off_t>(c.spill_offset + got));
+    // The file is unlinked and fully written; a read failure here is an
+    // invariant break, not an expected runtime outcome.
+    OPIM_CHECK_MSG(r > 0, "RR spill file read failed");
+    got += static_cast<uint64_t>(r);
+  }
+  c.data = c.bytes.data();
+  ++spill_->stats.chunks_faulted;
+  OPIM_TM_COUNTER_ADD("opim.rrset.spill_chunks_faulted", 1);
+
+  // Keep residency at the sticky target: drop the coldest chunks that
+  // are already on disk (re-eviction is free — no writes from the
+  // decode path). The faulted chunk and the open chunk stay.
+  uint64_t resident = 0;
+  for (const PoolChunk& pc : chunks_) resident += pc.bytes.capacity();
+  if (resident <= spill_->resident_target) return;
+  std::vector<uint32_t> cand;
+  for (uint32_t i = 0; i + 1 < chunks_.size(); ++i) {
+    if (i == chunk) continue;
+    if (chunks_[i].data != nullptr &&
+        chunks_[i].spill_offset != PoolChunk::kNotSpilled) {
+      cand.push_back(i);
+    }
+  }
+  std::sort(cand.begin(), cand.end(), [this](uint32_t a, uint32_t b) {
+    return chunks_[a].lru_stamp != chunks_[b].lru_stamp
+               ? chunks_[a].lru_stamp < chunks_[b].lru_stamp
+               : a < b;
+  });
+  uint64_t evicted = 0;
+  for (uint32_t i : cand) {
+    if (resident <= spill_->resident_target) break;
+    resident -= chunks_[i].bytes.capacity();
+    std::vector<uint8_t>().swap(chunks_[i].bytes);
+    chunks_[i].data = nullptr;
+    ++evicted;
+    ++spill_->stats.chunks_spilled;
+  }
+  OPIM_TM_COUNTER_ADD("opim.rrset.spill_chunks_spilled", evicted);
+}
+
+uint64_t RRCollection::SpilledBytes() const {
+  uint64_t bytes = 0;
+  for (const PoolChunk& c : chunks_) {
+    if (c.data == nullptr && c.spill_offset != PoolChunk::kNotSpilled) {
+      bytes += c.encoded_bytes;
+    }
+  }
+  return bytes;
+}
+
+RRSpillStats RRCollection::SpillStats() const {
+  return spill_ != nullptr ? spill_->stats : RRSpillStats{};
 }
 
 std::vector<NodeId> RRCollection::DecodeSet(RRId id) const {

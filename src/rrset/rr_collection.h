@@ -35,16 +35,33 @@
 // always ingest whole batches. The lazy rebuild also means the first
 // post-append read is not safe to race with other readers.
 
+// Out-of-core spill tier. The pool is chunked (4096 sets per chunk);
+// each chunk's encoded bytes are an independent byte run, so a sealed
+// chunk can be written to an unlinked spill file and its heap buffer
+// freed while the run continues. EnableSpill arms the tier;
+// SpillColdChunks evicts cold sealed chunks (LRU by last decode) until
+// the resident pool fits a target, and any later decode of a spilled
+// set faults its chunk back in transparently (evicting other cold
+// chunks past the sticky resident target). Fault-in happens inside
+// SetBytes, so the CELF recount path — the only engine path that
+// decodes members after ingest — drives residency. Decode-time
+// fault-in is single-threaded-readers-only: with spill enabled the
+// index rebuild runs serially, matching the engine (selection decodes
+// are serial; parallel generation workers never read the collection).
+
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "rrset/cover_bitset.h"
 #include "rrset/varint_codec.h"
+#include "support/status.h"
 
 namespace opim {
 
@@ -152,12 +169,32 @@ struct RRStoreOptions {
   bool retain_set_costs = true;
 };
 
+/// Spill-tier configuration for RRCollection::EnableSpill.
+struct RRSpillOptions {
+  /// Directory for the (immediately unlinked) spill file.
+  std::string dir = "/tmp";
+};
+
+/// Cumulative spill-tier activity counters (plain values so tests and
+/// reports read them without telemetry).
+struct RRSpillStats {
+  uint64_t chunks_spilled = 0;  // chunk evictions (heap buffer freed)
+  uint64_t chunks_faulted = 0;  // chunk fault-ins from the spill file
+};
+
 /// Append-only collection of RR sets over a graph with n nodes.
 class RRCollection {
  public:
   /// Creates an empty collection for node ids in [0, num_nodes).
   /// `num_nodes` must be < 2^31 (one slot bit tags inline sets).
   explicit RRCollection(uint32_t num_nodes, RRStoreOptions options = {});
+
+  // Move-only (the spill state owns a file descriptor). Out-of-line:
+  // SpillState is incomplete here.
+  ~RRCollection();
+  RRCollection(RRCollection&&) noexcept;
+  RRCollection& operator=(RRCollection&&) noexcept;
+  OPIM_DISALLOW_COPY(RRCollection);
 
   /// Appends one RR set (list of distinct nodes, any order; stored
   /// sorted). `edges_examined` is the traversal cost the sampler paid
@@ -264,14 +301,19 @@ class RRCollection {
   uint64_t total_edges_examined() const { return total_edges_examined_; }
 
   /// Heap footprint of this collection in bytes (capacity-based, so it
-  /// reflects what the allocator actually holds): compressed member pool,
-  /// slots + chunk bases, optional per-set costs, the hybrid inverted
-  /// index, and the coverage scratch bitset. This is the quantity
-  /// RunControl's memory budget is checked against.
+  /// reflects what the allocator actually holds): the *resident* part of
+  /// the compressed member pool (spilled chunks cost nothing), slots +
+  /// chunk records, optional per-set costs, the hybrid inverted index,
+  /// and the coverage scratch bitset. This is the quantity RunControl's
+  /// memory budget is checked against — which is exactly why spilling
+  /// cold chunks lets a budgeted run continue.
   uint64_t MemoryUsage() const {
-    return pool_.capacity() * sizeof(uint8_t) +
+    uint64_t resident_pool = 0;
+    for (const PoolChunk& c : chunks_) {
+      resident_pool += c.bytes.capacity() * sizeof(uint8_t);
+    }
+    return resident_pool + chunks_.capacity() * sizeof(PoolChunk) +
            slot_.capacity() * sizeof(uint32_t) +
-           chunk_base_.capacity() * sizeof(uint64_t) +
            set_cost_.capacity() * sizeof(uint64_t) +
            raw_offsets_.capacity() * sizeof(uint32_t) +
            cover_ids_.capacity() * sizeof(RRId) +
@@ -281,8 +323,37 @@ class RRCollection {
            cover_scratch_.MemoryUsage();
   }
 
-  /// Bytes of the compressed member pool (inline-tagged sets cost zero).
-  uint64_t CompressedMemberBytes() const { return pool_.size(); }
+  /// Bytes of the compressed member pool, resident or spilled
+  /// (inline-tagged sets cost zero).
+  uint64_t CompressedMemberBytes() const { return pool_bytes_; }
+
+  // --- Out-of-core spill tier -------------------------------------------
+
+  /// Arms the spill tier: creates (and immediately unlinks) a spill file
+  /// in `options.dir`, so the file vanishes with the process no matter
+  /// how the run ends. Idempotent; fails with IOError when the directory
+  /// refuses a temp file. Decode-time fault-in makes the collection
+  /// single-threaded-readers-only afterwards (see file comment).
+  Status EnableSpill(const RRSpillOptions& options);
+
+  /// True once EnableSpill succeeded.
+  bool spill_enabled() const { return spill_ != nullptr; }
+
+  /// Evicts cold sealed chunks — least recently decoded first — until
+  /// the resident pool fits `target_resident_bytes` (or nothing sealed
+  /// is left to evict). The target is sticky: later fault-ins evict
+  /// other cold chunks past it. First eviction of a chunk writes its
+  /// bytes to the spill file (site io.short_write); re-evictions are
+  /// free. On write failure the collection is untouched and fully
+  /// usable — the caller degrades to the stop-at-budget path. Returns
+  /// the number of chunks evicted.
+  Result<uint64_t> SpillColdChunks(uint64_t target_resident_bytes);
+
+  /// Encoded bytes currently on the spill file only (not resident).
+  uint64_t SpilledBytes() const;
+
+  /// Cumulative spill/fault counters (zeros before EnableSpill).
+  RRSpillStats SpillStats() const;
 
   /// What the member lists would occupy raw, Σ_R |R| * sizeof(NodeId) —
   /// the PR-4-era storage; CompressedMemberBytes()/RawMemberBytes() is
@@ -314,13 +385,40 @@ class RRCollection {
   /// Slot tag for sets stored inline (empty or singleton); see rrslot.
   static constexpr uint32_t kSlotInlineTag = rrslot::kInlineTag;
   static constexpr uint32_t kEmptySlot = rrslot::kEmpty;
-  /// Sets per chunk-base entry; a slot offset is relative to its chunk's
-  /// base so 31 bits suffice no matter how large the pool grows.
+  /// Sets per pool chunk; a slot offset is relative to its chunk's byte
+  /// run so 31 bits suffice no matter how large the pool grows — and a
+  /// chunk's run is independently spillable.
   static constexpr uint32_t kChunkShift = 12;
 
+  /// One pool chunk: the group-varint byte run of its non-inline sets.
+  /// Resident chunks keep the run (plus decode slack) in `bytes` with
+  /// `data` caching bytes.data(); spilled chunks have an empty vector,
+  /// null `data`, and their run at `spill_offset` in the spill file.
+  struct PoolChunk {
+    static constexpr uint64_t kNotSpilled = ~uint64_t{0};
+
+    std::vector<uint8_t> bytes;
+    uint64_t encoded_bytes = 0;      // run length sans decode slack
+    uint64_t spill_offset = kNotSpilled;
+    const uint8_t* data = nullptr;   // bytes.data(), null when spilled
+    uint64_t lru_stamp = 0;          // last decode (spill enabled only)
+  };
+
+  struct SpillState;
+
   const uint8_t* SetBytes(RRId id, uint32_t slot) const {
-    return pool_.data() + chunk_base_[id >> kChunkShift] + slot;
+    const PoolChunk& c = chunks_[id >> kChunkShift];
+    if (spill_ != nullptr) return SpillAwareChunkData(id >> kChunkShift) + slot;
+    return c.data + slot;
   }
+
+  /// Returns chunk `chunk`'s resident run, faulting it in from the spill
+  /// file first when evicted, and stamps its LRU recency.
+  const uint8_t* SpillAwareChunkData(uint32_t chunk) const;
+
+  /// Reloads an evicted chunk and evicts other cold on-disk chunks past
+  /// the sticky resident target. Requires spill enabled.
+  void FaultChunk(uint32_t chunk) const;
 
   /// Sorts (and de-dups) `*nodes` in place, then appends the slot /
   /// encoded bytes for one set. Shared by AddSet and batch assembly.
@@ -343,14 +441,21 @@ class RRCollection {
   void MergeIndex(std::span<const CompressedRRShard> shards,
                   std::span<const RRId> shard_bases, ThreadPool* pool) const;
 
+  /// Appends `len` bytes from `src` to the open (last) chunk's run,
+  /// maintaining the per-chunk decode slack and `pool_bytes_`.
+  void AppendRunToOpenChunk(const uint8_t* src, uint64_t len);
+
   uint32_t num_nodes_ = 0;
   uint32_t num_sets_ = 0;
   bool retain_costs_ = true;
-  std::vector<uint8_t> pool_;        // group-varint encodings, ends with
-                                     // kVarintDecodeSlackBytes zero bytes
+  // Chunked compressed pool; each resident chunk's run ends with
+  // kVarintDecodeSlackBytes zero bytes. Mutable: decodes fault spilled
+  // chunks back in and stamp recency.
+  mutable std::vector<PoolChunk> chunks_;
+  uint64_t pool_bytes_ = 0;          // Σ encoded_bytes, resident or not
   std::vector<uint32_t> slot_;       // per set: inline tag or chunk offset
-  std::vector<uint64_t> chunk_base_; // pool base per kChunkShift sets
   std::vector<uint64_t> set_cost_;   // per-set cost iff retain_costs_
+  std::unique_ptr<SpillState> spill_;  // armed by EnableSpill
   std::vector<NodeId> addset_scratch_;  // AddSet sort buffer (reused)
   uint64_t total_members_ = 0;
   uint64_t total_edges_examined_ = 0;

@@ -33,6 +33,14 @@
 //   runctl.mem_spike     evaluated once per RunControl::Poll; firing
 //                        makes every subsequent poll report a footprint
 //                        above any finite budget (kMemoryBudget).
+//   io.mmap_fail         evaluated once per MmapArena::MapFile; firing
+//                        fails the map with IOError before the file is
+//                        opened (exercises the .opimg heap-read fallback
+//                        and SamplingView's stay-on-heap path).
+//   io.short_write       evaluated once per RRCollection::SpillColdChunks
+//                        eviction pass, before any chunk is written;
+//                        firing fails the spill with IOError and no state
+//                        change (the engine trips kSpillFailure).
 //
 // The CLI arms sites from the OPIM_FAULT_INJECT environment variable
 // ("site=hit[,site=hit...]") so shell-level smoke tests can exercise the

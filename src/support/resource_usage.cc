@@ -1,0 +1,47 @@
+#include "support/resource_usage.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace opim {
+
+namespace {
+
+/// Parses "VmHWM:   12345 kB" out of /proc/self/status. Returns 0 when
+/// the file or the field is unavailable (non-Linux platforms).
+uint64_t ReadVmHwmBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + 6, "%llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+ResourceUsage ReadResourceUsage() {
+  ResourceUsage usage;
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof(ru));
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+    // ru_maxrss is kilobytes on Linux.
+    usage.peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+    usage.major_page_faults = static_cast<uint64_t>(ru.ru_majflt);
+    usage.minor_page_faults = static_cast<uint64_t>(ru.ru_minflt);
+  }
+  const uint64_t hwm = ReadVmHwmBytes();
+  if (hwm > usage.peak_rss_bytes) usage.peak_rss_bytes = hwm;
+  return usage;
+}
+
+}  // namespace opim

@@ -18,6 +18,8 @@ const char* StopReasonName(StopReason reason) {
       return "cancelled";
     case StopReason::kWorkerFailure:
       return "worker_failure";
+    case StopReason::kSpillFailure:
+      return "spill_failure";
   }
   return "unknown";
 }
@@ -34,6 +36,8 @@ int ExitCodeForStopReason(StopReason reason) {
       return 5;
     case StopReason::kWorkerFailure:
       return 6;
+    case StopReason::kSpillFailure:
+      return 7;
   }
   return 1;
 }

@@ -1,0 +1,34 @@
+#include "support/resource_usage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace opim {
+namespace {
+
+TEST(ResourceUsageTest, ReportsAPlausibleLiveProcess) {
+  const ResourceUsage ru = ReadResourceUsage();
+  // A running test binary always has pages resident, and its startup
+  // alone takes minor faults (lazy heap/stack mapping).
+  EXPECT_GT(ru.peak_rss_bytes, 0u);
+  EXPECT_GT(ru.minor_page_faults, 0u);
+}
+
+TEST(ResourceUsageTest, CountersAreMonotone) {
+  const ResourceUsage before = ReadResourceUsage();
+  // Touch a fresh 8 MiB allocation so the peak and the minor-fault
+  // counter have a reason to move; either way they must never go down.
+  std::vector<uint8_t> ballast(8u << 20);
+  std::memset(ballast.data(), 1, ballast.size());
+  const ResourceUsage after = ReadResourceUsage();
+  EXPECT_GE(after.peak_rss_bytes, before.peak_rss_bytes);
+  EXPECT_GE(after.minor_page_faults, before.minor_page_faults);
+  EXPECT_GE(after.major_page_faults, before.major_page_faults);
+  // The ballast pages were actually touched, so they show up in the peak.
+  EXPECT_GE(after.peak_rss_bytes, ballast.size());
+}
+
+}  // namespace
+}  // namespace opim

@@ -19,18 +19,30 @@
 //
 // Global flags: --log-level=debug|info|warn|error|off (default warn).
 //
+// Graph paths ending in .bin load/save the binary row format and .opimg
+// the memory-mapped binary format (graph/graph_mmap.h; build with
+// tools/graph_pack or `convert --out=x.opimg`); anything else is a text
+// edge list.
+//
 // Run guardrails (run with opim-c*, and online; see docs/robustness.md):
 //   --deadline-ms=<ms>   wall-clock budget; the run degrades gracefully at
 //                        the next safe point and still reports (seeds, α)
 //   --max-rr-mb=<mb>     RR-pool memory budget in MiB (fractional ok)
+//   --spill-dir=<dir>    (run with opim-c*) out-of-core RR tier: once the
+//                        pools cross half the --max-rr-mb budget, cold
+//                        compressed chunks spill to an unlinked file in
+//                        <dir> and the run continues; seeds and α are
+//                        byte-identical to the fully-resident run
+//   --view-arena         (run with opim-c*) seal the sampling kernel
+//                        state into one madvise-hinted mapping
 //   SIGINT/SIGTERM       first signal = graceful cancel (same degradation);
 //                        second signal = default handler (hard kill)
 //
 // Exit codes: 0 converged, 1 error, 2 usage, and for guardrail stops
-// 3 deadline, 4 memory_budget, 5 cancelled, 6 worker_failure. A guardrail
-// exit still prints seeds/alpha and writes the full --metrics-json report
-// (stop_reason, deadline_slack_ms, peak_rr_bytes, rr_budget_bytes,
-// cancel_latency_ms).
+// 3 deadline, 4 memory_budget, 5 cancelled, 6 worker_failure,
+// 7 spill_failure. A guardrail exit still prints seeds/alpha and writes
+// the full --metrics-json report (stop_reason, deadline_slack_ms,
+// peak_rr_bytes, rr_budget_bytes, cancel_latency_ms).
 //
 // --metrics-json writes a RunReport (schema "opim.run_report.v1"): run
 // info, numeric results, per-iteration/round phase timings, and a full
@@ -42,8 +54,10 @@
 // at exit; spans are only captured in OPIM_TELEMETRY builds (other builds
 // emit a valid file with zero spans). --progress (run, online) prints a
 // once-per-second status line to stderr: elapsed time, iterations, RR
-// sets, peak RR footprint, and deadline slack. Both are validated by
-// tools/report_lint.
+// sets, peak RR footprint, resident-set size, page faults, and deadline
+// slack. Both are validated by tools/report_lint. Every report also
+// carries the process's peak_rss_bytes and major/minor page-fault
+// counters in its results section.
 //
 // Algorithms for `run`: opim-c+ (default), opim-c0, opim-c', imm, tim,
 // ssa-fix, dssa-fix, mc-greedy, degree, degree-discount, pagerank,
@@ -65,6 +79,7 @@
 #include "diffusion/cascade.h"
 #include "graph/graph_binary.h"
 #include "graph/graph_io.h"
+#include "graph/graph_mmap.h"
 #include "graph/transform.h"
 #include "harness/datasets.h"
 #include "harness/flags.h"
@@ -74,6 +89,7 @@
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "support/fault_inject.h"
+#include "support/resource_usage.h"
 #include "support/run_control.h"
 #include "support/signal_guard.h"
 #include "support/stopwatch.h"
@@ -89,6 +105,7 @@ bool HasSuffix(const std::string& s, const std::string& suffix) {
 }
 
 Result<Graph> LoadAny(const std::string& path, bool undirected) {
+  if (HasSuffix(path, ".opimg")) return LoadOpimg(path);
   if (HasSuffix(path, ".bin")) return LoadBinaryGraph(path);
   EdgeListOptions opt;
   opt.undirected = undirected;
@@ -96,6 +113,7 @@ Result<Graph> LoadAny(const std::string& path, bool undirected) {
 }
 
 Status SaveAny(const Graph& g, const std::string& path) {
+  if (HasSuffix(path, ".opimg")) return SaveOpimg(g, path);
   if (HasSuffix(path, ".bin")) return SaveBinaryGraph(g, path);
   return SaveEdgeList(g, path);
 }
@@ -145,6 +163,16 @@ void ReportGuardrails(const OpimCGuardrails& gr, RunReport* report) {
 /// path on success so scripts can pick it up.
 Status WriteReportOutputs(RunReport* report, const std::string& json_path,
                           const std::string& csv_path) {
+  // Process-level resource accounting rides along in every report: peak
+  // resident set plus the page-fault split that distinguishes disk-backed
+  // faults (major: cold mmap loads, spill fault-ins) from lazy
+  // first-touch mapping faults (minor).
+  const ResourceUsage ru = ReadResourceUsage();
+  report->AddResult("peak_rss_bytes", static_cast<double>(ru.peak_rss_bytes));
+  report->AddResult("major_page_faults",
+                    static_cast<double>(ru.major_page_faults));
+  report->AddResult("minor_page_faults",
+                    static_cast<double>(ru.minor_page_faults));
   report->SetMetrics(MetricsRegistry::Default().Snapshot());
   if (!json_path.empty()) {
     Status st = report->WriteJson(json_path);
@@ -304,6 +332,8 @@ int CmdRun(const Flags& flags) {
               : algo == "opim-c'" ? BoundKind::kLeskovec
                                   : BoundKind::kImproved;
     o.control = &control;
+    o.spill_dir = flags.GetString("spill-dir", "");
+    o.view_arena = flags.GetBool("view-arena", false);
     OpimCResult r = RunOpimC(g, model, k, eps, delta, o);
     seeds = std::move(r.seeds);
     rr_sets = r.num_rr_sets;
@@ -324,6 +354,14 @@ int CmdRun(const Flags& flags) {
                          ? static_cast<double>(r.rr_raw_member_bytes) /
                                static_cast<double>(r.rr_compressed_bytes)
                          : 0.0);
+    if (!o.spill_dir.empty()) {
+      report.AddResult("spill_chunks_spilled",
+                       static_cast<double>(r.spill_chunks_spilled));
+      report.AddResult("spill_chunks_faulted",
+                       static_cast<double>(r.spill_chunks_faulted));
+      report.AddResult("spilled_bytes",
+                       static_cast<double>(r.spilled_bytes));
+    }
     for (size_t i = 0; i < r.trace.size(); ++i) {
       const OpimCIteration& it = r.trace[i];
       report.AddIteration()
