@@ -16,6 +16,7 @@ headline timing regressed by more than the threshold:
                                   generate_ingest
   bench_load          timings_us: text_parse_load, opimg_mmap_cold,
                                   opimg_mmap_warm, opimg_heap_load
+  bench_snapshot      timings_us: checkpoint_write, resume_load
 
 Usage:
   check_bench_regression.py --baseline-generate BENCH_generate.json \
@@ -24,9 +25,11 @@ Usage:
                             --fresh-select fresh_sel.json \
                             --baseline-load BENCH_load.json \
                             --fresh-load fresh_load.json \
+                            --baseline-snapshot BENCH_snapshot.json \
+                            --fresh-snapshot fresh_snapshot.json \
                             [--threshold-pct 10] [--label after]
 
-Any pair (generate / select / load) may be given alone. Each file may be a
+Any pair (generate / select / load / snapshot) may be given alone. Each file may be a
 full artifact ({"benchmark": ..., "runs": [...]}, the committed shape) or
 a single run object (the shape `bench_* --out=FILE` writes); for
 artifacts, the run with the requested label is compared. Exit codes:
@@ -60,6 +63,10 @@ LOAD_METRICS = [
     "opimg_mmap_cold",
     "opimg_mmap_warm",
     "opimg_heap_load",
+]
+SNAPSHOT_METRICS = [
+    "checkpoint_write",
+    "resume_load",
 ]
 
 
@@ -151,6 +158,8 @@ def main():
     parser.add_argument("--fresh-select")
     parser.add_argument("--baseline-load")
     parser.add_argument("--fresh-load")
+    parser.add_argument("--baseline-snapshot")
+    parser.add_argument("--fresh-snapshot")
     parser.add_argument("--threshold-pct", type=float, default=10.0)
     parser.add_argument("--label", default="after")
     args = parser.parse_args()
@@ -162,6 +171,8 @@ def main():
         parser.error("--baseline-select and --fresh-select go together")
     if bool(args.baseline_load) != bool(args.fresh_load):
         parser.error("--baseline-load and --fresh-load go together")
+    if bool(args.baseline_snapshot) != bool(args.fresh_snapshot):
+        parser.error("--baseline-snapshot and --fresh-snapshot go together")
     if args.baseline_generate:
         pairs.append(
             (
@@ -178,6 +189,15 @@ def main():
     if args.baseline_load:
         pairs.append(
             ("load", args.baseline_load, args.fresh_load, LOAD_METRICS)
+        )
+    if args.baseline_snapshot:
+        pairs.append(
+            (
+                "snapshot",
+                args.baseline_snapshot,
+                args.fresh_snapshot,
+                SNAPSHOT_METRICS,
+            )
         )
     if not pairs:
         parser.error("give at least one baseline/fresh pair")

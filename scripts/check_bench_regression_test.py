@@ -101,6 +101,42 @@ class CheckBenchRegressionTest(unittest.TestCase):
         r = self.check("--baseline-load", baseline)
         self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
 
+    def snapshot_pair(self, baseline_timings, fresh_timings):
+        baseline = self.write("snap_base.json", run_object(baseline_timings))
+        fresh = self.write("snap_fresh.json", run_object(fresh_timings))
+        return self.check(
+            "--baseline-snapshot", baseline, "--fresh-snapshot", fresh
+        )
+
+    def test_snapshot_pair_within_threshold_passes(self):
+        timings = {"checkpoint_write": 3000.0, "resume_load": 1200.0}
+        r = self.snapshot_pair(timings, dict(timings))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("snapshot.checkpoint_write", r.stdout)
+        self.assertIn("snapshot.resume_load", r.stdout)
+
+    def test_snapshot_regression_fails(self):
+        base = {"checkpoint_write": 3000.0, "resume_load": 1200.0}
+        fresh = dict(base, resume_load=2400.0)  # 2x slower
+        r = self.snapshot_pair(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("snapshot.resume_load", r.stderr)
+
+    def test_snapshot_missing_gated_key_fails(self):
+        # A baseline predating the snapshot metrics must FAIL loudly.
+        base = {"checkpoint_write": 3000.0}
+        fresh = {"checkpoint_write": 3000.0, "resume_load": 1200.0}
+        r = self.snapshot_pair(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertNotIn("KeyError", r.stdout + r.stderr)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn("resume_load", r.stdout)
+
+    def test_snapshot_unpaired_flags_are_usage_error(self):
+        baseline = self.write("snap_base.json", run_object({}))
+        r = self.check("--baseline-snapshot", baseline)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+
     def test_artifact_shape_selects_labeled_run(self):
         timings = {
             "text_parse_load": 1000.0,

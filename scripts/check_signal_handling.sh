@@ -13,6 +13,11 @@
 # before the signal arrives, we retry with a shorter delay instead of
 # reporting a false failure.
 #
+# A second phase delivers TWO SIGINTs in quick succession: the second
+# must force an immediate _exit(130) (128 + SIGINT) — the documented
+# escape hatch for operators who will not wait out graceful degradation
+# or a checkpoint-on-shutdown write.
+#
 #   scripts/check_signal_handling.sh [--build-dir <dir>]
 
 set -euo pipefail
@@ -82,4 +87,38 @@ grep -q '"schema": *"opim.run_report.v1"' "$REPORT" \
 
 echo "  stdout carries seeds/alpha and stop_reason=cancelled"
 echo "  report is complete JSON with stop_reason + cancel latency"
+
+# --- Phase 2: double SIGINT forces an immediate exit 130 -------------
+run_and_double_interrupt() {
+  local delay="$1"
+  "$CLI" run --graph="$GRAPH" --algo=opim-c+ --k=100 --eps=0.05 --seed=42 \
+    >"$STDOUT" 2>/dev/null &
+  local pid=$!
+  sleep "$delay"
+  kill -INT "$pid" 2>/dev/null || true
+  sleep 0.05
+  kill -INT "$pid" 2>/dev/null || true
+  local rc=0
+  wait "$pid" || rc=$?
+  echo "$rc"
+}
+
+RC=""
+for delay in 0.3 0.15 0.05; do
+  RC="$(run_and_double_interrupt "$delay")"
+  # 130 = forced exit; 5 means the run finished its graceful shutdown
+  # before the second signal landed — only code 0 (converged before any
+  # signal) warrants a faster retry.
+  if [[ "$RC" != 0 ]]; then break; fi
+  echo "  run converged before the SIGINTs (delay=${delay}s); retrying faster"
+done
+
+echo "double-interrupted run exited with code $RC"
+if [[ "$RC" == 5 ]]; then
+  echo "  (graceful shutdown won the race with the second SIGINT; accepted)"
+elif [[ "$RC" != 130 ]]; then
+  echo "FAIL: expected forced exit code 130 (or graceful 5), got $RC" >&2
+  exit 1
+fi
+
 echo "OK"

@@ -37,7 +37,7 @@ cmake -B build-fi -G Ninja -DOPIM_FAULT_INJECT=ON \
   -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
 cmake --build build-fi
 ctest --test-dir build-fi --output-on-failure \
-  -R 'FaultInjection|Guardrails|RunControl|StopReason|SignalGuard|ThreadPool' 2>&1 \
+  -R 'FaultInjection|Guardrails|RunControl|StopReason|SignalGuard|ThreadPool|Snapshot' 2>&1 \
   | tee "$OUT/test_output_faultinject.txt"
 
 # Sanitized build (ASan + UBSan) over the memory-heavy engine subset:
@@ -52,7 +52,7 @@ cmake -B build-asan -G Ninja -DOPIM_SANITIZE=ON -DOPIM_FAULT_INJECT=ON \
   -DOPIM_BUILD_BENCHMARKS=OFF -DOPIM_BUILD_EXAMPLES=OFF
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure \
-  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf|FaultInjection|Guardrails|RunControl|SignalGuard|ThreadPool|LoaderRobustness|VarintCodec|CoverBitset|CoverKernel|SimdDifferential|GraphMmap|MmapArena|RRSpill|SpillDifferential|GraphPack|ResourceUsage' 2>&1 \
+  -R 'SamplingView|Quantize|KernelDifferential|SharedView|Sampler|RRCollection|ParallelGenerate|Greedy|Celf|FaultInjection|Guardrails|RunControl|SignalGuard|ThreadPool|LoaderRobustness|VarintCodec|CoverBitset|CoverKernel|SimdDifferential|GraphMmap|MmapArena|RRSpill|SpillDifferential|GraphPack|ResourceUsage|Snapshot|IoUtil|CheckpointResume' 2>&1 \
   | tee "$OUT/test_output_sanitized.txt"
 
 # TSan build over the concurrency-heavy subset: the thread pool, parallel
@@ -80,16 +80,23 @@ ctest --test-dir build-nosimd --output-on-failure \
   | tee "$OUT/test_output_nosimd.txt"
 
 # Live signal handling: SIGINT a real CLI run, expect a clean degraded
-# exit (code 5, seeds + alpha on stdout, complete JSON report).
+# exit (code 5, seeds + alpha on stdout, complete JSON report); a second
+# SIGINT must force an immediate exit 130.
 scripts/check_signal_handling.sh --build-dir build 2>&1 \
   | tee "$OUT/signal_handling.txt"
+
+# Live crash recovery: kill -9 a checkpointing run mid-doubling, lint the
+# surviving .opimss with tools/snapshot_inspect, resume it, and demand
+# the uninterrupted run's exact seeds and alpha.
+scripts/check_crash_recovery.sh --build-dir build 2>&1 \
+  | tee "$OUT/crash_recovery.txt"
 
 for b in build/bench/*; do
   name="$(basename "$b")"
   # The RR-set engine perf baselines have their own driver (run below
   # against both telemetry configurations).
   if [[ "$name" == bench_select_ingest || "$name" == bench_generate \
-        || "$name" == bench_load ]]; then
+        || "$name" == bench_load || "$name" == bench_snapshot ]]; then
     continue
   fi
   echo "=== $name ==="
@@ -123,15 +130,18 @@ if [[ "${CHECK_BENCH_REGRESSION:-0}" == "1" ]]; then
   FRESH_GEN="$OUT/fresh_bench_generate.json"
   FRESH_SEL="$OUT/fresh_bench_select_ingest.json"
   FRESH_LOAD="$OUT/fresh_bench_load.json"
+  FRESH_SNAP="$OUT/fresh_bench_snapshot.json"
   # --threads must match the committed baseline's config.threads_n so the
   # *_generate_nt engine-path headline compares like with like.
   build/bench/bench_generate --label=after --threads=2 "--out=$FRESH_GEN"
   build/bench/bench_select_ingest --label=after --seed=7 "--out=$FRESH_SEL"
   build/bench/bench_load --label=after "--out=$FRESH_LOAD"
+  build/bench/bench_snapshot --label=after "--out=$FRESH_SNAP"
   python3 scripts/check_bench_regression.py \
     --baseline-generate BENCH_generate.json --fresh-generate "$FRESH_GEN" \
     --baseline-select BENCH_select_ingest.json --fresh-select "$FRESH_SEL" \
     --baseline-load BENCH_load.json --fresh-load "$FRESH_LOAD" \
+    --baseline-snapshot BENCH_snapshot.json --fresh-snapshot "$FRESH_SNAP" \
     --threshold-pct "${BENCH_REGRESSION_THRESHOLD_PCT:-10}" 2>&1 \
     | tee "$OUT/bench_regression.txt"
 fi

@@ -11,6 +11,7 @@
 #include "rrset/parallel_generate.h"
 #include "rrset/rr_sampler.h"
 #include "rrset/rr_collection.h"
+#include "rrset/snapshot.h"
 #include "select/greedy.h"
 #include "support/alias_sampler.h"
 #include "support/math_util.h"
@@ -147,6 +148,46 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   // the 8 bytes/set cost column on top of the compressed member storage.
   const RRStoreOptions store{.retain_set_costs = false};
   RRCollection r1(n, store), r2(n, store);
+
+  // Resume: adopt the snapshot's pools and loop position. The RR stream
+  // is a pure function of (seed, num_threads, batch_counter), and CELF
+  // / the bounds / the index rebuild are deterministic, so continuing
+  // from an iteration-boundary snapshot is bit-identical to never
+  // having stopped. A parameter mismatch would silently change the
+  // algorithm the certificate describes — refuse loudly instead (the
+  // CLI pre-validates the same facts with a clean error message).
+  uint32_t start_iter = 1;
+  uint32_t resumed_from = 0;
+  if (options.resume != nullptr) {
+    RRPoolSnapshot& snap = *options.resume;
+    OPIM_CHECK_MSG(snap.run.graph_nodes == n && snap.run.graph_edges == g.num_edges(),
+                   "resume snapshot was written for a different graph");
+    OPIM_CHECK_MSG(snap.run.weights_checksum ==
+                       SnapshotWeightsChecksum(options.node_weights),
+                   "resume snapshot was written with different node weights");
+    OPIM_CHECK_MSG(snap.run.run_seed == options.seed &&
+                       snap.run.num_threads == num_threads,
+                   "resume snapshot was written with a different RR stream "
+                   "identity (seed, threads)");
+    OPIM_CHECK_MSG(snap.run.k == k && snap.run.eps == eps &&
+                       snap.run.delta == delta,
+                   "resume snapshot was written with different (k, eps, delta)");
+    OPIM_CHECK_MSG(snap.run.bound == static_cast<uint32_t>(options.bound) &&
+                       snap.run.model == static_cast<uint32_t>(model),
+                   "resume snapshot was written with a different bound/model");
+    OPIM_CHECK_EQ(snap.r1.num_nodes(), n);
+    OPIM_CHECK_EQ(snap.r2.num_nodes(), n);
+    r1 = std::move(snap.r1);
+    r2 = std::move(snap.r2);
+    batch_counter = snap.run.batch_counter;
+    start_iter = std::clamp<uint32_t>(snap.run.next_iteration, 1, i_max);
+    resumed_from = start_iter;
+    if (control != nullptr) control->RecordPeakBytes(snap.run.peak_rr_bytes);
+    OPIM_TM_COUNTER_ADD("opim.snapshot.resumes", 1);
+    OPIM_LOG(kInfo) << "opim-c: resumed from snapshot at iteration "
+                    << start_iter << " (theta1=" << r1.num_sets()
+                    << ", batch_counter=" << batch_counter << ")";
+  }
   if (!options.spill_dir.empty()) {
     for (RRCollection* rr : {&r1, &r2}) {
       const Status armed = rr->EnableSpill({.dir = options.spill_dir});
@@ -187,8 +228,16 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
       }
     }
   };
-  generate(&r1, theta0, control);
-  generate(&r2, theta0, control);
+  if (options.resume == nullptr) {
+    generate(&r1, theta0, control);
+    generate(&r2, theta0, control);
+  } else {
+    // Resumed pools carry no index (the snapshot stores only the
+    // canonical chunk runs); rebuild it eagerly on the run pool so the
+    // first CELF pass starts from the same state a live run would have.
+    r1.EnsureIndex(pool.get());
+    r2.EnsureIndex(pool.get());
+  }
 
   // Anytime floor: if a guardrail tripped before (or during) the θ0 fill
   // and left a pool empty, the bound machinery below has nothing to
@@ -205,11 +254,75 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   OpimCResult result;
   result.i_max = i_max;
   result.num_threads = num_threads;
+  result.resumed_from_iteration = resumed_from;
   const bool needs_trace = options.bound != BoundKind::kBasic;
 
-  for (uint32_t i = 1; i <= i_max; ++i) {
+  // Periodic checkpointing: `write_checkpoint(next, clean)` captures
+  // the pools plus the exact loop position needed to re-enter iteration
+  // `next` — the batch counter (the whole sampler state) and the run
+  // identity — and publishes it atomically, so the file at
+  // `checkpoint_dir` is always the last *durable* snapshot no matter
+  // when the process dies. `clean` records whether the state is an
+  // exact iteration boundary (periodic writes, boundary-poll trips) or
+  // was captured after a trip interrupted generation mid-doubling —
+  // resume is deterministic either way, but only clean snapshots are
+  // guaranteed bit-identical to the uninterrupted schedule.
+  const bool checkpointing = !options.checkpoint_dir.empty();
+  const uint32_t checkpoint_every =
+      std::max<uint32_t>(1, options.checkpoint_every_iters);
+  const std::string checkpoint_path =
+      options.checkpoint_dir + "/opimc.opimss";
+  auto write_checkpoint = [&](uint32_t next_iteration, bool clean) {
+    OPIM_TR_SPAN1("checkpoint", "opimc", "iter", next_iteration);
+    Stopwatch watch;
+    SnapshotRunState rs;
+    rs.run_seed = options.seed;
+    rs.batch_counter = batch_counter;
+    rs.peak_rr_bytes = control != nullptr ? control->peak_bytes() : 0;
+    rs.graph_nodes = n;
+    rs.graph_edges = g.num_edges();
+    rs.weights_checksum = SnapshotWeightsChecksum(options.node_weights);
+    rs.eps = eps;
+    rs.delta = delta;
+    rs.next_iteration = next_iteration;
+    rs.num_threads = num_threads;
+    rs.k = k;
+    rs.bound = static_cast<uint32_t>(options.bound);
+    rs.model = static_cast<uint32_t>(model);
+    rs.clean_boundary = clean ? 1 : 0;
+    const Result<uint64_t> written =
+        SaveSnapshot(rs, r1, r2, checkpoint_path);
+    const double seconds = watch.ElapsedSeconds();
+    if (!written.ok()) {
+      // Best-effort by contract: a failing checkpoint device must not
+      // take down a healthy run — the operator just loses resumability.
+      OPIM_LOG(kWarn) << "opim-c: checkpoint write failed: "
+                      << written.status().ToString();
+      OPIM_TM_COUNTER_ADD("opim.snapshot.write_failures", 1);
+      return;
+    }
+    ++result.checkpoints_written;
+    result.checkpoint_bytes_written += written.ValueOrDie();
+    result.checkpoint_write_seconds += seconds;
+    OPIM_TM_COUNTER_ADD("opim.snapshot.writes", 1);
+    OPIM_TM_COUNTER_ADD("opim.snapshot.bytes_written", written.ValueOrDie());
+    OPIM_TM_HISTOGRAM_RECORD("opim.snapshot.write_us", seconds * 1e6);
+  };
+
+  for (uint32_t i = start_iter; i <= i_max; ++i) {
     OPIM_TR_SPAN2("iteration", "opimc", "iter", i, "theta1", r1.num_sets());
     OPIM_TM_COUNTER_ADD("opim.opimc.iterations", 1);
+    // Top-of-iteration checkpoint: the pools hold complete doublings and
+    // the batch counter is consistent, so this is the clean boundary the
+    // resume bit-identity guarantee is stated for. Skipped when a trip
+    // already happened mid-generation (the pools may hold a partial
+    // doubling; the on-trip write below captures that state instead) and
+    // at a resumed run's own re-entry iteration (that snapshot is
+    // already on disk).
+    if (checkpointing && (i - start_iter) % checkpoint_every == 0 &&
+        i != resumed_from && !(control != nullptr && control->Stopped())) {
+      write_checkpoint(i, /*clean=*/true);
+    }
     // Footprint peaks right after a doubling lands — shed cold chunks
     // before CELF touches the pools, not after.
     maybe_spill();
@@ -299,6 +412,7 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     // carried out of the preceding generate calls — finalizes with this
     // iteration's seeds and α: the bounds were just evaluated on whatever
     // RR sets exist, so the certificate is valid at this pause point.
+    const bool stopped_pre_boundary = control != nullptr && control->Stopped();
     const bool stopped = control != nullptr && control->Poll(iter.rr_bytes);
     const bool exiting = iter.alpha >= target || i == i_max || stopped;
 
@@ -346,6 +460,21 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     }
 
     if (exiting) {
+      // Checkpoint-on-trip: a deadline / memory-budget / SIGINT stop is
+      // exactly the case where the operator wants to continue later, so
+      // capture the pause point before finalizing. A trip at the
+      // boundary poll itself leaves clean iteration-boundary state; one
+      // carried out of the preceding generation may leave a partial
+      // doubling (still resumable and deterministic, flagged
+      // clean_boundary=0). Worker/spill failures are not checkpointed —
+      // their pool state reflects the failure being reported.
+      if (checkpointing && stopped) {
+        const StopReason why = control->reason();
+        if (why == StopReason::kDeadline || why == StopReason::kMemoryBudget ||
+            why == StopReason::kCancelled) {
+          write_checkpoint(i, /*clean=*/!stopped_pre_boundary);
+        }
+      }
       result.seeds = std::move(greedy.seeds);
       result.alpha = iter.alpha;
       break;

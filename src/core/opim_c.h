@@ -25,6 +25,8 @@
 
 namespace opim {
 
+struct RRPoolSnapshot;  // rrset/snapshot.h
+
 /// Tuning knobs for OpimC.
 struct OpimCOptions {
   /// Which σ(S°) upper bound drives the stopping rule: kImproved is the
@@ -72,6 +74,23 @@ struct OpimCOptions {
   /// §4 applied to OPIM-C (see docs/robustness.md). nullptr = no
   /// guardrails (byte-identical behavior to previous releases).
   RunControl* control = nullptr;
+  /// Crash-safe checkpointing (empty = off): the engine atomically
+  /// rewrites `<checkpoint_dir>/opimc.opimss` (rrset/snapshot.h;
+  /// write-to-temp + fsync + rename, so the last durable snapshot
+  /// always survives a kill -9 mid-write) at the top of every
+  /// `checkpoint_every_iters`-th doubling iteration, and once more on a
+  /// deadline / memory-budget / cancellation trip. A checkpoint failure
+  /// is logged and counted but never stops a healthy run. Resuming from
+  /// a boundary checkpoint reproduces the uninterrupted run bit-for-bit
+  /// (tests/core/checkpoint_resume_test.cc).
+  std::string checkpoint_dir;
+  uint32_t checkpoint_every_iters = 1;
+  /// Resume state loaded by LoadSnapshot (non-owning; pools are moved
+  /// out of it). The snapshot's parameters are authoritative: the
+  /// engine OPIM_CHECKs that (k, ε, δ, seed, threads, bound, model,
+  /// graph fingerprint, weights) match the call — the CLI validates the
+  /// same facts first with a clean error. nullptr = fresh run.
+  RRPoolSnapshot* resume = nullptr;
 };
 
 /// Per-iteration record, for tests and diagnostics. The *_seconds phase
@@ -155,6 +174,14 @@ struct OpimCResult {
   uint64_t spill_chunks_spilled = 0;
   uint64_t spill_chunks_faulted = 0;
   uint64_t spilled_bytes = 0;
+  /// Checkpoint/resume accounting (all zero for fresh, uncheckpointed
+  /// runs): the iteration a resumed run re-entered at (0 = fresh), and
+  /// the snapshots written / bytes / wall seconds this run spent
+  /// checkpointing. Mirror the telemetry counters opim.snapshot.*.
+  uint32_t resumed_from_iteration = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_bytes_written = 0;
+  double checkpoint_write_seconds = 0.0;
   /// The i_max bound computed from Eqs. (16)/(17).
   uint32_t i_max = 0;
   /// The thread count actually used (OpimCOptions::num_threads with 0

@@ -12,6 +12,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "support/fault_inject.h"
+#include "support/io_util.h"
 #include "support/thread_pool.h"
 
 namespace opim {
@@ -619,18 +620,10 @@ Result<uint64_t> RRCollection::SpillColdChunks(
         return Status::IOError("injected short write on RR spill file");
       }
       const uint64_t off = spill_->append_cursor;
-      uint64_t written = 0;
-      while (written < c.encoded_bytes) {
-        const ssize_t w =
-            ::pwrite(spill_->fd, c.bytes.data() + written,
-                     c.encoded_bytes - written,
-                     static_cast<off_t>(off + written));
-        if (w <= 0) {
-          return Status::IOError(
-              "short write on RR spill file: " +
-              std::string(w < 0 ? std::strerror(errno) : "no progress"));
-        }
-        written += static_cast<uint64_t>(w);
+      if (Status w = io::PWriteFull(spill_->fd, c.bytes.data(),
+                                    c.encoded_bytes, static_cast<off_t>(off));
+          !w.ok()) {
+        return Status::IOError("RR spill file: " + w.message());
       }
       c.spill_offset = off;
       spill_->append_cursor = off + c.encoded_bytes;
@@ -663,16 +656,12 @@ void RRCollection::FaultChunk(uint32_t chunk) const {
   OPIM_CHECK_MSG(c.spill_offset != PoolChunk::kNotSpilled,
                  "evicted chunk has no spill offset");
   c.bytes.assign(c.encoded_bytes + kVarintDecodeSlackBytes, 0);
-  uint64_t got = 0;
-  while (got < c.encoded_bytes) {
-    const ssize_t r =
-        ::pread(spill_->fd, c.bytes.data() + got, c.encoded_bytes - got,
-                static_cast<off_t>(c.spill_offset + got));
-    // The file is unlinked and fully written; a read failure here is an
-    // invariant break, not an expected runtime outcome.
-    OPIM_CHECK_MSG(r > 0, "RR spill file read failed");
-    got += static_cast<uint64_t>(r);
-  }
+  // The file is unlinked and fully written; a read failure here is an
+  // invariant break, not an expected runtime outcome.
+  const Status read = io::PReadFull(spill_->fd, c.bytes.data(),
+                                    c.encoded_bytes,
+                                    static_cast<off_t>(c.spill_offset));
+  OPIM_CHECK_MSG(read.ok(), "RR spill file read failed");
   c.data = c.bytes.data();
   ++spill_->stats.chunks_faulted;
   OPIM_TM_COUNTER_ADD("opim.rrset.spill_chunks_faulted", 1);
@@ -762,6 +751,53 @@ uint64_t RRCollection::CoverageOf(std::span<const NodeId> seeds) const {
 double RRCollection::EstimateSpread(std::span<const NodeId> seeds) const {
   if (num_sets() == 0) return 0.0;
   return static_cast<double>(CoverageOf(seeds)) * num_nodes() / num_sets();
+}
+
+std::span<const uint8_t> RRCollection::ChunkRun(uint32_t chunk) const {
+  OPIM_CHECK_LT(chunk, chunks_.size());
+  const PoolChunk& c = chunks_[chunk];
+  if (c.encoded_bytes == 0) return {};
+  // Faulting chunk `chunk` may evict a colder chunk past the sticky
+  // resident target — never `chunk` itself, so the span stays valid
+  // until the next decode or append.
+  const uint8_t* data =
+      spill_ != nullptr ? SpillAwareChunkData(chunk) : c.data;
+  return {data, c.encoded_bytes};
+}
+
+RRCollection RRCollection::RestoreFromSnapshotParts(
+    uint32_t num_nodes, RRStoreOptions options,
+    std::vector<std::vector<uint8_t>> chunk_runs, std::vector<uint32_t> slots,
+    std::vector<uint64_t> costs, uint64_t total_members,
+    uint64_t total_edges_examined) {
+  RRCollection rr(num_nodes, options);
+  const size_t sets = slots.size();
+  const size_t expected_chunks =
+      sets == 0 ? 0 : (sets + ((1u << kChunkShift) - 1)) >> kChunkShift;
+  OPIM_CHECK_EQ(chunk_runs.size(), expected_chunks);
+  OPIM_CHECK(options.retain_set_costs ? costs.size() == sets : costs.empty());
+
+  rr.chunks_.reserve(chunk_runs.size());
+  for (std::vector<uint8_t>& run : chunk_runs) {
+    PoolChunk c;
+    c.encoded_bytes = run.size();
+    rr.pool_bytes_ += run.size();
+    if (!run.empty()) {
+      run.resize(run.size() + kVarintDecodeSlackBytes, 0);
+      c.bytes = std::move(run);
+      c.data = c.bytes.data();
+    }
+    rr.chunks_.push_back(std::move(c));
+  }
+  rr.num_sets_ = static_cast<uint32_t>(sets);
+  rr.slot_ = std::move(slots);
+  rr.set_cost_ = std::move(costs);
+  rr.total_members_ = total_members;
+  rr.total_edges_examined_ = total_edges_examined;
+  // The index is a deterministic function of the pool; rebuild on first
+  // read (or EnsureIndex) instead of shipping it through the snapshot.
+  rr.index_dirty_ = rr.num_sets_ > 0;
+  return rr;
 }
 
 }  // namespace opim

@@ -381,6 +381,52 @@ class RRCollection {
   /// for an empty collection.
   double EstimateSpread(std::span<const NodeId> seeds) const;
 
+  // --- Snapshot support (rrset/snapshot.h) ------------------------------
+  //
+  // The snapshot container serializes exactly the canonical storage —
+  // per-chunk byte runs, slot words, optional cost column, and the
+  // member/γ totals. The inverted index is NOT serialized: it is a
+  // deterministic function of the pool (RebuildIndex produces identical
+  // output for any worker count), so restore marks it stale and the
+  // first read — or an explicit EnsureIndex — rebuilds it.
+
+  /// Number of pool chunks (ceil(num_sets / 4096); 0 when empty).
+  uint32_t num_pool_chunks() const {
+    return static_cast<uint32_t>(chunks_.size());
+  }
+
+  /// Encoded byte run of chunk `chunk` (no decode slack), faulting it in
+  /// from the spill file first when evicted. Empty when every set in the
+  /// chunk is stored inline.
+  std::span<const uint8_t> ChunkRun(uint32_t chunk) const;
+
+  /// Per-set slot words (inline tag or chunk-relative byte offset).
+  std::span<const uint32_t> slots() const { return slot_; }
+
+  /// Per-set cost column; empty unless retains_set_costs().
+  std::span<const uint64_t> set_costs() const { return set_cost_; }
+
+  /// Rebuilds the inverted index now (parallel when `pool` is given) if
+  /// single-set appends or a snapshot restore left it stale; no-op
+  /// otherwise.
+  void EnsureIndex(ThreadPool* pool = nullptr) const {
+    if (index_dirty_) RebuildIndex(pool);
+  }
+
+  /// Reassembles a collection from snapshot parts. `chunk_runs` are the
+  /// slack-free per-chunk byte runs (ChunkRun output); `slots`, `costs`,
+  /// and the totals mirror the accessors above. The caller (the snapshot
+  /// loader) has already validated structure — offsets, encodings, and
+  /// member totals — so violations here are programmer errors
+  /// (OPIM_CHECK). The restored collection is byte-identical to the
+  /// saved one: further appends, spills, and index reads behave as if
+  /// the sets had been added directly.
+  static RRCollection RestoreFromSnapshotParts(
+      uint32_t num_nodes, RRStoreOptions options,
+      std::vector<std::vector<uint8_t>> chunk_runs,
+      std::vector<uint32_t> slots, std::vector<uint64_t> costs,
+      uint64_t total_members, uint64_t total_edges_examined);
+
  private:
   /// Slot tag for sets stored inline (empty or singleton); see rrslot.
   static constexpr uint32_t kSlotInlineTag = rrslot::kInlineTag;

@@ -1,0 +1,79 @@
+#include "support/atomic_file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "support/fault_inject.h"
+#include "support/io_util.h"
+
+namespace opim {
+namespace {
+
+Status ErrnoError(const std::string& what, int err) {
+  return Status::IOError(what + ": " + ::strerror(err));
+}
+
+// fsync the directory containing `path` so the rename itself is
+// durable. Best-effort on filesystems that refuse O_RDONLY dir fsync.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::span<const uint8_t> data) {
+  // Temp lives next to the target: rename(2) is atomic only within one
+  // filesystem, and a crash leaves at worst a stray .tmp sibling.
+  std::string tmp = path + ".tmp.XXXXXX";
+  std::vector<char> tmpl(tmp.begin(), tmp.end());
+  tmpl.push_back('\0');
+  const int fd = ::mkstemp(tmpl.data());
+  if (fd < 0) {
+    return ErrnoError("mkstemp for " + path, errno);
+  }
+  tmp.assign(tmpl.data());
+
+  auto fail = [&](Status status) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+
+  if (OPIM_FAULT_POINT("snapshot.short_write")) {
+    return fail(Status::IOError("injected fault: snapshot.short_write"));
+  }
+  if (Status w = io::WriteFull(fd, data.data(), data.size()); !w.ok()) {
+    return fail(std::move(w));
+  }
+  if (::fsync(fd) != 0) {
+    return fail(ErrnoError("fsync " + tmp, errno));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return ErrnoError("close " + tmp, errno);
+  }
+  if (OPIM_FAULT_POINT("snapshot.rename_fail")) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("injected fault: snapshot.rename_fail");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return ErrnoError("rename " + tmp + " -> " + path, err);
+  }
+  FsyncParentDir(path);
+  return Status::OK();
+}
+
+}  // namespace opim

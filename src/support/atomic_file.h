@@ -1,0 +1,34 @@
+// Crash-atomic whole-file writes.
+//
+// WriteFileAtomic publishes `data` at `path` with the classic
+// write-to-temp + fsync + rename(2) + fsync-the-directory sequence, so
+// a reader (or a process restarted after a crash at any instant) sees
+// either the complete previous file or the complete new one — never a
+// prefix. The temp file is created with mkstemp(3) in the target's own
+// directory (rename is only atomic within a filesystem) and unlinked on
+// every failure path.
+//
+// Transient write(2) failures (EINTR/EAGAIN/short writes) are retried
+// with bounded backoff by support/io_util.h; durable failures surface
+// as IOError naming the step that failed.
+//
+// Fault-injection sites (build-fi only, see fault_inject.h):
+//   snapshot.short_write  fails the data write before any byte lands.
+//   snapshot.rename_fail  fails the rename after the temp is durable.
+// Both leave the previous file at `path` untouched.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "support/status.h"
+
+namespace opim {
+
+/// Atomically replaces the file at `path` with `data`. On any non-OK
+/// return the previous contents of `path` (or its absence) are intact.
+Status WriteFileAtomic(const std::string& path, std::span<const uint8_t> data);
+
+}  // namespace opim

@@ -41,6 +41,22 @@
 //                        eviction pass, before any chunk is written;
 //                        firing fails the spill with IOError and no state
 //                        change (the engine trips kSpillFailure).
+//   snapshot.short_write evaluated once per atomic-file write
+//                        (support/atomic_file.h), before any byte reaches
+//                        the temp file; firing fails the snapshot write
+//                        with IOError, the temp is unlinked, and any
+//                        previous snapshot at the target path survives.
+//   snapshot.rename_fail evaluated after the temp file is written and
+//                        fsynced, before rename(2); firing fails the
+//                        publish step — again leaving the previous
+//                        snapshot intact (atomicity is rename-or-nothing).
+//   snapshot.corrupt_header
+//                        evaluated once per SaveSnapshot; firing flips a
+//                        header byte before the write, simulating the
+//                        torn/corrupt container that rename atomicity
+//                        cannot protect against. The strict loader must
+//                        reject the result (checkpoint readers treat a
+//                        bad snapshot as "no snapshot", never as state).
 //
 // The CLI arms sites from the OPIM_FAULT_INJECT environment variable
 // ("site=hit[,site=hit...]") so shell-level smoke tests can exercise the

@@ -132,6 +132,18 @@ class RunControl {
     return peak_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Folds `bytes` into the peak without running the guardrail checks.
+  /// Used when resuming from a snapshot: the restored run's reported
+  /// peak must cover the pre-crash iterations, but replaying the old
+  /// footprint through Poll() could spuriously trip a tighter budget
+  /// configured for the continuation.
+  void RecordPeakBytes(uint64_t bytes) {
+    uint64_t prev = peak_bytes_.load(std::memory_order_relaxed);
+    while (prev < bytes && !peak_bytes_.compare_exchange_weak(
+                               prev, bytes, std::memory_order_relaxed)) {
+    }
+  }
+
   /// Seconds until the deadline (negative once past). Only meaningful
   /// when has_deadline(). Unaffected by injected clock skew, so reports
   /// carry real slack.

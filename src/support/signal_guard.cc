@@ -1,5 +1,7 @@
 #include "support/signal_guard.h"
 
+#include <unistd.h>
+
 namespace opim {
 
 namespace {
@@ -17,12 +19,15 @@ static_assert(std::atomic<int>::is_always_lock_free,
 
 void OnSignal(int sig) {
   if (g_cancel.exchange(true, std::memory_order_relaxed)) {
-    // Second signal: the operator insists. Restore the default
-    // disposition and re-raise for the normal hard kill. std::signal and
-    // std::raise are async-signal-safe.
-    std::signal(sig, SIG_DFL);
-    std::raise(sig);
-    return;
+    // Second signal: the operator insists. Exit NOW with the
+    // conventional 128+signal code (130 for SIGINT, 143 for SIGTERM)
+    // instead of re-raising: a re-raised signal stays pending until the
+    // handler returns, and the interrupted thread may be deep inside a
+    // checkpoint fsync — the one wait the operator is trying to skip.
+    // _exit(2) is async-signal-safe and terminates every thread without
+    // flushing or unwinding; a half-written snapshot temp file is
+    // harmless because the atomic writer publishes via rename only.
+    ::_exit(128 + sig);
   }
   g_last_signal.store(sig, std::memory_order_relaxed);
 }

@@ -9,9 +9,11 @@
 // list of things a signal handler may legally do. Bind that flag to a
 // RunControl (BindCancelFlag) and the engines drain gracefully.
 //
-// A *second* signal is the escape hatch: the handler restores the default
-// disposition and re-raises, so an operator who insists gets the normal
-// hard kill.
+// A *second* signal is the escape hatch: the handler calls
+// _exit(128 + sig) — 130 for SIGINT, 143 for SIGTERM — terminating the
+// process immediately even if the main thread is blocked in a shutdown
+// checkpoint's fsync. No unwinding or flushing happens; crash-atomic
+// writers (support/atomic_file.h) make that safe by construction.
 //
 // At most one guard may be active at a time (checked); the constructor
 // saves and the destructor restores the previous handlers, so scoping the

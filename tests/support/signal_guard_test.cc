@@ -1,6 +1,8 @@
 // SignalGuard tests: a raised SIGINT sets the flag instead of killing the
-// process, the flag feeds RunControl's kCancelled path, and the guard is
-// reinstallable after destruction.
+// process, the flag feeds RunControl's kCancelled path, the guard is
+// reinstallable after destruction, and a second signal forces an
+// immediate _exit(128 + sig) — the documented abort path for operators
+// who will not wait out a checkpoint-on-shutdown.
 
 #include "support/signal_guard.h"
 
@@ -50,6 +52,30 @@ TEST(SignalGuardTest, GuardIsReinstallableAfterDestruction) {
   EXPECT_FALSE(guard.flag()->load());
   ASSERT_EQ(std::raise(SIGINT), 0);
   EXPECT_TRUE(guard.triggered());
+}
+
+TEST(SignalGuardTest, SecondSigintForcesImmediateExit130) {
+  // The second signal must not wait for any graceful path (the thread
+  // may be mid-fsync in a shutdown checkpoint): the handler _exits with
+  // the conventional 128 + sig code. EXPECT_EXIT forks, so the parent
+  // test process keeps its own handlers.
+  EXPECT_EXIT(
+      {
+        SignalGuard guard;
+        std::raise(SIGINT);   // first: graceful, flag set
+        std::raise(SIGINT);   // second: immediate _exit(130)
+      },
+      ::testing::ExitedWithCode(130), "");
+}
+
+TEST(SignalGuardTest, SecondSigtermForcesImmediateExit143) {
+  EXPECT_EXIT(
+      {
+        SignalGuard guard;
+        std::raise(SIGTERM);
+        std::raise(SIGTERM);
+      },
+      ::testing::ExitedWithCode(143), "");
 }
 
 TEST(SignalGuardTest, FlagDrivesRunControlCancellation) {

@@ -35,14 +35,28 @@
 //                        byte-identical to the fully-resident run
 //   --view-arena         (run with opim-c*) seal the sampling kernel
 //                        state into one madvise-hinted mapping
-//   SIGINT/SIGTERM       first signal = graceful cancel (same degradation);
-//                        second signal = default handler (hard kill)
+//   --checkpoint-dir=<d> (run with opim-c*) crash-safe checkpointing:
+//                        atomically rewrite <d>/opimc.opimss at the top of
+//                        each doubling iteration (write-to-temp + fsync +
+//                        rename), and once more when a deadline / memory /
+//                        signal guardrail trips
+//   --checkpoint-every=N checkpoint every N-th iteration (default 1)
+//   --resume=<snapshot>  resume an opim-c* run from a .opimss checkpoint;
+//                        the snapshot's (k, eps, delta, seed, threads,
+//                        bound, model) override the flags, and the graph
+//                        must match the snapshot's fingerprint. Resuming a
+//                        boundary checkpoint reproduces the uninterrupted
+//                        run's seeds and alpha bit-for-bit.
+//   SIGINT/SIGTERM       first signal = graceful cancel (same degradation,
+//                        plus a final checkpoint when --checkpoint-dir is
+//                        set); second signal = immediate _exit(128 + sig)
 //
 // Exit codes: 0 converged, 1 error, 2 usage, and for guardrail stops
 // 3 deadline, 4 memory_budget, 5 cancelled, 6 worker_failure,
 // 7 spill_failure. A guardrail exit still prints seeds/alpha and writes
 // the full --metrics-json report (stop_reason, deadline_slack_ms,
-// peak_rr_bytes, rr_budget_bytes, cancel_latency_ms).
+// peak_rr_bytes, rr_budget_bytes, cancel_latency_ms). A second
+// SIGINT/SIGTERM skips all of that and exits 130/143 immediately.
 //
 // --metrics-json writes a RunReport (schema "opim.run_report.v1"): run
 // info, numeric results, per-iteration/round phase timings, and a full
@@ -88,6 +102,7 @@
 #include "obs/progress.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "rrset/snapshot.h"
 #include "support/fault_inject.h"
 #include "support/resource_usage.h"
 #include "support/run_control.h"
@@ -285,14 +300,59 @@ int CmdRun(const Flags& flags) {
                           flags.GetBool("undirected", false));
   if (!graph_or.ok()) return Fail(graph_or.status());
   const Graph& g = graph_or.ValueOrDie();
-  const DiffusionModel model = ModelFromFlags(flags);
-  const uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 50));
-  const double eps = flags.GetDouble("eps", 0.1);
-  const double delta = flags.GetDouble("delta", 1.0 / g.num_nodes());
-  const uint64_t seed = flags.GetUint("seed", 1);
-  const std::string algo = flags.GetString("algo", "opim-c+");
-  const unsigned threads =
-      static_cast<unsigned>(flags.GetUint("threads", 1));
+  DiffusionModel model = ModelFromFlags(flags);
+  uint32_t k = static_cast<uint32_t>(flags.GetUint("k", 50));
+  double eps = flags.GetDouble("eps", 0.1);
+  double delta = flags.GetDouble("delta", 1.0 / g.num_nodes());
+  uint64_t seed = flags.GetUint("seed", 1);
+  std::string algo = flags.GetString("algo", "opim-c+");
+  unsigned threads = static_cast<unsigned>(flags.GetUint("threads", 1));
+
+  // --resume: the snapshot's run identity (k, ε, δ, seed, threads,
+  // bound, model) is authoritative — the continued run must be the same
+  // run, or the certificate it reports would describe a different
+  // algorithm. Conflicting flags are overridden; a different graph is a
+  // hard error (fingerprint check). The engine re-verifies the same
+  // facts with OPIM_CHECKs as a second line of defense.
+  std::unique_ptr<RRPoolSnapshot> resume;
+  double resume_load_seconds = 0.0;
+  const std::string resume_path = flags.GetString("resume", "");
+  if (!resume_path.empty()) {
+    Stopwatch load_watch;
+    Result<RRPoolSnapshot> snap = LoadSnapshot(resume_path);
+    if (!snap.ok()) return Fail(snap.status());
+    resume = std::make_unique<RRPoolSnapshot>(std::move(snap).ValueOrDie());
+    resume_load_seconds = load_watch.ElapsedSeconds();
+    const SnapshotRunState& rs = resume->run;
+    if (rs.graph_nodes != g.num_nodes() || rs.graph_edges != g.num_edges()) {
+      return Fail(Status::InvalidArgument(
+          resume_path + ": snapshot graph fingerprint (" +
+          std::to_string(rs.graph_nodes) + " nodes, " +
+          std::to_string(rs.graph_edges) + " edges) does not match --graph (" +
+          std::to_string(g.num_nodes()) + " nodes, " +
+          std::to_string(g.num_edges()) + " edges)"));
+    }
+    if (rs.weights_checksum != 0) {
+      return Fail(Status::InvalidArgument(
+          resume_path + ": snapshot was written by a weighted run, which "
+                        "this command cannot reconstruct"));
+    }
+    if (rs.model > static_cast<uint32_t>(DiffusionModel::kLinearThreshold) ||
+        rs.bound > static_cast<uint32_t>(BoundKind::kLeskovec)) {
+      return Fail(Status::InvalidArgument(
+          resume_path + ": snapshot declares an unknown model or bound"));
+    }
+    model = static_cast<DiffusionModel>(rs.model);
+    k = rs.k;
+    eps = rs.eps;
+    delta = rs.delta;
+    seed = rs.run_seed;
+    threads = rs.num_threads;
+    const BoundKind bound = static_cast<BoundKind>(rs.bound);
+    algo = bound == BoundKind::kBasic      ? "opim-c0"
+           : bound == BoundKind::kLeskovec ? "opim-c'"
+                                           : "opim-c+";
+  }
 
   RunReport report;
   report.AddInfo("command", "run");
@@ -311,7 +371,8 @@ int CmdRun(const Flags& flags) {
 
   // Guardrails apply to the OPIM-C variants (the anytime algorithms); the
   // baselines ignore them. The guard is installed for the whole command so
-  // a second SIGINT always falls back to the default handler.
+  // a second SIGINT forces an immediate _exit(128 + sig) — even while the
+  // checkpoint-on-shutdown write is in an fsync (see SignalGuard).
   SignalGuard guard;
   RunControl control;
   ArmRunControl(flags, guard, &control);
@@ -334,6 +395,10 @@ int CmdRun(const Flags& flags) {
     o.control = &control;
     o.spill_dir = flags.GetString("spill-dir", "");
     o.view_arena = flags.GetBool("view-arena", false);
+    o.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+    o.checkpoint_every_iters =
+        static_cast<uint32_t>(flags.GetUint("checkpoint-every", 1));
+    o.resume = resume.get();
     OpimCResult r = RunOpimC(g, model, k, eps, delta, o);
     seeds = std::move(r.seeds);
     rr_sets = r.num_rr_sets;
@@ -361,6 +426,19 @@ int CmdRun(const Flags& flags) {
                        static_cast<double>(r.spill_chunks_faulted));
       report.AddResult("spilled_bytes",
                        static_cast<double>(r.spilled_bytes));
+    }
+    if (!o.checkpoint_dir.empty()) {
+      report.AddResult("checkpoints_written",
+                       static_cast<double>(r.checkpoints_written));
+      report.AddResult("checkpoint_bytes_written",
+                       static_cast<double>(r.checkpoint_bytes_written));
+      report.AddResult("checkpoint_write_ms",
+                       r.checkpoint_write_seconds * 1e3);
+    }
+    if (resume != nullptr) {
+      report.AddInfo("resumed_from", resume_path);
+      report.AddResult("resumed_from_iteration", r.resumed_from_iteration);
+      report.AddResult("resume_load_ms", resume_load_seconds * 1e3);
     }
     for (size_t i = 0; i < r.trace.size(); ++i) {
       const OpimCIteration& it = r.trace[i];
