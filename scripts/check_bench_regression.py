@@ -13,7 +13,15 @@ headline timing regressed by more than the threshold:
                       the config's threads_n; baseline and fresh runs
                       must use the same --threads)
   bench_select_ingest timings_us: ingest, select_celf_trace,
-                                  generate_ingest
+                                  generate_ingest,
+                                  select_doubling_scratch,
+                                  select_doubling_incremental
+                      plus the incremental-selection headline ratio
+                      doubling.incremental_speedup, which must stay at or
+                      above MIN_DOUBLING_SPEEDUP in the fresh run (a
+                      higher-is-better gate, separate from the
+                      lower-is-better timing comparisons; a missing key
+                      on either side is a hard failure, not a skip)
   bench_load          timings_us: text_parse_load, opimg_mmap_cold,
                                   opimg_mmap_warm, opimg_heap_load
   bench_snapshot      timings_us: checkpoint_write, resume_load
@@ -57,7 +65,13 @@ SELECT_METRICS = [
     "ingest",
     "select_celf_trace",
     "generate_ingest",
+    "select_doubling_scratch",
+    "select_doubling_incremental",
 ]
+# Floor for the incremental-selection headline: the warm-started doubling
+# run must beat the from-scratch one by at least this factor (the PR that
+# introduced persistent selection state committed a >= 1.5x artifact).
+MIN_DOUBLING_SPEEDUP = 1.5
 LOAD_METRICS = [
     "text_parse_load",
     "opimg_mmap_cold",
@@ -123,6 +137,33 @@ def compare(name, baseline, fresh, metrics, threshold_pct, baseline_path):
     return failures
 
 
+def check_doubling_speedup(name, baseline, fresh, baseline_path):
+    """Gates the higher-is-better incremental-selection headline; returns
+    the failed metric names (at most one)."""
+    metric = "doubling.incremental_speedup"
+    base_v = baseline.get("doubling", {}).get("incremental_speedup")
+    fresh_v = fresh.get("doubling", {}).get("incremental_speedup")
+    if base_v is None:
+        # Same policy as a missing timing key: a silent skip would let the
+        # incremental path rot away unnoticed.
+        print(
+            f"{name}.{metric}: FAIL (baseline {baseline_path} has no "
+            f"{metric}; regenerate the artifact with "
+            "scripts/run_perf_baseline.sh)"
+        )
+        return [metric]
+    if fresh_v is None:
+        print(f"{name}.{metric}: FAIL (missing from fresh run)")
+        return [metric]
+    fresh_v = float(fresh_v)
+    verdict = "FAIL" if fresh_v < MIN_DOUBLING_SPEEDUP else "ok"
+    print(
+        f"{name}.{metric}: {float(base_v):.2f}x -> {fresh_v:.2f}x "
+        f"(floor {MIN_DOUBLING_SPEEDUP:g}x) {verdict}"
+    )
+    return [metric] if verdict == "FAIL" else []
+
+
 def warn_on_threads_mismatch(name, baseline, fresh):
     base_t = baseline.get("config", {}).get("threads_n")
     fresh_t = fresh.get("config", {}).get("threads_n")
@@ -139,6 +180,12 @@ def warn_on_threads_mismatch(name, baseline, fresh):
 def warn_on_checksum_mismatch(name, baseline, fresh):
     base_sum = baseline.get("config", {}).get("pool_checksum")
     fresh_sum = fresh.get("config", {}).get("pool_checksum")
+    # Compare as doubles: the committed baseline passes through jq, which
+    # stores all numbers as IEEE doubles and so rounds uint64 checksums;
+    # a fresh run's exact integer rounds to the same double iff the
+    # streams match, while genuinely different streams differ wildly.
+    if base_sum is not None and fresh_sum is not None:
+        base_sum, fresh_sum = float(base_sum), float(fresh_sum)
     if base_sum is not None and fresh_sum is not None and base_sum != fresh_sum:
         print(
             f"warning: {name} pool_checksum mismatch "
@@ -209,11 +256,12 @@ def main():
         warn_on_checksum_mismatch(name, baseline, fresh)
         if name == "generate":
             warn_on_threads_mismatch(name, baseline, fresh)
-        all_failures += [
-            f"{name}.{m}"
-            for m in compare(name, baseline, fresh, metrics,
-                             args.threshold_pct, baseline_path)
-        ]
+        failed = compare(name, baseline, fresh, metrics,
+                         args.threshold_pct, baseline_path)
+        if name == "select":
+            failed += check_doubling_speedup(name, baseline, fresh,
+                                             baseline_path)
+        all_failures += [f"{name}.{m}" for m in failed]
 
     if all_failures:
         print(

@@ -137,6 +137,73 @@ class CheckBenchRegressionTest(unittest.TestCase):
         r = self.check("--baseline-snapshot", baseline)
         self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
 
+    SELECT_TIMINGS = {
+        "ingest": 500.0,
+        "select_celf_trace": 2000.0,
+        "generate_ingest": 3000.0,
+        "select_doubling_scratch": 20000.0,
+        "select_doubling_incremental": 12000.0,
+    }
+
+    def select_pair(self, baseline_doc, fresh_doc):
+        baseline = self.write("sel_base.json", baseline_doc)
+        fresh = self.write("sel_fresh.json", fresh_doc)
+        return self.check(
+            "--baseline-select", baseline, "--fresh-select", fresh
+        )
+
+    def select_run(self, timings, speedup):
+        doc = run_object(timings)
+        if speedup is not None:
+            doc["doubling"] = {"incremental_speedup": speedup}
+        return doc
+
+    def test_select_doubling_within_threshold_passes(self):
+        doc = self.select_run(self.SELECT_TIMINGS, 1.7)
+        r = self.select_pair(doc, dict(doc))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("select.select_doubling_scratch", r.stdout)
+        self.assertIn("select.select_doubling_incremental", r.stdout)
+        self.assertIn("select.doubling.incremental_speedup", r.stdout)
+
+    def test_select_doubling_timing_regression_fails(self):
+        base = self.select_run(self.SELECT_TIMINGS, 1.7)
+        fresh_t = dict(self.SELECT_TIMINGS,
+                       select_doubling_incremental=24000.0)  # 2x slower
+        fresh = self.select_run(fresh_t, 1.7)
+        r = self.select_pair(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("select.select_doubling_incremental", r.stderr)
+
+    def test_select_speedup_below_floor_fails(self):
+        base = self.select_run(self.SELECT_TIMINGS, 1.7)
+        # Timings individually within threshold, but the headline ratio
+        # fell under the 1.5x floor — the gate must still fail.
+        fresh = self.select_run(self.SELECT_TIMINGS, 1.4)
+        r = self.select_pair(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("select.doubling.incremental_speedup", r.stderr)
+        self.assertIn("floor 1.5x", r.stdout)
+
+    def test_select_speedup_missing_from_baseline_fails(self):
+        # A committed artifact predating the incremental-selection
+        # headline must FAIL with the regenerate hint, not skip or crash.
+        base = self.select_run(self.SELECT_TIMINGS, None)
+        fresh = self.select_run(self.SELECT_TIMINGS, 1.7)
+        r = self.select_pair(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertNotIn("KeyError", r.stdout + r.stderr)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn("doubling.incremental_speedup", r.stdout)
+        self.assertIn("run_perf_baseline.sh", r.stdout)
+
+    def test_select_speedup_missing_from_fresh_fails(self):
+        base = self.select_run(self.SELECT_TIMINGS, 1.7)
+        fresh = self.select_run(self.SELECT_TIMINGS, None)
+        r = self.select_pair(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("missing from fresh run", r.stdout)
+
     def test_artifact_shape_selects_labeled_run(self):
         timings = {
             "text_parse_load": 1000.0,

@@ -96,6 +96,55 @@ double ApproxRatio(double sigma_lower, double sigma_upper) {
   return std::clamp(sigma_lower / sigma_upper, 0.0, 1.0);
 }
 
+uint64_t LambdaUpperAt(const SeedTrace& trace, BoundKind kind,
+                       uint32_t k_prime) {
+  OPIM_CHECK_LE(k_prime, trace.k());
+  switch (kind) {
+    case BoundKind::kBasic:
+      OPIM_CHECK_MSG(false, "kBasic has no integer lambda-upper; use BoundsAt");
+      return 0;
+    case BoundKind::kImproved: {
+      // Eq. (10) over the k'-prefix: row i's top-k' column is exactly the
+      // summand the fresh k'-selection's topk_marginal_at[i] would hold.
+      uint64_t best = UINT64_MAX;
+      for (uint32_t i = 0; i <= k_prime; ++i) {
+        best = std::min(best, trace.CoverageAt(i) +
+                                  trace.TopMarginalAt(i, k_prime));
+      }
+      return best;
+    }
+    case BoundKind::kLeskovec:
+      return trace.CoverageAt(k_prime) + trace.TopMarginalAt(k_prime, k_prime);
+  }
+  return 0;
+}
+
+TraceQueryBounds BoundsAt(const SeedTrace& trace, BoundKind kind,
+                          uint32_t k_prime) {
+  OPIM_TR_SPAN2("bounds_at", "bounds", "k_prime", k_prime, "theta1",
+                trace.theta1());
+  OPIM_TM_COUNTER_ADD("opim.bounds.eval_trace_query", 1);
+  OPIM_CHECK_LE(k_prime, trace.k());
+  TraceQueryBounds out;
+  out.sigma_lower = SigmaLower(trace.Lambda2At(k_prime), trace.theta2(),
+                               trace.scale(), trace.delta2());
+  switch (kind) {
+    case BoundKind::kBasic:
+      out.sigma_upper = SigmaUpperBasic(trace.CoverageAt(k_prime),
+                                        trace.theta1(), trace.scale(),
+                                        trace.delta1());
+      break;
+    case BoundKind::kImproved:
+    case BoundKind::kLeskovec:
+      out.sigma_upper = SigmaUpperFromLambda(
+          static_cast<double>(LambdaUpperAt(trace, kind, k_prime)),
+          trace.theta1(), trace.scale(), trace.delta1());
+      break;
+  }
+  out.alpha = ApproxRatio(out.sigma_lower, out.sigma_upper);
+  return out;
+}
+
 double BorgsApproxGuarantee(uint64_t gamma, uint32_t n, uint64_t m) {
   if (n < 2) return 0.0;
   const double beta = static_cast<double>(gamma) /

@@ -29,6 +29,7 @@
 #include <cstdint>
 
 #include "select/greedy.h"
+#include "select/seed_trace.h"
 
 namespace opim {
 
@@ -77,6 +78,33 @@ double SigmaUpper(BoundKind kind, const GreedyResult& greedy, uint64_t theta1,
 
 /// α = σ_l / σ_upper clamped to [0, 1] (0 when the upper bound is 0).
 double ApproxRatio(double sigma_lower, double sigma_upper);
+
+/// The σ_l / σ_upper / α triple answered for one k' <= k query from a
+/// prefix-complete SeedTrace (select/seed_trace.h) — pure arithmetic,
+/// zero pool scans.
+struct TraceQueryBounds {
+  double sigma_lower = 0.0;
+  double sigma_upper = 0.0;
+  double alpha = 0.0;
+};
+
+/// λᵘ at query size k' for the trace-shaped bounds: kImproved is
+/// Eq. (10) restricted to the k'-prefix — min over i = 0..k' of
+/// Λ1(S_i*) + (top-k' marginal sum at prefix i) — and kLeskovec is that
+/// summand at i = k' only. Greedy prefix-consistency makes both equal
+/// what LambdaUpperFromTrace / LambdaUpperLeskovec would return for a
+/// fresh k'-selection over the same pool. kBasic has no integer λᵘ
+/// (its λᵘ = Λ1/(1 - 1/e) is fractional) and is rejected with a check.
+uint64_t LambdaUpperAt(const SeedTrace& trace, BoundKind kind,
+                       uint32_t k_prime);
+
+/// σ_l(S_{k'}*), σ_upper per `kind`, and α for query size k' <= trace.k(),
+/// using the θ1/θ2/scale/δ1/δ2 parameters recorded in the trace. Equals
+/// the bound triple a from-scratch selection + bound evaluation at k'
+/// over the same pools would produce (tests/select pins this). Requires
+/// AttributeJudgeCoverage to have run.
+TraceQueryBounds BoundsAt(const SeedTrace& trace, BoundKind kind,
+                          uint32_t k_prime);
 
 /// Borgs et al.'s guarantee (§3.2): min{1/4, γ / (1492992 (n+m) ln n)}
 /// where γ is the number of edges examined during RR-set construction.

@@ -205,7 +205,12 @@ OnlineSnapshot OnlineMaximizer::QueryWithDelta(BoundKind kind,
   const double delta2 = delta_each;
 
   const bool needs_trace = kind != BoundKind::kBasic;
-  GreedyResult greedy = SelectGreedy(r1_, k_, needs_trace);
+  // CELF with persistent selection state: across the Advance/Query cadence
+  // only the new shards' postings are folded into the initial gains
+  // (bit-identical to SelectGreedy — the differential test pins it).
+  CelfOptions celf_options;
+  celf_options.state = &select_state_;
+  GreedyResult greedy = SelectGreedyCelf(r1_, k_, needs_trace, celf_options);
 
   OnlineSnapshot snap;
   snap.theta1 = r1_.num_sets();
@@ -252,7 +257,10 @@ OnlineSnapshotAll OnlineMaximizer::QueryAll() const {
   const double delta2 = delta_ / 2.0;
   const double n = scale_;
 
-  GreedyResult greedy = SelectGreedy(r1_, k_, /*with_trace=*/true);
+  CelfOptions celf_options;
+  celf_options.state = &select_state_;
+  GreedyResult greedy =
+      SelectGreedyCelf(r1_, k_, /*with_trace=*/true, celf_options);
 
   OnlineSnapshotAll snap;
   snap.theta_total = num_rr_sets();

@@ -28,6 +28,7 @@
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 #include "select/greedy.h"
+#include "select/selection_state.h"
 #include "support/random.h"
 #include "support/run_control.h"
 
@@ -162,6 +163,12 @@ class OnlineMaximizer {
 
   RRCollection r1_;
   RRCollection r2_;
+  /// Persistent selection state across queries: repeated Query() calls
+  /// over a growing R1 warm-start CELF from the pool's incrementally
+  /// maintained membership counts instead of recounting every posting
+  /// (select/selection_state.h). Mutable: queries are logically const —
+  /// the state is an execution cache with bit-identical output.
+  mutable SelectionState select_state_;
   RunControl* control_ = nullptr;  // non-owning guardrails; see setter
   bool next_to_r1_ = true;     // alternation cursor
   uint32_t sequential_queries_ = 0;

@@ -13,6 +13,8 @@
 #include "rrset/rr_collection.h"
 #include "rrset/snapshot.h"
 #include "select/greedy.h"
+#include "select/seed_trace.h"
+#include "select/selection_state.h"
 #include "support/alias_sampler.h"
 #include "support/math_util.h"
 #include "support/random.h"
@@ -255,7 +257,22 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
   result.i_max = i_max;
   result.num_threads = num_threads;
   result.resumed_from_iteration = resumed_from;
-  const bool needs_trace = options.bound != BoundKind::kBasic;
+  const bool query_mode = !options.query_ks.empty();
+  for (uint32_t k_prime : options.query_ks) {
+    OPIM_CHECK_MSG(k_prime >= 1 && k_prime <= k,
+                   "query_ks entries must satisfy 1 <= k' <= k");
+  }
+  // The Eq. (10) trace is needed for the improved/Leskovec bounds, and —
+  // prefix-complete — for any query answering.
+  const bool needs_trace = options.bound != BoundKind::kBasic || query_mode;
+
+  // Persistent cross-iteration selection state: CELF warm-starts every
+  // doubling (and a resumed run's first selection rebuilds it from the
+  // restored pools) with bit-identical output; see selection_state.h.
+  // The SeedTrace is re-armed per traced selection, so the one the
+  // exiting iteration recorded is the one queries are answered from.
+  SelectionState select_state;
+  SeedTrace seed_trace;
 
   // Periodic checkpointing: `write_checkpoint(next, clean)` captures
   // the pools plus the exact loop position needed to re-enter iteration
@@ -342,6 +359,8 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
     std::unique_ptr<TaskGroup> spec_group;
     CelfOptions celf_options;
     celf_options.pool = pool.get();
+    if (options.incremental_selection) celf_options.state = &select_state;
+    if (query_mode) celf_options.seed_trace = &seed_trace;
     if (pipelined && i < i_max &&
         !(control != nullptr && control->Stopped())) {
       celf_options.after_initial_gains = [&] {
@@ -473,6 +492,32 @@ OpimCResult RunOpimC(const Graph& g, DiffusionModel model, uint32_t k,
         if (why == StopReason::kDeadline || why == StopReason::kMemoryBudget ||
             why == StopReason::kCancelled) {
           write_checkpoint(i, /*clean=*/!stopped_pre_boundary);
+        }
+      }
+      if (query_mode) {
+        // Answer every requested k' from the exiting iteration's
+        // prefix-complete trace: one incremental judge-coverage pass,
+        // then pure bound arithmetic per query — no re-selection, no
+        // further pool scans. Evaluated at the final pools with the same
+        // δ_iter the run's own certificate used, so the k' = k answer
+        // reproduces iter.alpha exactly.
+        OPIM_TR_SPAN1("query_answers", "opimc", "count",
+                      options.query_ks.size());
+        seed_trace.SetBoundParams(r1.num_sets(), r2.num_sets(), scale,
+                                  delta_iter, delta_iter);
+        seed_trace.AttributeJudgeCoverage(r2);
+        result.queries.reserve(options.query_ks.size());
+        for (uint32_t k_prime : options.query_ks) {
+          const TraceQueryBounds qb =
+              BoundsAt(seed_trace, options.bound, k_prime);
+          OpimCQueryAnswer answer;
+          answer.k = k_prime;
+          answer.alpha = qb.alpha;
+          answer.sigma_lower = qb.sigma_lower;
+          answer.sigma_upper = qb.sigma_upper;
+          const std::span<const NodeId> prefix = seed_trace.SeedsAt(k_prime);
+          answer.seeds.assign(prefix.begin(), prefix.end());
+          result.queries.push_back(std::move(answer));
         }
       }
       result.seeds = std::move(greedy.seeds);

@@ -91,6 +91,22 @@ struct OpimCOptions {
   /// graph fingerprint, weights) match the call — the CLI validates the
   /// same facts first with a clean error. nullptr = fresh run.
   RRPoolSnapshot* resume = nullptr;
+  /// Prefix query sizes: for each k' here (1 <= k' <= k, validated),
+  /// the run also answers the k'-seed query — seeds, σ_l, σ_upper, α —
+  /// from the final iteration's prefix-complete SeedTrace, with zero
+  /// extra selection or pool scans (OpimCResult::queries). Greedy
+  /// prefix-consistency makes each answer identical to what a fresh
+  /// selection + bound evaluation at k' over the same final pools would
+  /// produce. Empty = no queries (no trace matrix is recorded).
+  std::vector<uint32_t> query_ks;
+  /// Incremental cross-iteration selection (default on): CELF warm-starts
+  /// each doubling from a persistent SelectionState — exact initial
+  /// gains synced in O(n) from the pools' incrementally maintained
+  /// membership counts instead of a full O(Σ|R|) recount, and a covered
+  /// bitset arena reused across iterations. Output is bit-identical
+  /// either way (differential tests pin it); `false` keeps the
+  /// from-scratch path as the oracle for tests and benchmarks.
+  bool incremental_selection = true;
 };
 
 /// Per-iteration record, for tests and diagnostics. The *_seconds phase
@@ -138,6 +154,17 @@ struct OpimCGuardrails {
   /// Trip-to-return latency: wall seconds between the control tripping and
   /// the run finishing its degraded finalization (0 when never tripped).
   double stop_latency_seconds = 0.0;
+};
+
+/// One answered prefix query (OpimCOptions::query_ks): the size-k' seed
+/// prefix with its own Eq. (5) / upper-bound certificate, evaluated at
+/// the run's final pools with the same per-iteration failure budget.
+struct OpimCQueryAnswer {
+  uint32_t k = 0;
+  double alpha = 0.0;
+  double sigma_lower = 0.0;
+  double sigma_upper = 0.0;
+  std::vector<NodeId> seeds;
 };
 
 /// Output of OpimC.
@@ -189,6 +216,9 @@ struct OpimCResult {
   unsigned num_threads = 1;
   /// Trace of every executed iteration.
   std::vector<OpimCIteration> trace;
+  /// Per-k' answers for OpimCOptions::query_ks, in the order requested
+  /// (empty when no queries were asked).
+  std::vector<OpimCQueryAnswer> queries;
   /// Guardrail outcome (see OpimCGuardrails); defaulted when
   /// OpimCOptions::control was null.
   OpimCGuardrails guardrails;

@@ -99,6 +99,81 @@ std::vector<std::string> LintRunReportJson(const JsonValue& doc) {
     }
   }
 
+  // "queries" is optional (present iff the run used --query-ks). When it
+  // exists it must be a non-empty array of per-k' answer rows: a positive
+  // integer k, finite sigma bounds with sigma_lower <= sigma_upper,
+  // alpha in [0, 1], and 1..k numeric seed ids (fewer than k only when
+  // the graph has fewer than k nodes). Rows must be in strictly
+  // increasing k order — the CLI sorts the requested sizes.
+  const JsonValue* queries = doc.Find("queries");
+  if (queries != nullptr) {
+    if (!queries->is_array()) {
+      Add(&out, "\"queries\" is not an array");
+    } else if (queries->AsArray().empty()) {
+      Add(&out, "\"queries\" is present but empty");
+    } else {
+      const auto& rows = queries->AsArray();
+      double prev_k = 0.0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const std::string at = "queries[" + std::to_string(i) + "]";
+        if (!rows[i].is_object()) {
+          Add(&out, at + " is not an object");
+          continue;
+        }
+        double k_value = 0.0;
+        const JsonValue* k_field = rows[i].Find("k");
+        if (k_field == nullptr || !k_field->is_number() ||
+            k_field->AsNumber() < 1.0 ||
+            k_field->AsNumber() != std::floor(k_field->AsNumber())) {
+          Add(&out, at + ".k is not a positive integer");
+        } else {
+          k_value = k_field->AsNumber();
+          if (k_value <= prev_k) {
+            Add(&out, at + ".k is not strictly increasing");
+          }
+          prev_k = k_value;
+        }
+        for (const char* key : {"alpha", "sigma_lower", "sigma_upper"}) {
+          const JsonValue* field = rows[i].Find(key);
+          if (field == nullptr || !field->is_number() ||
+              !std::isfinite(field->AsNumber())) {
+            Add(&out, at + "." + key + " is not a finite number");
+          }
+        }
+        const JsonValue* alpha = rows[i].Find("alpha");
+        if (alpha != nullptr && alpha->is_number() &&
+            (alpha->AsNumber() < 0.0 || alpha->AsNumber() > 1.0)) {
+          Add(&out, at + ".alpha is outside [0, 1]");
+        }
+        const JsonValue* lo = rows[i].Find("sigma_lower");
+        const JsonValue* hi = rows[i].Find("sigma_upper");
+        if (lo != nullptr && hi != nullptr && lo->is_number() &&
+            hi->is_number() && lo->AsNumber() > hi->AsNumber()) {
+          Add(&out, at + ".sigma_lower exceeds sigma_upper");
+        }
+        const JsonValue* seeds = rows[i].Find("seeds");
+        if (seeds == nullptr || !seeds->is_array()) {
+          Add(&out, at + ".seeds is missing or not an array");
+        } else {
+          const auto& ids = seeds->AsArray();
+          if (ids.empty() ||
+              (k_value > 0.0 && static_cast<double>(ids.size()) > k_value)) {
+            Add(&out, at + ".seeds has " + std::to_string(ids.size()) +
+                          " entries, expected 1..k = " +
+                          std::to_string(static_cast<uint64_t>(k_value)));
+          }
+          for (size_t j = 0; j < ids.size(); ++j) {
+            if (!ids[j].is_number() || ids[j].AsNumber() < 0.0 ||
+                ids[j].AsNumber() != std::floor(ids[j].AsNumber())) {
+              Add(&out, at + ".seeds[" + std::to_string(j) +
+                            "] is not a non-negative integer");
+            }
+          }
+        }
+      }
+    }
+  }
+
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics == nullptr || !metrics->is_object()) {
     Add(&out, "missing or non-object \"metrics\" section");

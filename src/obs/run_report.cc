@@ -44,6 +44,25 @@ std::string RunReport::ToJson() const {
   }
   w.EndArray();
 
+  // Optional section: present exactly when the run answered --query-ks
+  // questions, so pre-existing reports (and their consumers) are
+  // untouched.
+  if (!queries_.empty()) {
+    w.Key("queries").BeginArray();
+    for (const QueryAnswer& q : queries_) {
+      w.BeginObject();
+      w.Key("k").Value(static_cast<double>(q.k));
+      w.Key("alpha").Value(q.alpha);
+      w.Key("sigma_lower").Value(q.sigma_lower);
+      w.Key("sigma_upper").Value(q.sigma_upper);
+      w.Key("seeds").BeginArray();
+      for (uint32_t v : q.seeds) w.Value(static_cast<double>(v));
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
   w.Key("metrics");
   metrics_.AppendTo(w);
 

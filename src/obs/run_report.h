@@ -9,6 +9,10 @@
 //   results     numeric outcomes (alpha, rr_sets, time_seconds, ...)
 //   iterations  one row per doubling iteration / online round with the
 //               per-phase wall times (generate/greedy/bounds)
+//   queries     (optional; present iff the run used --query-ks) one row
+//               per requested seed-set size k': the k'-prefix answer
+//               (seeds, σ_l, σ_upper, α) read off the prefix-complete
+//               selection trace of the final iteration
 //   metrics     a MetricsSnapshot of the default registry
 //
 // Serialization: ToJson() (schema "opim.run_report.v1"), plus a CSV view
@@ -39,6 +43,16 @@ class RunReport {
     }
   };
 
+  /// One --query-ks answer row. Seeds are plain node ids (uint32_t keeps
+  /// obs/ free of graph-layer headers).
+  struct QueryAnswer {
+    uint32_t k = 0;
+    double alpha = 0.0;
+    double sigma_lower = 0.0;
+    double sigma_upper = 0.0;
+    std::vector<uint32_t> seeds;
+  };
+
   void AddInfo(std::string key, std::string value) {
     info_.emplace_back(std::move(key), std::move(value));
   }
@@ -47,6 +61,7 @@ class RunReport {
   }
   /// Appends an empty iteration row; fill it with Row::Set.
   Row& AddIteration() { return iterations_.emplace_back(); }
+  void AddQuery(QueryAnswer answer) { queries_.push_back(std::move(answer)); }
   void SetMetrics(MetricsSnapshot snapshot) {
     metrics_ = std::move(snapshot);
   }
@@ -58,6 +73,7 @@ class RunReport {
     return results_;
   }
   const std::vector<Row>& iterations() const { return iterations_; }
+  const std::vector<QueryAnswer>& queries() const { return queries_; }
   const MetricsSnapshot& metrics() const { return metrics_; }
 
   /// The full report as a JSON document.
@@ -81,6 +97,7 @@ class RunReport {
   std::vector<std::pair<std::string, std::string>> info_;
   std::vector<std::pair<std::string, double>> results_;
   std::vector<Row> iterations_;
+  std::vector<QueryAnswer> queries_;
   MetricsSnapshot metrics_;
 };
 

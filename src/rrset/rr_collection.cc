@@ -219,6 +219,14 @@ void RRCollection::AddCompressedShards(std::vector<CompressedRRShard> shards,
   }
   if (add_sets == 0) return;
 
+  // When the per-node membership counts are already materialized and
+  // current, each shard's posting counts update them in O(num_nodes)
+  // below — the whole point of the compressed-shard path for incremental
+  // selection. Captured before any append so a stale vector (serial
+  // AddSet interleaved) keeps its lazy-decode watermark instead.
+  const bool counts_live =
+      member_counts_.size() == num_nodes_ && counts_accounted_ == num_sets_;
+
   // Serial assembly: each shard's byte stream is appended in contiguous
   // runs split only at chunk boundaries (sets are consecutive within a
   // shard), slots/costs follow the record walk in shard-major,
@@ -260,6 +268,18 @@ void RRCollection::AddCompressedShards(std::vector<CompressedRRShard> shards,
     }
     OPIM_CHECK_EQ(src_pos, shard.bytes.size());
     total_members_ += shard.total_members;
+  }
+  if (counts_live) {
+    for (const CompressedRRShard& shard : shards) {
+      OPIM_DCHECK_EQ(shard.post_offsets.size(), size_t{num_nodes_} + 1);
+      for (uint32_t v = 0; v < num_nodes_; ++v) {
+        const uint64_t add =
+            shard.post_offsets[v + 1] - shard.post_offsets[v];
+        if (add != 0 && member_counts_[v] == 0) member_nonzero_.push_back(v);
+        member_counts_[v] += add;
+      }
+    }
+    counts_accounted_ = num_sets_;
   }
   OPIM_TM_GAUGE_SET("opim.rrset.compressed_bytes", pool_bytes_);
   if (index_dirty_) {
@@ -729,6 +749,38 @@ std::vector<RRId> RRCollection::DecodeCovering(NodeId v) const {
   std::vector<RRId> out;
   ForEachCovering(v, [&](RRId id) { out.push_back(id); });
   return out;
+}
+
+std::span<const uint64_t> RRCollection::MemberCounts() const {
+  if (member_counts_.size() != num_nodes_ || counts_accounted_ != num_sets_) {
+    AccountMemberCounts();
+  }
+  return member_counts_;
+}
+
+void RRCollection::AccountMemberCounts() const {
+  OPIM_TM_SCOPED_TIMER("opim.rrset.member_counts_us");
+  if (member_counts_.size() != num_nodes_) {
+    // First use (or a restore replaced the pool wholesale): materialize
+    // and fold every set. This is the one full-pool decode the counts
+    // ever pay; every later doubling folds only its shard deltas.
+    member_counts_.assign(num_nodes_, 0);
+    member_nonzero_.clear();
+    counts_accounted_ = 0;
+  }
+  OPIM_TR_SPAN1("member_counts", "rrset", "delta_sets",
+                num_sets_ - counts_accounted_);
+  for (RRId id = static_cast<RRId>(counts_accounted_); id < num_sets_; ++id) {
+    ForEachMember(id, [&](NodeId v) {
+      if (member_counts_[v]++ == 0) member_nonzero_.push_back(v);
+    });
+  }
+  counts_accounted_ = num_sets_;
+}
+
+std::span<const NodeId> RRCollection::MemberNonzero() const {
+  MemberCounts();  // materialize / fold pending sets; keeps the list current
+  return member_nonzero_;
 }
 
 uint64_t RRCollection::CoverageOf(std::span<const NodeId> seeds) const {

@@ -293,6 +293,34 @@ class RRCollection {
   /// Ids of the RR sets containing `v`, decoded into a fresh vector.
   std::vector<RRId> DecodeCovering(NodeId v) const;
 
+  /// Per-node membership counts: MemberCounts()[v] == CoveringCount(v)
+  /// for every node, materialized lazily and maintained incrementally.
+  /// First call decodes the whole pool once; afterwards
+  /// AddCompressedShards folds each new shard's posting-count deltas in
+  /// O(num_nodes) per shard — never re-decoding existing sets — which is
+  /// what makes warm-started selection's initial-gain pass an O(n) copy
+  /// instead of an O(Σ|R|) recount. Serial AddSet appends are folded
+  /// lazily on the next call. Collections that never call this pay
+  /// nothing. The span is invalidated by any mutation.
+  std::span<const uint64_t> MemberCounts() const;
+
+  /// Nodes with MemberCounts()[v] > 0, each exactly once, maintained for
+  /// free inside the same folds that maintain the counts (a node is
+  /// appended when its count first leaves zero; counts never decrease).
+  /// Warm-started selection iterates this instead of all n nodes when
+  /// building its CELF heap and gain histogram — at small θ the touched
+  /// nodes are a small fraction of n, and the selection output cannot
+  /// depend on the iteration order (the CELF comparator is a strict
+  /// total order over (gain, node)), so the order here is first-touch,
+  /// not sorted. Materializes the counts if needed; the span is
+  /// invalidated by any mutation.
+  std::span<const NodeId> MemberNonzero() const;
+
+  /// Sets already folded into MemberCounts() (0 before first use). The
+  /// selection state uses this watermark to detect a restored pool whose
+  /// counts must be rebuilt.
+  uint64_t member_counts_accounted() const { return counts_accounted_; }
+
   /// Total nodes across all sets, Σ_R |R|. The query-time complexity of the
   /// OPIM bounds is linear in this (paper Table 1).
   uint64_t total_size() const { return total_members_; }
@@ -320,6 +348,8 @@ class RRCollection {
            block_offsets_.capacity() * sizeof(uint32_t) +
            block_words_.capacity() * sizeof(uint32_t) +
            block_masks_.capacity() * sizeof(uint64_t) +
+           member_counts_.capacity() * sizeof(uint64_t) +
+           member_nonzero_.capacity() * sizeof(NodeId) +
            cover_scratch_.MemoryUsage();
   }
 
@@ -514,6 +544,16 @@ class RRCollection {
   mutable bool index_dirty_ = false;
   // Scratch for CoverageOf (covered-set bitset, reset per call).
   mutable CoverBitset cover_scratch_;
+  // Lazily materialized per-node membership counts and the id of the
+  // first set not yet folded in (see MemberCounts). Empty until first use.
+  mutable std::vector<uint64_t> member_counts_;
+  mutable uint64_t counts_accounted_ = 0;
+  // Nodes whose count left zero, in first-touch order (see MemberNonzero).
+  mutable std::vector<NodeId> member_nonzero_;
+
+  /// Folds sets [counts_accounted_, num_sets_) into member_counts_,
+  /// materializing the vector first when empty.
+  void AccountMemberCounts() const;
 };
 
 }  // namespace opim

@@ -6,113 +6,12 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rrset/cover_bitset.h"
+#include "select/greedy_core.h"
+#include "select/seed_trace.h"
+#include "select/selection_state.h"
 #include "support/thread_pool.h"
 
 namespace opim {
-
-namespace {
-
-/// Below this much total posting mass the parallel initial-gain pass
-/// loses to fan-out overhead.
-constexpr uint64_t kParallelInitMinWork = 1u << 16;
-
-/// Fills `gains[v] = CoveringCount(v)` for every node, over node ranges
-/// on `pool` when the posting mass warrants it; per-node results are
-/// independent, so the output is identical for any worker count. Runs
-/// `after` (if set) once the pass — the only pool use in CELF — is done.
-void InitialGains(const RRCollection& collection, const CelfOptions& options,
-                  std::vector<uint64_t>* gains) {
-  OPIM_TR_SPAN1("celf_init", "select", "n", collection.num_nodes());
-  OPIM_TM_SCOPED_TIMER("opim.select.celf_init_us");
-  const uint32_t n = collection.num_nodes();
-  gains->resize(n);
-  ThreadPool* pool = options.pool;
-  if (pool != nullptr && pool->num_threads() > 1 && n > 0 &&
-      collection.total_size() >= kParallelInitMinWork) {
-    // One serial touch first: Covering() lazily rebuilds a stale index,
-    // which must not race across workers.
-    (*gains)[0] = collection.CoveringCount(0);
-    const uint32_t ranges = std::min<uint32_t>(n, pool->num_threads() * 4);
-    pool->ParallelFor(ranges, [&](uint64_t r) {
-      const uint32_t lo =
-          std::max<uint32_t>(1, static_cast<uint32_t>(uint64_t{n} * r / ranges));
-      const uint32_t hi =
-          static_cast<uint32_t>(uint64_t{n} * (r + 1) / ranges);
-      for (NodeId v = lo; v < hi; ++v) {
-        (*gains)[v] = collection.CoveringCount(v);
-      }
-    });
-  } else {
-    for (NodeId v = 0; v < n; ++v) {
-      (*gains)[v] = collection.CoveringCount(v);
-    }
-  }
-  if (options.after_initial_gains) options.after_initial_gains();
-}
-
-/// Sum of the k largest values of `scratch` (consumed: partially sorted).
-/// Zeros never contribute, so callers pass only nonzero entries.
-uint64_t TopKSumOf(std::vector<uint64_t>* scratch, uint32_t k) {
-  if (k == 0 || scratch->empty()) return 0;
-  uint64_t total = 0;
-  if (k >= scratch->size()) {
-    for (uint64_t c : *scratch) total += c;
-    return total;
-  }
-  std::nth_element(scratch->begin(), scratch->begin() + (k - 1),
-                   scratch->end(), std::greater<uint64_t>());
-  for (uint32_t i = 0; i < k; ++i) total += (*scratch)[i];
-  return total;
-}
-
-/// Sum of the k largest values in `counts`: copies only the nonzero
-/// entries into `scratch` (partial copy — the pre-rework version copied
-/// the whole n-sized vector per pick) and partial-sorts those.
-uint64_t TopKSum(const std::vector<uint64_t>& counts, uint32_t k,
-                 std::vector<uint64_t>* scratch) {
-  if (k == 0 || counts.empty()) return 0;
-  scratch->clear();
-  for (uint64_t c : counts) {
-    if (c > 0) scratch->push_back(c);
-  }
-  return TopKSumOf(scratch, k);
-}
-
-/// Appends the smallest-id nodes not yet selected until `seeds` has k
-/// entries (used when coverage saturates before k picks).
-void FillWithUnselected(uint32_t n, uint32_t k,
-                        const std::vector<char>& selected,
-                        std::vector<NodeId>* seeds) {
-  for (NodeId v = 0; v < n && seeds->size() < k; ++v) {
-    if (!selected[v]) seeds->push_back(v);
-  }
-}
-
-/// Lazy-forward queue entry: a (possibly stale) upper bound on a node's
-/// marginal gain. Smaller node id wins ties so CELF's pick order matches
-/// SelectGreedy's smallest-id-argmax rule exactly.
-struct CelfEntry {
-  uint64_t gain;
-  NodeId node;
-  uint32_t round;  // selection round the gain was computed in
-  bool operator<(const CelfEntry& other) const {
-    if (gain != other.gain) return gain < other.gain;
-    return node > other.node;
-  }
-};
-
-/// Marks every RR set containing `v` covered and calls `fn(RRId)` once
-/// for each set that was not already covered (ascending ids — identical
-/// traversal order for both posting representations).
-template <typename Fn>
-void MarkCoveredBy(const RRCollection& collection, NodeId v,
-                   CoverBitset* covered, Fn&& fn) {
-  const RRCollection::CoverPostings p = collection.Covering(v);
-  ForEachNewlyCoveredIds(p.ids, covered->words(), fn);
-  ForEachNewlyCoveredBlocks(p.words, p.masks, covered->words(), fn);
-}
-
-}  // namespace
 
 GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
                           bool with_trace) {
@@ -126,10 +25,11 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
   GreedyResult result;
   result.seeds.reserve(k);
 
-  std::vector<uint64_t> counts(n, 0);  // Λ(v | S_i*) for the current prefix
-  for (NodeId v = 0; v < n; ++v) {
-    counts[v] = collection.CoveringCount(v);
-  }
+  // Λ(v | S_i*) for the current prefix; the initial pass is the shared
+  // cold one (serial: no options), so oracle and CELF start from the
+  // same numbers by construction.
+  std::vector<uint64_t> counts;
+  InitialGains(collection, CelfOptions{}, &counts);
   CoverBitset covered;
   covered.Reset(theta);
   std::vector<char> selected(n, 0);
@@ -148,11 +48,14 @@ GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
       result.topk_marginal_at.push_back(TopKSum(counts, k, &scratch));
     }
 
-    // Argmax of marginal coverage; smallest id wins ties (determinism).
+    // Argmax of marginal coverage under the shared ordering rule; the
+    // counts[v] > 0 guard keeps zero-gain nodes out (they are appended
+    // by FillWithUnselected below, not selected).
     NodeId best = kInvalidNode;
     uint64_t best_count = 0;
     for (NodeId v = 0; v < n; ++v) {
-      if (!selected[v] && counts[v] > best_count) {
+      if (!selected[v] && counts[v] > 0 &&
+          BetterCandidate(counts[v], v, best_count, best)) {
         best = v;
         best_count = counts[v];
       }
@@ -203,8 +106,18 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
 
   GreedyResult result;
   result.seeds.reserve(k);
-  CoverBitset covered;
-  covered.Reset(theta);
+  // The covered bitset comes from the persistent state when one is
+  // given: its word arena survives across doublings (extended, cleared)
+  // instead of being reallocated per selection. Same bits either way.
+  CoverBitset local_covered;
+  CoverBitset* covered_bits;
+  if (options.state != nullptr) {
+    covered_bits = options.state->PrepareCovered(theta);
+  } else {
+    local_covered.Reset(theta);
+    covered_bits = &local_covered;
+  }
+  CoverBitset& covered = *covered_bits;
   std::vector<char> selected(n, 0);
 
   uint64_t coverage = 0;
@@ -213,11 +126,28 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
   uint64_t rescans = 0;
   uint64_t words_scanned = 0;  // bitset words the counting kernels touched
 
-  // Initial marginal gains Λ({v}) for every node — parallel over node
-  // ranges when options.pool is set (see InitialGains); everything after
-  // this pass is serial and bit-identical to the pool-less path.
+  // Initial marginal gains Λ({v}) for every node — warm-synced from the
+  // persistent state when options.state is set, else the cold pass
+  // (parallel over node ranges when options.pool is set). Identical
+  // values either way; everything after is serial and bit-identical.
   std::vector<uint64_t> gains;
-  InitialGains(collection, options, &gains);
+  AcquireInitialGains(collection, options, &gains);
+
+  // After a successful warm sync the collection's nonzero-membership
+  // node list is current, and only those nodes can hold a positive gain:
+  // the heap / histogram builds below iterate it instead of all n nodes.
+  // At the doubling loop's early iterations the pool touches a small
+  // fraction of n, so this removes the remaining O(n) passes from the
+  // warm path. Output is unaffected by the iteration order or by the
+  // absent zero-gain entries: the CELF comparator is a strict total
+  // order, and a zero-gain entry can never be selected (it either
+  // re-enqueues at zero and breaks the pop loop, or the queue simply
+  // drains — the seeds are identical either way, which the warm-vs-cold
+  // differential tests pin).
+  std::span<const NodeId> nonzero;
+  const bool use_nonzero =
+      options.state != nullptr && options.state->WarmFor(collection);
+  if (use_nonzero) nonzero = collection.MemberNonzero();
 
   if (!with_trace) {
     // Classic CELF: no marginal bookkeeping at all — a stale entry's gain
@@ -227,9 +157,12 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
     // pushes; pop order — and therefore the seed set — only depends on
     // the comparator, not the heap's internal layout.
     std::vector<CelfEntry> entries;
-    entries.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
-      entries.push_back({gains[v], v, 0});
+    if (use_nonzero) {
+      entries.reserve(nonzero.size());
+      for (NodeId v : nonzero) entries.push_back({gains[v], v, 0});
+    } else {
+      entries.reserve(n);
+      for (NodeId v = 0; v < n; ++v) entries.push_back({gains[v], v, 0});
     }
     std::priority_queue<CelfEntry> queue(std::less<CelfEntry>{},
                                          std::move(entries));
@@ -274,35 +207,63 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
   // down one bucket in O(1), and each prefix's top-k marginal sum is a
   // walk down the histogram from the current maximum: the only sum the
   // bound needs is Σ value·|bucket| over the k largest entries, so no
-  // per-pick O(n) scan, copy, or nth_element happens at all.
+  // per-pick O(n) scan, copy, or nth_element happens at all. When a
+  // SeedTrace is attached, the same walk also writes the prefix's full
+  // top-j sums (j = 1..k) into its matrix row — the per-prefix Eq. (10)
+  // summands any later k' <= k query needs — at O(k) extra per prefix.
+  SeedTrace* strace = options.seed_trace;
+  if (strace != nullptr) strace->Begin(k);
   std::vector<uint64_t> counts = std::move(gains);
   uint64_t max_count = 0;
   std::vector<CelfEntry> entries;  // heapified in one O(n) make_heap below
-  entries.reserve(n);
-  for (NodeId v = 0; v < n; ++v) {
-    const uint64_t g = counts[v];
-    if (g > 0) entries.push_back({g, v, 0});
-    max_count = std::max(max_count, g);
+  if (use_nonzero) {
+    entries.reserve(nonzero.size());
+    for (NodeId v : nonzero) {
+      const uint64_t g = counts[v];  // >= 1: membership never decreases
+      entries.push_back({g, v, 0});
+      max_count = std::max(max_count, g);
+    }
+  } else {
+    entries.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      const uint64_t g = counts[v];
+      if (g > 0) entries.push_back({g, v, 0});
+      max_count = std::max(max_count, g);
+    }
   }
   std::priority_queue<CelfEntry> queue(std::less<CelfEntry>{},
                                        std::move(entries));
   std::vector<uint32_t> hist(max_count + 1, 0);  // hist[c] = #nodes, c > 0
-  for (NodeId v = 0; v < n; ++v) {
-    if (counts[v] > 0) ++hist[counts[v]];
+  if (use_nonzero) {
+    for (NodeId v : nonzero) ++hist[counts[v]];
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      if (counts[v] > 0) ++hist[counts[v]];
+    }
   }
   uint64_t cover_updates = 0;
 
   auto record_prefix = [&] {
+    const uint32_t prefix = static_cast<uint32_t>(result.coverage_at.size());
     result.coverage_at.push_back(coverage);
+    if (strace != nullptr) strace->RecordCoverage(prefix, coverage);
     // The maximum only decreases (all updates are decrements), so the
     // cursor moves monotonically: O(initial max) total over the whole run.
     while (max_count > 0 && hist[max_count] == 0) --max_count;
+    uint64_t* row = strace != nullptr ? strace->PrefixRow(prefix) : nullptr;
     uint64_t sum = 0;
     uint64_t taken = 0;
     for (uint64_t value = max_count; value > 0 && taken < k; --value) {
       const uint64_t take = std::min<uint64_t>(hist[value], k - taken);
+      if (row != nullptr) {
+        for (uint64_t t = 1; t <= take; ++t) row[taken + t] = sum + value * t;
+      }
       sum += value * take;
       taken += take;
+    }
+    if (row != nullptr) {
+      // Fewer than j nonzero marginals means the top-j sum is the total.
+      for (uint64_t j = taken + 1; j <= k; ++j) row[j] = sum;
     }
     result.topk_marginal_at.push_back(sum);
   };
@@ -349,6 +310,10 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
   }
   record_prefix();
   while (result.coverage_at.size() < static_cast<size_t>(k) + 1) {
+    if (strace != nullptr) {
+      strace->RecordCoverage(static_cast<uint32_t>(result.coverage_at.size()),
+                             coverage);
+    }
     result.coverage_at.push_back(coverage);
     result.topk_marginal_at.push_back(0);
   }
@@ -359,6 +324,7 @@ GreedyResult SelectGreedyCelf(const RRCollection& collection, uint32_t k,
   OPIM_TM_COUNTER_ADD("opim.select.words_scanned", words_scanned);
   FillWithUnselected(n, k, selected, &result.seeds);
   result.coverage = coverage;
+  if (strace != nullptr) strace->RecordSeeds(result.seeds);
   return result;
 }
 

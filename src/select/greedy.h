@@ -30,6 +30,8 @@
 
 namespace opim {
 
+class SeedTrace;
+class SelectionState;
 class ThreadPool;
 
 /// Output of greedy selection, including the per-prefix trace used by the
@@ -55,16 +57,25 @@ struct GreedyResult {
 GreedyResult SelectGreedy(const RRCollection& collection, uint32_t k,
                           bool with_trace = false);
 
-/// Execution options for SelectGreedyCelf. Neither changes any output bit:
+/// Execution options for SelectGreedyCelf. None changes any output bit:
 /// `pool` only parallelizes the initial marginal-gain pass (one
 /// CoveringCount per node — the dominant CELF cost at large n) over node
 /// ranges; every recount stays serial. `after_initial_gains`, when set,
 /// runs on the calling thread right after that pass — the last pool use —
 /// and before the serial heap phase: the pipelined engine uses it to
 /// launch speculative sampling that overlaps the rest of selection.
+/// `state`, when set, replaces the initial-gain pass with the persistent
+/// SelectionState's incremental sync (select/selection_state.h) — exact
+/// gains, bit-identical output, warm across doublings; a failed sync
+/// falls back to the cold pass transparently. `seed_trace`, when set
+/// together with `with_trace`, additionally records the prefix-complete
+/// trace (select/seed_trace.h) that answers k' <= k queries without
+/// re-selection.
 struct CelfOptions {
   ThreadPool* pool = nullptr;
   std::function<void()> after_initial_gains;
+  SelectionState* state = nullptr;
+  SeedTrace* seed_trace = nullptr;
 };
 
 /// CELF lazy-forward greedy; identical output to SelectGreedy (seeds,

@@ -244,6 +244,49 @@ TEST(CheckpointResumeTest, CancelTripCheckpointsAndResumes) {
   EXPECT_GE(resumed_a.num_rr_sets, degraded.num_rr_sets);
 }
 
+TEST(CheckpointResumeTest, ResumeRebuildsSelectionStateBitIdentically) {
+  // A resumed run's first selection is a cold SelectionState rebuild
+  // from the restored pools (the warm counts died with the original
+  // process); everything after warm-starts again. Both the resumed run
+  // and a from-scratch-selection (incremental off) run must reproduce
+  // the uninterrupted incremental run exactly — including the query
+  // answers, which read the trace the rebuilt state's selections fed.
+  Graph g = TestGraph();
+  OpimCOptions base;
+  base.seed = 29;
+  base.num_threads = 1;
+  base.query_ks = {1, kK};
+  ASSERT_TRUE(base.incremental_selection);  // the default under test
+
+  const OpimCResult reference = RunWith(g, base);
+  ASSERT_GT(reference.iterations, 1u);
+  ASSERT_EQ(reference.queries.size(), 2u);
+
+  OpimCOptions scratch = base;
+  scratch.incremental_selection = false;
+  const OpimCResult oracle = RunWith(g, scratch);
+  ExpectSameRun(reference, oracle);
+
+  OpimCOptions ck = base;
+  ck.checkpoint_dir = FreshDir("ck_selstate");
+  const OpimCResult checkpointed = RunWith(g, ck);
+  ExpectSameRun(reference, checkpointed);
+
+  const OpimCResult resumed =
+      ResumeWith(g, base, SnapshotPath(ck.checkpoint_dir));
+  ExpectSameRun(reference, resumed);
+  EXPECT_EQ(resumed.resumed_from_iteration, reference.iterations);
+  ASSERT_EQ(resumed.queries.size(), reference.queries.size());
+  for (size_t i = 0; i < reference.queries.size(); ++i) {
+    EXPECT_EQ(reference.queries[i].seeds, resumed.queries[i].seeds);
+    EXPECT_EQ(reference.queries[i].alpha, resumed.queries[i].alpha);
+    EXPECT_EQ(reference.queries[i].sigma_lower,
+              resumed.queries[i].sigma_lower);
+    EXPECT_EQ(reference.queries[i].sigma_upper,
+              resumed.queries[i].sigma_upper);
+  }
+}
+
 TEST(CheckpointResumeTest, SnapshotRunStateRecordsTheRunIdentity) {
   Graph g = TestGraph();
   OpimCOptions ck;

@@ -9,7 +9,8 @@
 //   stats    --graph=<path>                                    Table-2 row
 //   run      --graph=<path> --algo=<name> --k=<k> [--eps=0.1]
 //            [--model=IC|LT] [--delta=1/n] [--mc=10000]
-//            [--threads=1] [--metrics-json=<path>]
+//            [--threads=1] [--query-ks=5,10,50]
+//            [--metrics-json=<path>]
 //            [--metrics-csv=<path>]                            one IM run
 //   evaluate --graph=<path> [--mc=10000] <seed ids...>         MC spread
 //            of an explicit seed set, with a 95% CI
@@ -41,6 +42,19 @@
 //                        rename), and once more when a deadline / memory /
 //                        signal guardrail trips
 //   --checkpoint-every=N checkpoint every N-th iteration (default 1)
+//   --query-ks=<list>    (run with opim-c*) answer additional seed-set
+//                        sizes from one run: a comma-separated list of
+//                        k' <= k (e.g. --query-ks=5,10,50). Each k' gets
+//                        its own (seeds, σ_l, σ_upper, α) — read off the
+//                        final iteration's prefix-complete selection
+//                        trace, no re-run — printed as `query k=...`
+//                        lines and recorded in the report's "queries"
+//                        section. Entries must be positive integers
+//                        <= --k with no duplicates.
+//   --incremental-selection=0
+//                        (run with opim-c*) disable the cross-iteration
+//                        warm-start (default on); output is bit-identical
+//                        either way — the switch exists for A/B timing
 //   --resume=<snapshot>  resume an opim-c* run from a .opimss checkpoint;
 //                        the snapshot's (k, eps, delta, seed, threads,
 //                        bound, model) override the flags, and the graph
@@ -77,10 +91,15 @@
 // ssa-fix, dssa-fix, mc-greedy, degree, degree-discount, pagerank,
 // two-hop, irie.
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "baselines/dssa_fix.h"
 #include "baselines/heuristics.h"
@@ -142,6 +161,52 @@ DiffusionModel ModelFromFlags(const Flags& flags) {
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// Strict --query-ks parse, in graph_io's entry-precise error style:
+/// comma-separated seed-set sizes, each all-digits (so "-1", "+2", "3a"
+/// and empty all fail), in [1, k], no duplicates. On success `out` holds
+/// the sizes sorted ascending.
+Status ParseQueryKs(const std::string& spec, uint32_t k,
+                    std::vector<uint32_t>* out) {
+  out->clear();
+  size_t start = 0;
+  size_t entry = 0;
+  for (;;) {
+    const size_t comma = spec.find(',', start);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string tok = spec.substr(start, end - start);
+    ++entry;
+    const auto entry_error = [&](const std::string& what) {
+      return Status::InvalidArgument("--query-ks: " + what + " at entry " +
+                                     std::to_string(entry) + ": '" + tok +
+                                     "'");
+    };
+    if (tok.empty()) return entry_error("empty seed-set size");
+    for (char c : tok) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return entry_error("not an unsigned integer");
+      }
+    }
+    errno = 0;
+    char* parse_end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &parse_end, 10);
+    if (errno == ERANGE || parse_end != tok.c_str() + tok.size() ||
+        v > UINT32_MAX) {
+      return entry_error("out of range");
+    }
+    if (v < 1) return entry_error("seed-set size must be >= 1");
+    if (v > k) return entry_error("exceeds --k=" + std::to_string(k));
+    if (std::find(out->begin(), out->end(), static_cast<uint32_t>(v)) !=
+        out->end()) {
+      return entry_error("duplicate seed-set size");
+    }
+    out->push_back(static_cast<uint32_t>(v));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  std::sort(out->begin(), out->end());
+  return Status::OK();
 }
 
 /// Arms `control` from the guardrail flags and binds the signal guard's
@@ -354,6 +419,21 @@ int CmdRun(const Flags& flags) {
                                            : "opim-c+";
   }
 
+  // --query-ks is validated after the resume block so entries are checked
+  // against the authoritative k (a snapshot's k overrides the flag).
+  const bool is_opimc =
+      algo == "opim-c+" || algo == "opim-c0" || algo == "opim-c'";
+  std::vector<uint32_t> query_ks;
+  if (flags.Has("query-ks")) {
+    if (!is_opimc) {
+      return Fail(Status::InvalidArgument(
+          "--query-ks is only supported with --algo=opim-c+/opim-c0/"
+          "opim-c'"));
+    }
+    Status st = ParseQueryKs(flags.GetString("query-ks", ""), k, &query_ks);
+    if (!st.ok()) return Fail(st);
+  }
+
   RunReport report;
   report.AddInfo("command", "run");
   report.AddInfo("algorithm", algo);
@@ -385,10 +465,12 @@ int CmdRun(const Flags& flags) {
   Stopwatch sw;
   std::vector<NodeId> seeds;
   uint64_t rr_sets = 0;
-  if (algo == "opim-c+" || algo == "opim-c0" || algo == "opim-c'") {
+  if (is_opimc) {
     OpimCOptions o;
     o.seed = seed;
     o.num_threads = threads;
+    o.query_ks = query_ks;
+    o.incremental_selection = flags.GetBool("incremental-selection", true);
     o.bound = algo == "opim-c0"   ? BoundKind::kBasic
               : algo == "opim-c'" ? BoundKind::kLeskovec
                                   : BoundKind::kImproved;
@@ -404,6 +486,22 @@ int CmdRun(const Flags& flags) {
     rr_sets = r.num_rr_sets;
     stop_reason = r.guardrails.stop_reason;
     std::printf("alpha=%.4f iterations=%u\n", r.alpha, r.iterations);
+    // One line and one report row per --query-ks size, answered from the
+    // final iteration's prefix-complete selection trace.
+    for (const OpimCQueryAnswer& q : r.queries) {
+      std::printf("query k=%u alpha=%.4f sigma_lower=%.2f sigma_upper=%.2f"
+                  " seeds:",
+                  q.k, q.alpha, q.sigma_lower, q.sigma_upper);
+      for (NodeId v : q.seeds) std::printf(" %u", v);
+      std::printf("\n");
+      RunReport::QueryAnswer row;
+      row.k = q.k;
+      row.alpha = q.alpha;
+      row.sigma_lower = q.sigma_lower;
+      row.sigma_upper = q.sigma_upper;
+      row.seeds.assign(q.seeds.begin(), q.seeds.end());
+      report.AddQuery(std::move(row));
+    }
     ReportGuardrails(r.guardrails, &report);
     report.AddResult("alpha", r.alpha);
     report.AddResult("iterations", r.iterations);
